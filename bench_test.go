@@ -1,0 +1,197 @@
+// Benchmarks that regenerate every table and figure of the paper (one
+// Benchmark per artifact, backed by internal/experiments), plus
+// micro-benchmarks of the core algorithms. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-artifact benches share one workload at bench scale; the first
+// bench to run pays the generation cost via the shared runner (excluded
+// from its own timings by b.ResetTimer).
+package filecule_test
+
+import (
+	"testing"
+
+	"filecule/internal/cache"
+	"filecule/internal/core"
+	"filecule/internal/experiments"
+	"filecule/internal/synth"
+	"filecule/internal/trace"
+)
+
+// benchScale keeps the full `go test -bench=.` run under a couple of
+// minutes while exercising every experiment end to end.
+const benchScale = 0.02
+
+var benchRunner = experiments.New(experiments.Config{Seed: 1, Scale: benchScale})
+
+// benchCapacity is the 10 TB (full-scale) cache point scaled to the bench
+// workload.
+func benchCapacity() int64 {
+	scale := benchScale // shed constant-ness; the product is fractional
+	return int64(10 * scale * (1 << 40))
+}
+
+// benchExperiment runs one experiment driver per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	// Materialize the shared workload and partition outside the timing.
+	benchRunner.Trace()
+	benchRunner.Partition()
+	benchRunner.Requests()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := benchRunner.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Tables) == 0 {
+			b.Fatal("no output")
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)           { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B)           { benchExperiment(b, "table2") }
+func BenchmarkFig1(b *testing.B)             { benchExperiment(b, "fig1") }
+func BenchmarkFig2(b *testing.B)             { benchExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)             { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)             { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)             { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)             { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)             { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)             { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)             { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)            { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)            { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)            { benchExperiment(b, "fig12") }
+func BenchmarkSwarmFeasibility(b *testing.B) { benchExperiment(b, "swarm") }
+func BenchmarkPartialKnowledge(b *testing.B) { benchExperiment(b, "partial") }
+func BenchmarkReplication(b *testing.B)      { benchExperiment(b, "replication") }
+func BenchmarkPolicyAblation(b *testing.B)   { benchExperiment(b, "ablation") }
+func BenchmarkDynamics(b *testing.B)         { benchExperiment(b, "dynamics") }
+func BenchmarkPrefetchers(b *testing.B)      { benchExperiment(b, "prefetchers") }
+func BenchmarkFileBundle(b *testing.B)       { benchExperiment(b, "filebundle") }
+func BenchmarkReplicationSweep(b *testing.B) { benchExperiment(b, "replsweep") }
+func BenchmarkChunkSwarm(b *testing.B)       { benchExperiment(b, "chunkswarm") }
+func BenchmarkPlacement(b *testing.B)        { benchExperiment(b, "placement") }
+
+// --- micro-benchmarks of the building blocks ---
+
+func BenchmarkGenerateWorkload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := synth.Generate(synth.DZero(int64(i), 0.01))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Jobs) == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+func BenchmarkIdentifyBatch(b *testing.B) {
+	t := benchRunner.Trace()
+	b.ReportMetric(float64(t.NumRequests()), "requests")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := core.Identify(t)
+		if p.NumFilecules() == 0 {
+			b.Fatal("no filecules")
+		}
+	}
+}
+
+func BenchmarkIdentifyParallel(b *testing.B) {
+	t := benchRunner.Trace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := core.IdentifyParallel(t, 0)
+		if p.NumFilecules() == 0 {
+			b.Fatal("no filecules")
+		}
+	}
+}
+
+func BenchmarkIdentifyOnline(b *testing.B) {
+	t := benchRunner.Trace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := core.NewRefiner()
+		r.ObserveTrace(t)
+		if r.NumFilecules() == 0 {
+			b.Fatal("no filecules")
+		}
+	}
+}
+
+func BenchmarkCacheReplayFileLRU(b *testing.B) {
+	t := benchRunner.Trace()
+	reqs := benchRunner.Requests()
+	capacity := benchCapacity()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := cache.NewSim(t, cache.NewFileGranularity(t), cache.NewLRU(), capacity).Replay(reqs)
+		if m.Requests == 0 {
+			b.Fatal("no requests")
+		}
+	}
+	b.ReportMetric(float64(len(reqs))*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+func BenchmarkCacheReplayFileculeLRU(b *testing.B) {
+	t := benchRunner.Trace()
+	p := benchRunner.Partition()
+	reqs := benchRunner.Requests()
+	capacity := benchCapacity()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := cache.NewSim(t, cache.NewFileculeGranularity(t, p), cache.NewLRU(), capacity).Replay(reqs)
+		if m.Requests == 0 {
+			b.Fatal("no requests")
+		}
+	}
+	b.ReportMetric(float64(len(reqs))*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+func BenchmarkCacheReplayOPT(b *testing.B) {
+	t := benchRunner.Trace()
+	reqs := benchRunner.Requests()
+	capacity := benchCapacity()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := cache.SimulateOPT(t, cache.NewFileGranularity(t), capacity, reqs)
+		if m.Requests == 0 {
+			b.Fatal("no requests")
+		}
+	}
+}
+
+func BenchmarkRequestStream(b *testing.B) {
+	t := benchRunner.Trace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(t.Requests()) == 0 {
+			b.Fatal("no requests")
+		}
+	}
+}
+
+func BenchmarkTraceCodec(b *testing.B) {
+	t := benchRunner.Trace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf writeCounter
+		if err := trace.Write(&buf, t); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf))
+	}
+}
+
+type writeCounter int
+
+func (w *writeCounter) Write(p []byte) (int, error) {
+	*w += writeCounter(len(p))
+	return len(p), nil
+}

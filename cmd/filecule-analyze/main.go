@@ -1,0 +1,71 @@
+// Command filecule-analyze loads a trace (from a file written by
+// filecule-gen, or freshly synthesized), identifies filecules and prints the
+// workload characterization of the paper's Section 3 (Tables 1-2, Figures
+// 1-9):
+//
+//	filecule-analyze -trace trace.txt
+//	filecule-analyze -scale 0.05 -seed 1       # synthesize instead
+//	filecule-analyze -trace trace.txt -exp fig4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"filecule/internal/experiments"
+	"filecule/internal/synth"
+	"filecule/internal/trace"
+)
+
+var characterization = []string{
+	"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5",
+	"fig6", "fig7", "fig8", "fig9", "dynamics",
+}
+
+func main() {
+	var (
+		path  = flag.String("trace", "", "trace file to analyze (omit to synthesize)")
+		seed  = flag.Int64("seed", 1, "generator seed when synthesizing")
+		scale = flag.Float64("scale", 0.05, "workload scale when synthesizing")
+		exp   = flag.String("exp", "", "single characterization to print (default: all)")
+	)
+	flag.Parse()
+
+	var r *experiments.Runner
+	if *path != "" {
+		f, err := os.Open(*path)
+		if err != nil {
+			fatal(err)
+		}
+		t, err := trace.ReadAuto(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		r = experiments.NewForTrace(t, *scale)
+	} else {
+		if _, err := synth.Generate(synth.DZero(*seed, 0.001)); err != nil {
+			fatal(err) // fail fast on bad config before the big run
+		}
+		r = experiments.New(experiments.Config{Seed: *seed, Scale: *scale})
+	}
+
+	ids := characterization
+	if *exp != "" {
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		res, err := r.Run(id)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Render())
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+// Command filecule-cachesim replays a trace through the cache simulator and
+// prints miss rates across cache sizes and policies — the Figure 10
+// experiment plus the policy ablation:
+//
+//	filecule-cachesim -scale 0.05                  # Figure 10 sweep
+//	filecule-cachesim -trace trace.txt -ablation   # policy zoo
+//	filecule-cachesim -sizes 1,10,100 -policy gds  # custom sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"filecule/internal/cache"
+	"filecule/internal/core"
+	"filecule/internal/experiments"
+	"filecule/internal/report"
+	"filecule/internal/synth"
+	"filecule/internal/trace"
+)
+
+func main() {
+	var (
+		path     = flag.String("trace", "", "trace file (omit to synthesize)")
+		seed     = flag.Int64("seed", 1, "generator seed when synthesizing")
+		scale    = flag.Float64("scale", 0.05, "workload scale; also scales cache sizes")
+		sizes    = flag.String("sizes", "", "comma-separated cache sizes in full-scale TB (default: the paper's 7 sizes)")
+		policy   = flag.String("policy", "lru", "eviction policy: lru, fifo, lfu, size, gds, gdsf, landlord, bundle")
+		ablation = flag.Bool("ablation", false, "run the full policy-zoo ablation instead of a sweep")
+	)
+	flag.Parse()
+
+	t := loadOrGen(*path, *seed, *scale)
+	r := experiments.NewForTrace(t, *scale)
+
+	if *ablation {
+		res, err := r.Run("ablation")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Render())
+		return
+	}
+
+	sizeList := experiments.Fig10CacheSizesTB
+	if *sizes != "" {
+		sizeList = nil
+		for _, s := range strings.Split(*sizes, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil || v <= 0 {
+				fatal(fmt.Errorf("bad size %q", s))
+			}
+			sizeList = append(sizeList, v)
+		}
+	}
+
+	p := core.Identify(t)
+	reqs := t.Requests()
+	tb := report.NewTable(
+		fmt.Sprintf("%s miss rates (cache sizes scaled by %g)", *policy, *scale),
+		"cache TB (full scale)", "file miss", "filecule miss", "gain")
+	for _, tbs := range sizeList {
+		capBytes := int64(tbs * *scale * (1 << 40))
+		if capBytes < 1<<20 {
+			capBytes = 1 << 20
+		}
+		fm := cache.NewSim(t, cache.NewFileGranularity(t), mkPolicy(*policy, p), capBytes).Replay(reqs)
+		cm := cache.NewSim(t, cache.NewFileculeGranularity(t, p), mkPolicy(*policy, p), capBytes).Replay(reqs)
+		gain := 0.0
+		if cm.MissRate() > 0 {
+			gain = fm.MissRate() / cm.MissRate()
+		}
+		tb.AddRow(tbs, fm.MissRate(), cm.MissRate(), gain)
+	}
+	tb.Render(os.Stdout)
+}
+
+func mkPolicy(name string, p *core.Partition) cache.Policy {
+	switch name {
+	case "lru":
+		return cache.NewLRU()
+	case "fifo":
+		return cache.NewFIFO()
+	case "lfu":
+		return cache.NewLFU()
+	case "size":
+		return cache.NewSize()
+	case "gds":
+		return cache.NewGDS()
+	case "gdsf":
+		return cache.NewGDSF()
+	case "landlord":
+		return cache.NewLandlord()
+	case "bundle":
+		return cache.NewBundleLRU(p)
+	default:
+		fatal(fmt.Errorf("unknown policy %q", name))
+		return nil
+	}
+}
+
+func loadOrGen(path string, seed int64, scale float64) *trace.Trace {
+	if path == "" {
+		t, err := synth.Generate(synth.DZero(seed, scale))
+		if err != nil {
+			fatal(err)
+		}
+		return t
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	t, err := trace.ReadAuto(f)
+	if err != nil {
+		fatal(err)
+	}
+	return t
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+// Command filecule-gen generates a synthetic DZero-like trace calibrated to
+// the paper's published workload statistics and writes it in the v1 text
+// format:
+//
+//	filecule-gen -scale 0.05 -seed 7 -o trace.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"filecule/internal/synth"
+	"filecule/internal/trace"
+)
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 1, "generator seed")
+		scale = flag.Float64("scale", 0.05, "workload scale (1 = full paper scale)")
+		out   = flag.String("o", "-", "output path ('-' for stdout)")
+		gz    = flag.Bool("gz", false, "gzip-compress the output")
+	)
+	flag.Parse()
+
+	t, err := synth.Generate(synth.DZero(*seed, *scale))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	write := trace.Write
+	if *gz {
+		write = trace.WriteGzip
+	}
+	if err := write(w, t); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d jobs, %d files, %d users, %d sites (%d file requests)\n",
+		len(t.Jobs), len(t.Files), len(t.Users), len(t.Sites), t.NumRequests())
+}

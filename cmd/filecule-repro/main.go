@@ -1,0 +1,91 @@
+// Command filecule-repro regenerates every table and figure of the paper
+// against the calibrated synthetic workload and prints the paper-vs-measured
+// report. It is the one-stop reproduction entry point:
+//
+//	filecule-repro                 # run everything at the default scale
+//	filecule-repro -exp fig10      # one experiment
+//	filecule-repro -list           # list experiment IDs
+//	filecule-repro -scale 0.1      # bigger workload (slower, closer shapes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"filecule/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment ID to run (default: all)")
+		seed  = flag.Int64("seed", 1, "workload generator seed")
+		scale = flag.Float64("scale", experiments.DefaultConfig().Scale, "workload scale (1 = full paper scale)")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		csv   = flag.String("csv", "", "also dump every table as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.All() {
+			desc, _ := experiments.Describe(id)
+			fmt.Printf("%-12s %s\n", id, desc)
+		}
+		return
+	}
+
+	r := experiments.New(experiments.Config{Seed: *seed, Scale: *scale})
+	var results []*experiments.Result
+	if *exp != "" {
+		res, err := r.Run(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Render())
+		results = []*experiments.Result{res}
+	} else {
+		var err error
+		results, err = r.RunAll()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("filecule reproduction report (seed %d, scale %g)\n\n", *seed, *scale)
+		for _, res := range results {
+			fmt.Print(res.Render())
+			fmt.Println()
+		}
+	}
+	if *csv != "" {
+		if err := dumpCSV(*csv, results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// dumpCSV writes every result table as <dir>/<experiment>-<i>.csv.
+func dumpCSV(dir string, results []*experiments.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, res := range results {
+		for i, tb := range res.Tables {
+			path := filepath.Join(dir, fmt.Sprintf("%s-%d.csv", res.ID, i))
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := tb.CSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

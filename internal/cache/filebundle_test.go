@@ -1,0 +1,104 @@
+package cache
+
+import (
+	"testing"
+
+	"filecule/internal/trace"
+)
+
+func TestFileBundleServesRepeatedBatch(t *testing.T) {
+	// Window 4 sees all jobs; bundle = union of the two small jobs fits
+	// capacity 4; requests after the first fetch hit.
+	jobs := [][]trace.FileID{{0, 1}, {2, 3}, {0, 1}, {2, 3}}
+	tr := seqTrace(t, 4, 1, jobs)
+	m := SimulateFileBundle(tr, 4, 4)
+	if m.Requests != 8 {
+		t.Fatalf("requests = %d", m.Requests)
+	}
+	// 4 fresh loads charged as misses (one per file), 4 hits.
+	if m.Misses != 4 || m.Hits != 4 {
+		t.Errorf("misses = %d hits = %d, want 4/4", m.Misses, m.Hits)
+	}
+	if m.BytesLoaded != 4 {
+		t.Errorf("bytes loaded = %d, want 4", m.BytesLoaded)
+	}
+}
+
+func TestFileBundlePrefersSmallJobs(t *testing.T) {
+	// Capacity 2: the 2-byte job fits, the 6-byte job does not. The big
+	// job streams (all misses).
+	jobs := [][]trace.FileID{{0, 1}, {2, 3, 4, 5, 6, 7}}
+	tr := seqTrace(t, 8, 1, jobs)
+	m := SimulateFileBundle(tr, 2, 2)
+	// Small job: 2 fresh-load misses. Big job: 6 streaming misses.
+	if m.Misses != 8 || m.Hits != 0 {
+		t.Errorf("misses = %d hits = %d, want 8/0", m.Misses, m.Hits)
+	}
+	if m.BytesLoaded != 2 {
+		t.Errorf("bytes loaded = %d, want 2 (only the admitted job)", m.BytesLoaded)
+	}
+}
+
+func TestFileBundleSharedFilesAreFree(t *testing.T) {
+	// Jobs {0,1} and {0,2}: admitting the second job costs only file 2.
+	// Capacity 3 fits both thanks to sharing.
+	jobs := [][]trace.FileID{{0, 1}, {0, 2}}
+	tr := seqTrace(t, 3, 1, jobs)
+	m := SimulateFileBundle(tr, 3, 2)
+	// Fresh loads 0,1,2 -> first requests miss; the shared re-request of
+	// 0 hits.
+	if m.Hits != 1 || m.Misses != 3 {
+		t.Errorf("hits = %d misses = %d, want 1/3", m.Hits, m.Misses)
+	}
+}
+
+func TestFileBundleCarriesCacheAcrossBatches(t *testing.T) {
+	// Window 1: batch1 loads {0,1}; batch2 runs the same job — bundle
+	// unchanged, everything hits.
+	jobs := [][]trace.FileID{{0, 1}, {0, 1}}
+	tr := seqTrace(t, 2, 1, jobs)
+	m := SimulateFileBundle(tr, 2, 1)
+	if m.Hits != 2 || m.Misses != 2 {
+		t.Errorf("hits = %d misses = %d, want 2/2", m.Hits, m.Misses)
+	}
+	if m.Evictions != 0 {
+		t.Errorf("evictions = %d, want 0", m.Evictions)
+	}
+}
+
+func TestFileBundleEvictsWhenBundleChanges(t *testing.T) {
+	jobs := [][]trace.FileID{{0, 1}, {2, 3}}
+	tr := seqTrace(t, 4, 1, jobs)
+	m := SimulateFileBundle(tr, 2, 1)
+	if m.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2 (bundle swap)", m.Evictions)
+	}
+}
+
+func TestFileBundleVsFileculeLRU(t *testing.T) {
+	// On a workload of repeatedly re-requested datasets that all fit,
+	// both approaches converge to near-perfect hit rates; file-bundle
+	// must not beat the information-free lower bound (every distinct
+	// file fetched at least once).
+	jobs := [][]trace.FileID{
+		{0, 1, 2}, {3, 4, 5}, {0, 1, 2}, {3, 4, 5}, {0, 1, 2}, {3, 4, 5},
+	}
+	tr := seqTrace(t, 6, 1, jobs)
+	m := SimulateFileBundle(tr, 6, 2)
+	if m.Misses < 6 {
+		t.Errorf("file-bundle misses = %d, below the %d cold-fetch bound", m.Misses, 6)
+	}
+	if m.Misses != 6 {
+		t.Errorf("file-bundle misses = %d, want 6 on an all-fitting workload", m.Misses)
+	}
+}
+
+func TestFileBundlePanics(t *testing.T) {
+	tr := seqTrace(t, 1, 1, [][]trace.FileID{{0}})
+	defer func() {
+		if recover() == nil {
+			t.Error("capacity 0 accepted")
+		}
+	}()
+	SimulateFileBundle(tr, 0, 1)
+}

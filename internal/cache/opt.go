@@ -1,0 +1,109 @@
+package cache
+
+import (
+	"container/heap"
+
+	"filecule/internal/trace"
+)
+
+// SimulateOPT replays the request stream under Belady's offline-optimal
+// replacement at the given granularity: on a miss with a full cache it
+// evicts the resident unit whose next use is farthest in the future (or
+// never). It is the unbeatable lower bound that online policies are
+// compared against in the property tests and ablation benches.
+//
+// Like the online simulator, a unit larger than the whole cache is bypassed
+// by caching only the requested file as a degenerate unit. Bypassed units
+// are keyed per file, and since a degenerate unit is only ever hit by
+// requests for that same file — which map back to the same oversized unit
+// and therefore the same degenerate key — the per-unit next-use index is
+// exact for them too.
+func SimulateOPT(t *trace.Trace, g Granularity, capacity int64, reqs []trace.Request) Metrics {
+	if capacity <= 0 {
+		panic("cache: capacity must be > 0")
+	}
+	const never = int64(1) << 62
+	n := len(reqs)
+	nextUse := make([]int64, n)
+	lastSeen := make(map[UnitID]int64, 1024)
+	for i := n - 1; i >= 0; i-- {
+		u := g.UnitOf(reqs[i].File)
+		if j, ok := lastSeen[u]; ok {
+			nextUse[i] = j
+		} else {
+			nextUse[i] = never
+		}
+		lastSeen[u] = int64(i)
+	}
+
+	resident := make(map[UnitID]*optEntry)
+	var pq optHeap
+	var used int64
+	var m Metrics
+
+	for i, r := range reqs {
+		fileSize := t.Files[r.File].Size
+		m.Requests++
+		m.BytesRequested += fileSize
+
+		unit := g.UnitOf(r.File)
+		key := unit
+		size := g.SizeOf(unit)
+		bypass := size > capacity
+		if bypass {
+			key = degenerate(r.File)
+			size = fileSize
+		}
+		if e, ok := resident[key]; ok {
+			m.Hits++
+			e.next = nextUse[i]
+			heap.Fix(&pq, e.index)
+			continue
+		}
+		m.Misses++
+		m.BytesMissed += fileSize
+		if bypass {
+			m.Bypasses++
+			if size > capacity {
+				continue // single file larger than the whole cache
+			}
+		}
+		for used+size > capacity {
+			v := heap.Pop(&pq).(*optEntry)
+			delete(resident, v.unit)
+			used -= v.size
+			m.Evictions++
+			m.BytesEvicted += v.size
+		}
+		e := &optEntry{unit: key, size: size, next: nextUse[i]}
+		resident[key] = e
+		heap.Push(&pq, e)
+		used += size
+		m.BytesLoaded += size
+	}
+	return m
+}
+
+type optEntry struct {
+	unit  UnitID
+	size  int64
+	next  int64
+	index int
+}
+
+// optHeap is a max-heap on next use: the farthest-future unit is the root.
+type optHeap []*optEntry
+
+func (h optHeap) Len() int            { return len(h) }
+func (h optHeap) Less(i, j int) bool  { return h[i].next > h[j].next }
+func (h optHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *optHeap) Push(x interface{}) { e := x.(*optEntry); e.index = len(*h); *h = append(*h, e) }
+func (h *optHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

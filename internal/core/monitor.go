@@ -1,0 +1,62 @@
+package core
+
+import (
+	"sync"
+
+	"filecule/internal/trace"
+)
+
+// Monitor is a goroutine-safe wrapper around Refiner: the long-running
+// identification service Section 6 sketches, deployed at a "concentration
+// point" (a scheduler or meta-scheduler) where job submissions stream past.
+// Many submitter goroutines call Observe concurrently; readers take
+// consistent Partition snapshots at any time.
+//
+// A single mutex serializes refinement — the partition-refinement state is
+// inherently sequential — but snapshots copy out under the same lock so
+// readers never see a half-applied job.
+type Monitor struct {
+	mu      sync.Mutex
+	refiner *Refiner
+	// observed counts jobs folded in, exposed for progress reporting.
+	observed int64
+}
+
+// NewMonitor returns an empty identification service.
+func NewMonitor() *Monitor {
+	return &Monitor{refiner: NewRefiner()}
+}
+
+// Observe folds one job's input set into the partition. Safe for concurrent
+// use.
+func (m *Monitor) Observe(files []trace.FileID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.refiner.Observe(files)
+	m.observed++
+}
+
+// ObserveJob folds a trace job.
+func (m *Monitor) ObserveJob(j *trace.Job) { m.Observe(j.Files) }
+
+// Observed returns the number of jobs folded in so far.
+func (m *Monitor) Observed() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.observed
+}
+
+// NumFilecules returns the current block count.
+func (m *Monitor) NumFilecules() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.refiner.NumFilecules()
+}
+
+// Snapshot returns a consistent canonical Partition of everything observed
+// so far. Safe for concurrent use; the returned partition is immutable.
+func (m *Monitor) Snapshot() *Partition {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.refiner.Partition()
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"filecule/internal/trace"
+)
+
+func TestMonitorMatchesBatchUnderConcurrency(t *testing.T) {
+	tr := randomTrace(t, 77, 40, 200)
+	m := NewMonitor()
+
+	// Feed jobs from several goroutines. The interleaving is arbitrary,
+	// but filecule identification is order-insensitive over a fixed job
+	// multiset, so the final partition must group files exactly like the
+	// batch result (request counts per filecule also match: they count
+	// jobs, not order).
+	const workers = 8
+	var wg sync.WaitGroup
+	ch := make(chan *trace.Job)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				m.ObserveJob(j)
+			}
+		}()
+	}
+	for i := range tr.Jobs {
+		ch <- &tr.Jobs[i]
+	}
+	close(ch)
+	wg.Wait()
+
+	if m.Observed() != int64(len(tr.Jobs)) {
+		t.Fatalf("observed %d jobs, want %d", m.Observed(), len(tr.Jobs))
+	}
+	got := m.Snapshot()
+	want := Identify(tr)
+	if !got.Equal(want) {
+		t.Error("concurrent monitor diverged from batch identification")
+	}
+	if got.Validate() != nil {
+		t.Error("snapshot invalid")
+	}
+}
+
+func TestMonitorSnapshotIsIsolated(t *testing.T) {
+	m := NewMonitor()
+	m.Observe([]trace.FileID{0, 1})
+	snap := m.Snapshot()
+	if snap.NumFilecules() != 1 {
+		t.Fatalf("filecules = %d", snap.NumFilecules())
+	}
+	// Later observations must not mutate the earlier snapshot.
+	m.Observe([]trace.FileID{0})
+	if snap.NumFilecules() != 1 || len(snap.Filecules[0].Files) != 2 {
+		t.Error("snapshot mutated by later observation")
+	}
+	if m.NumFilecules() != 2 {
+		t.Errorf("monitor filecules = %d, want 2 after split", m.NumFilecules())
+	}
+}
+
+func TestMonitorConcurrentReadersAndWriters(t *testing.T) {
+	tr := randomTrace(t, 3, 30, 120)
+	m := NewMonitor()
+	var wg sync.WaitGroup
+	// Writers.
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := w; i < len(tr.Jobs); i += 4 {
+				m.ObserveJob(&tr.Jobs[i])
+			}
+		}()
+	}
+	// Readers take snapshots while writes are in flight; every snapshot
+	// must be internally consistent.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := m.Snapshot().Validate(); err != nil {
+					t.Errorf("mid-flight snapshot invalid: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if !m.Snapshot().Equal(Identify(tr)) {
+		t.Error("final state diverged from batch")
+	}
+}

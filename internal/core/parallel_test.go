@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"filecule/internal/trace"
+)
+
+func TestIdentifyParallelMatchesSerialProperty(t *testing.T) {
+	f := func(seed int64, nf, nj uint8, w uint8) bool {
+		tr := randomTrace(t, seed, int(nf%60)+1, int(nj%40)+1)
+		workers := int(w%7) + 1
+		serial := Identify(tr)
+		parallel := IdentifyParallel(tr, workers)
+		return parallel.Equal(serial) && parallel.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdentifyParallelDefaultWorkers(t *testing.T) {
+	tr := randomTrace(t, 42, 80, 60)
+	if !IdentifyParallel(tr, 0).Equal(Identify(tr)) {
+		t.Error("GOMAXPROCS worker count diverges from serial result")
+	}
+}
+
+func TestIdentifyParallelCrossShardMerge(t *testing.T) {
+	// Files 0..9 share one signature (a single job requests them all).
+	// With 4 workers they land in different shards; the merge phase must
+	// reunify them into one 10-file filecule.
+	tr := buildTrace(t, 10, [][]trace.FileID{
+		{0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+		{0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+		{0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+	})
+	p := IdentifyParallel(tr, 4)
+	if p.NumFilecules() != 1 {
+		t.Fatalf("got %d filecules, want 1 (cross-shard merge)", p.NumFilecules())
+	}
+	if p.Filecules[0].NumFiles() != 10 || p.Filecules[0].Requests != 3 {
+		t.Errorf("merged filecule = %+v", p.Filecules[0])
+	}
+}
+
+func TestIdentifyParallelSmallTraceFallsBack(t *testing.T) {
+	tr := buildTrace(t, 2, [][]trace.FileID{{0, 1}})
+	// 2 files with 8 workers: falls back to the serial path; result must
+	// still be correct.
+	p := IdentifyParallel(tr, 8)
+	if p.NumFilecules() != 1 || p.Filecules[0].NumFiles() != 2 {
+		t.Errorf("fallback result = %+v", p.Filecules)
+	}
+}

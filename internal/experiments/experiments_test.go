@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// testRunner shares one small workload across tests in this package.
+var shared = New(Config{Seed: 1, Scale: 0.02})
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, id := range All() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := shared.Run(id)
+			if err != nil {
+				t.Fatalf("Run(%s): %v", id, err)
+			}
+			if res.ID != id {
+				t.Errorf("result ID = %q", res.ID)
+			}
+			if len(res.Tables) == 0 {
+				t.Error("no tables produced")
+			}
+			out := res.Render()
+			if !strings.Contains(out, res.Description) {
+				t.Error("render missing description")
+			}
+			for _, tb := range res.Tables {
+				if tb.NumRows() == 0 {
+					t.Errorf("empty table %q", tb.Title)
+				}
+			}
+		})
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := shared.Run("fig99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if _, ok := Describe("fig1"); !ok {
+		t.Error("Describe(fig1) not found")
+	}
+	if _, ok := Describe("nope"); ok {
+		t.Error("Describe(nope) found")
+	}
+}
+
+func TestRunAllOrder(t *testing.T) {
+	// RunAll re-uses cached state, so this is cheap after
+	// TestAllExperimentsRun.
+	results, err := shared.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(All()) {
+		t.Fatalf("RunAll returned %d results, want %d", len(results), len(All()))
+	}
+	for i, id := range All() {
+		if results[i].ID != id {
+			t.Errorf("result %d = %s, want %s", i, results[i].ID, id)
+		}
+	}
+}
+
+// TestFig10Headline checks the paper's headline result holds in shape:
+// filecule LRU never loses to file LRU, and its advantage grows with cache
+// size.
+func TestFig10Headline(t *testing.T) {
+	points := shared.CacheSweep()
+	if len(points) != 2*len(Fig10CacheSizesTB) {
+		t.Fatalf("sweep returned %d points", len(points))
+	}
+	type pair struct{ file, filecule float64 }
+	pairs := make([]pair, 0, len(points)/2)
+	for i := 0; i+1 < len(points); i += 2 {
+		if points[i].Granularity != "file" || points[i+1].Granularity != "filecule" {
+			t.Fatalf("unexpected sweep order at %d", i)
+		}
+		pairs = append(pairs, pair{points[i].MissRate, points[i+1].MissRate})
+	}
+	for i, p := range pairs {
+		if p.filecule > p.file+1e-9 {
+			t.Errorf("size %v TB: filecule miss rate %v worse than file %v",
+				Fig10CacheSizesTB[i], p.filecule, p.file)
+		}
+	}
+	smallGain := pairs[0].file / pairs[0].filecule
+	largeGain := pairs[len(pairs)-1].file / pairs[len(pairs)-1].filecule
+	if largeGain <= smallGain {
+		t.Errorf("gain does not grow with cache size: small %v, large %v", smallGain, largeGain)
+	}
+	if largeGain < 2 {
+		t.Errorf("large-cache gain = %v, want substantial (paper: 4-5x)", largeGain)
+	}
+	// Miss rates must decrease (weakly) with cache size per granularity.
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].file > pairs[i-1].file+1e-9 {
+			t.Errorf("file miss rate increased with cache size at %d", i)
+		}
+		if pairs[i].filecule > pairs[i-1].filecule+1e-9 {
+			t.Errorf("filecule miss rate increased with cache size at %d", i)
+		}
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	c := DefaultConfig()
+	if c.Scale <= 0 || c.Scale > 1 {
+		t.Errorf("default scale = %v", c.Scale)
+	}
+	r := New(Config{})
+	if r.Config().Scale <= 0 {
+		t.Error("zero scale not defaulted")
+	}
+}

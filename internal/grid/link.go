@@ -1,0 +1,144 @@
+// Package grid is the wide-area substrate behind the paper's resource-
+// management discussion (Sections 5 and 6): a hub-and-spoke topology with
+// the central mass-storage system (the FermiLab tape store / SAM cache) at
+// the hub and collaborating sites at the spokes, connected by fair-shared
+// WAN links. A trace-driven stager replays jobs against per-site disk
+// caches and measures the WAN traffic and stage latency that data-placement
+// decisions (caching granularity, proactive replication) produce.
+package grid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"filecule/internal/sim"
+)
+
+// Link models a WAN path with processor-sharing bandwidth: n concurrent
+// transfers each progress at Bandwidth/n bytes per second. Rates are
+// recomputed on every arrival and departure, the standard fluid model.
+type Link struct {
+	kernel    *sim.Kernel
+	bandwidth float64 // bytes per second
+	active    map[*Transfer]struct{}
+	seq       uint64 // transfer admission order, for deterministic ties
+	epoch     uint64 // invalidates stale completion events
+	lastTouch time.Time
+}
+
+// Transfer is an in-flight data movement on a Link.
+type Transfer struct {
+	link      *Link
+	seq       uint64
+	remaining float64
+	started   time.Time
+	done      func(t *Transfer)
+}
+
+// Started returns the transfer's start time.
+func (t *Transfer) Started() time.Time { return t.started }
+
+// NewLink creates a link driven by the kernel. Bandwidth must be positive.
+func NewLink(k *sim.Kernel, bandwidth float64) *Link {
+	if bandwidth <= 0 || math.IsNaN(bandwidth) {
+		panic(fmt.Sprintf("grid: link bandwidth %v must be > 0", bandwidth))
+	}
+	return &Link{
+		kernel:    k,
+		bandwidth: bandwidth,
+		active:    make(map[*Transfer]struct{}),
+		lastTouch: k.Now(),
+	}
+}
+
+// InFlight returns the number of active transfers.
+func (l *Link) InFlight() int { return len(l.active) }
+
+// Start begins a transfer of the given bytes; done runs (in virtual time)
+// when it completes. Zero-byte transfers complete immediately (done runs
+// inline).
+func (l *Link) Start(bytes int64, done func(t *Transfer)) *Transfer {
+	if bytes < 0 {
+		panic(fmt.Sprintf("grid: negative transfer size %d", bytes))
+	}
+	l.seq++
+	t := &Transfer{link: l, seq: l.seq, remaining: float64(bytes), started: l.kernel.Now(), done: done}
+	if bytes == 0 {
+		if done != nil {
+			done(t)
+		}
+		return t
+	}
+	l.progress()
+	l.active[t] = struct{}{}
+	l.reschedule()
+	return t
+}
+
+// progress advances every active transfer to the current virtual time at
+// the rate that held since the last change.
+func (l *Link) progress() {
+	now := l.kernel.Now()
+	dt := now.Sub(l.lastTouch).Seconds()
+	l.lastTouch = now
+	if dt <= 0 || len(l.active) == 0 {
+		return
+	}
+	rate := l.bandwidth / float64(len(l.active))
+	for t := range l.active {
+		t.remaining -= rate * dt
+		if t.remaining < 0 {
+			t.remaining = 0
+		}
+	}
+}
+
+// reschedule plans the next completion event under the current sharing.
+func (l *Link) reschedule() {
+	l.epoch++
+	if len(l.active) == 0 {
+		return
+	}
+	rate := l.bandwidth / float64(len(l.active))
+	var soonest *Transfer
+	for t := range l.active {
+		if soonest == nil || t.remaining < soonest.remaining ||
+			(t.remaining == soonest.remaining && t.seq < soonest.seq) {
+			soonest = t
+		}
+	}
+	// Round up to the next nanosecond: rounding down could schedule a
+	// zero-delay event that never drains the transfer.
+	delay := time.Duration(math.Ceil(soonest.remaining / rate * float64(time.Second)))
+	epoch := l.epoch
+	l.kernel.After(delay, func() {
+		if epoch != l.epoch {
+			return // sharing changed; a newer event supersedes this one
+		}
+		l.complete()
+	})
+}
+
+// complete finishes every transfer that has (numerically) drained, then
+// replans.
+func (l *Link) complete() {
+	l.progress()
+	var finished []*Transfer
+	for t := range l.active {
+		if t.remaining <= 1e-6 {
+			finished = append(finished, t)
+		}
+	}
+	sort.Slice(finished, func(a, b int) bool { return finished[a].seq < finished[b].seq })
+	for _, t := range finished {
+		delete(l.active, t)
+	}
+	l.reschedule()
+	for _, t := range finished {
+		if t.done != nil {
+			t.done(t)
+		}
+	}
+}

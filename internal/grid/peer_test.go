@@ -1,0 +1,203 @@
+package grid
+
+import (
+	"testing"
+	"time"
+
+	"filecule/internal/sim"
+	"filecule/internal/trace"
+)
+
+func TestNetworkSingleFlow(t *testing.T) {
+	k := sim.New(t0)
+	n := NewNetwork(k)
+	src := n.NewEndpoint(100, 1000)
+	dst := n.NewEndpoint(1000, 50) // downlink is the bottleneck
+	var doneAt time.Time
+	n.Start(src, dst, 500, func(*Flow) { doneAt = k.Now() })
+	k.Run()
+	want := t0.Add(10 * time.Second) // 500 bytes at 50 B/s
+	if doneAt.Sub(want).Abs() > 50*time.Millisecond {
+		t.Errorf("flow done at %v, want ~%v", doneAt, want)
+	}
+}
+
+func TestNetworkSourceSharing(t *testing.T) {
+	// One source (100 B/s up) serving two sinks with fat downlinks: each
+	// flow gets 50 B/s.
+	k := sim.New(t0)
+	n := NewNetwork(k)
+	src := n.NewEndpoint(100, 100)
+	d1 := n.NewEndpoint(100, 1000)
+	d2 := n.NewEndpoint(100, 1000)
+	var done []time.Time
+	n.Start(src, d1, 500, func(*Flow) { done = append(done, k.Now()) })
+	n.Start(src, d2, 500, func(*Flow) { done = append(done, k.Now()) })
+	k.Run()
+	for _, d := range done {
+		if d.Sub(t0.Add(10*time.Second)).Abs() > 100*time.Millisecond {
+			t.Errorf("completion at %v, want ~t0+10s (shared uplink)", d)
+		}
+	}
+}
+
+func TestNetworkIndependentSourcesDontShare(t *testing.T) {
+	// Two sources to one sink with a fat downlink: no contention.
+	k := sim.New(t0)
+	n := NewNetwork(k)
+	s1 := n.NewEndpoint(100, 100)
+	s2 := n.NewEndpoint(100, 100)
+	dst := n.NewEndpoint(100, 10000)
+	var done []time.Time
+	n.Start(s1, dst, 500, func(*Flow) { done = append(done, k.Now()) })
+	n.Start(s2, dst, 500, func(*Flow) { done = append(done, k.Now()) })
+	k.Run()
+	for _, d := range done {
+		if d.Sub(t0.Add(5*time.Second)).Abs() > 100*time.Millisecond {
+			t.Errorf("completion at %v, want ~t0+5s (full uplink each)", d)
+		}
+	}
+	if n.InFlight() != 0 {
+		t.Error("flows left over")
+	}
+}
+
+func TestNetworkPanics(t *testing.T) {
+	k := sim.New(t0)
+	n := NewNetwork(k)
+	ep := n.NewEndpoint(1, 1)
+	for i, f := range []func(){
+		func() { n.NewEndpoint(0, 1) },
+		func() { n.NewEndpoint(1, -1) },
+		func() { n.Start(ep, ep, 1, nil) },
+		func() { n.Start(ep, nil, 1, nil) },
+		func() { n.Start(ep, n.NewEndpoint(1, 1), -1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// peerTrace: hub (.gov) plus two remote sites; jobs run at site 2 ("edge"),
+// site 1 ("mirror") is a placement target.
+func peerTrace(tb testing.TB, jobFiles [][]trace.FileID) *trace.Trace {
+	tb.Helper()
+	b := trace.NewBuilder()
+	b.Site("fnal", ".gov", 1)
+	b.Site("mirror", ".de", 1)
+	edge := b.Site("edge", ".uk", 1)
+	u := b.User("u", edge)
+	for i := 0; i < 6; i++ {
+		b.File(fname(i), 100, trace.TierThumbnail)
+	}
+	for i, fs := range jobFiles {
+		b.SimpleJob(u, edge, t0.Add(time.Duration(i)*time.Hour), fs)
+	}
+	return b.Build()
+}
+
+func peerCfg() PeerConfig {
+	return PeerConfig{SiteUp: 100, SiteDown: 100, HubUp: 1000, HubDown: 1000, SiteCacheBytes: 400}
+}
+
+func TestPeerSystemHubOnlyWithoutPlacement(t *testing.T) {
+	tr := peerTrace(t, [][]trace.FileID{{0, 1}, {0, 1}})
+	sys, err := NewPeerSystem(tr, peerCfg(), ".gov")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sys.Replay()
+	if m.HubBytes != 200 || m.PeerBytes != 0 {
+		t.Errorf("hub=%d peer=%d, want 200/0", m.HubBytes, m.PeerBytes)
+	}
+	if m.LocalBytes != 200 {
+		t.Errorf("local=%d, want 200 (second run cached)", m.LocalBytes)
+	}
+	if m.Jobs != 2 || m.Stalled != 1 {
+		t.Errorf("jobs=%d stalled=%d", m.Jobs, m.Stalled)
+	}
+}
+
+func TestPeerSystemFetchesFromReplica(t *testing.T) {
+	tr := peerTrace(t, [][]trace.FileID{{0, 1}})
+	sys, err := NewPeerSystem(tr, peerCfg(), ".gov")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Place(1, []trace.FileID{0, 1}) // mirror holds both files
+	m := sys.Replay()
+	if m.PeerBytes != 200 || m.HubBytes != 0 {
+		t.Errorf("hub=%d peer=%d, want 0/200", m.HubBytes, m.PeerBytes)
+	}
+	if m.HubShare() != 0 {
+		t.Errorf("HubShare = %v", m.HubShare())
+	}
+}
+
+func TestPeerSystemLocalPinnedReplica(t *testing.T) {
+	tr := peerTrace(t, [][]trace.FileID{{0}})
+	sys, _ := NewPeerSystem(tr, peerCfg(), ".gov")
+	sys.Place(2, []trace.FileID{0}) // replica at the requesting site itself
+	m := sys.Replay()
+	if m.LocalBytes != 100 || m.Stalled != 0 {
+		t.Errorf("local=%d stalled=%d, want 100/0", m.LocalBytes, m.Stalled)
+	}
+}
+
+func TestPeerSystemSplitsSources(t *testing.T) {
+	// File 0 replicated at mirror, file 1 only at hub: one job fetches
+	// from both concurrently; latency is the max of the two flows.
+	tr := peerTrace(t, [][]trace.FileID{{0, 1}})
+	sys, _ := NewPeerSystem(tr, peerCfg(), ".gov")
+	sys.Place(1, []trace.FileID{0})
+	m := sys.Replay()
+	if m.PeerBytes != 100 || m.HubBytes != 100 {
+		t.Errorf("hub=%d peer=%d, want 100/100", m.HubBytes, m.PeerBytes)
+	}
+	// Both flows share the edge downlink (100 B/s): 200 bytes total
+	// through one 100 B/s pipe -> ~2s.
+	if m.MaxStage.Round(100*time.Millisecond) != 2*time.Second {
+		t.Errorf("stage = %v, want ~2s (shared downlink)", m.MaxStage)
+	}
+}
+
+func TestPeerSystemPinnedSurvivesCacheChurn(t *testing.T) {
+	// Cache holds 4 files; jobs touch 6 distinct files then re-read the
+	// pinned one: it must still be local.
+	tr := peerTrace(t, [][]trace.FileID{{0}, {1, 2, 3, 4, 5}, {0}})
+	sys, _ := NewPeerSystem(tr, peerCfg(), ".gov")
+	sys.Place(2, []trace.FileID{0})
+	m := sys.Replay()
+	// Both accesses of 0 are local; the 5-file job stalls on the hub.
+	if m.LocalBytes != 200 {
+		t.Errorf("local=%d, want 200", m.LocalBytes)
+	}
+	if m.HubBytes != 500 {
+		t.Errorf("hub=%d, want 500", m.HubBytes)
+	}
+}
+
+func TestPeerSystemValidation(t *testing.T) {
+	tr := peerTrace(t, [][]trace.FileID{{0}})
+	bad := []func(*PeerConfig){
+		func(c *PeerConfig) { c.SiteUp = 0 },
+		func(c *PeerConfig) { c.HubDown = -1 },
+		func(c *PeerConfig) { c.SiteCacheBytes = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := peerCfg()
+		mutate(&cfg)
+		if _, err := NewPeerSystem(tr, cfg, ""); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := NewPeerSystem(&trace.Trace{}, peerCfg(), ""); err == nil {
+		t.Error("empty trace accepted")
+	}
+}

@@ -1,0 +1,278 @@
+// Package sam models the data-handling middleware the DZero experiment runs
+// on (the paper's Section 2.2): SAM "thoroughly catalogs data for content,
+// provenance, status, location, processing history, user-defined datasets,
+// and so on". The package provides those four catalog services —
+// content/metadata queries, a provenance DAG, a replica-location registry,
+// and a project (processing) history — behind one Catalog type, plus
+// FromTrace to build a catalog from a workload trace.
+//
+// The simulators consume plain traces; the catalog is the bookkeeping
+// substrate a production deployment would put around them (dataset
+// definitions for job submission, location lookups for replica placement).
+package sam
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"filecule/internal/trace"
+)
+
+// FileStatus tracks a file's lifecycle in the catalog.
+type FileStatus uint8
+
+// File lifecycle states.
+const (
+	StatusAvailable FileStatus = iota
+	StatusArchived             // on tape only
+	StatusRetired              // superseded, kept for provenance
+)
+
+// String returns the status label.
+func (s FileStatus) String() string {
+	switch s {
+	case StatusArchived:
+		return "archived"
+	case StatusRetired:
+		return "retired"
+	default:
+		return "available"
+	}
+}
+
+// FileMeta is the catalog's record for one file.
+type FileMeta struct {
+	ID     trace.FileID
+	Name   string
+	Size   int64
+	Tier   trace.Tier
+	Status FileStatus
+	// Parents are the files this file was derived from (reconstruction
+	// output lists its raw inputs, thumbnails list reconstructed files).
+	Parents []trace.FileID
+}
+
+// Catalog is the central metadata service.
+type Catalog struct {
+	files    []FileMeta
+	byName   map[string]trace.FileID
+	children map[trace.FileID][]trace.FileID
+
+	datasets map[string]*Dataset
+
+	locations map[trace.FileID]map[StationID]struct{}
+	stations  map[StationID]*Station
+
+	projects []Project
+}
+
+// StationID identifies a SAM station (a site-local cache/delivery agent).
+type StationID int32
+
+// Station is one registered station.
+type Station struct {
+	ID   StationID
+	Name string
+	Site trace.SiteID
+	// Bytes is the total size of replicas registered at this station.
+	Bytes int64
+}
+
+// Dataset is a user-defined, named file collection. SAM datasets are
+// queries evaluated against the catalog; Snapshot freezes the current
+// result, which is what a project actually consumes.
+type Dataset struct {
+	Name    string
+	Owner   string
+	Created time.Time
+	// Explicit files (for enumerated datasets) or a Query (for dynamic
+	// ones); exactly one is set.
+	Files []trace.FileID
+	Query *Query
+}
+
+// Query selects files by metadata — SAM's "dimensions" in miniature.
+type Query struct {
+	Tier       *trace.Tier
+	NamePrefix string
+	MinSize    int64
+	MaxSize    int64 // 0 = unbounded
+	Status     *FileStatus
+}
+
+// Project is one processing-history record.
+type Project struct {
+	Name    string
+	App     string
+	Version string
+	User    string
+	Dataset string
+	Station StationID
+	Start   time.Time
+	End     time.Time
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		byName:    make(map[string]trace.FileID),
+		children:  make(map[trace.FileID][]trace.FileID),
+		datasets:  make(map[string]*Dataset),
+		locations: make(map[trace.FileID]map[StationID]struct{}),
+		stations:  make(map[StationID]*Station),
+	}
+}
+
+// RegisterFile adds a file and returns its ID. Names must be unique.
+func (c *Catalog) RegisterFile(name string, size int64, tier trace.Tier) (trace.FileID, error) {
+	if name == "" {
+		return 0, fmt.Errorf("sam: empty file name")
+	}
+	if _, dup := c.byName[name]; dup {
+		return 0, fmt.Errorf("sam: file %q already registered", name)
+	}
+	if size < 0 {
+		return 0, fmt.Errorf("sam: negative size for %q", name)
+	}
+	id := trace.FileID(len(c.files))
+	c.files = append(c.files, FileMeta{ID: id, Name: name, Size: size, Tier: tier})
+	c.byName[name] = id
+	return id, nil
+}
+
+// NumFiles returns the number of registered files.
+func (c *Catalog) NumFiles() int { return len(c.files) }
+
+// File returns a file's metadata by ID.
+func (c *Catalog) File(id trace.FileID) (FileMeta, error) {
+	if int(id) < 0 || int(id) >= len(c.files) {
+		return FileMeta{}, fmt.Errorf("sam: unknown file %d", id)
+	}
+	return c.files[id], nil
+}
+
+// Lookup resolves a file name.
+func (c *Catalog) Lookup(name string) (trace.FileID, bool) {
+	id, ok := c.byName[name]
+	return id, ok
+}
+
+// SetStatus updates a file's lifecycle status.
+func (c *Catalog) SetStatus(id trace.FileID, s FileStatus) error {
+	if int(id) < 0 || int(id) >= len(c.files) {
+		return fmt.Errorf("sam: unknown file %d", id)
+	}
+	c.files[id].Status = s
+	return nil
+}
+
+// RecordDerivation declares that child was produced from the given parents
+// (provenance). It rejects unknown files, self-derivation and cycles.
+func (c *Catalog) RecordDerivation(child trace.FileID, parents ...trace.FileID) error {
+	if int(child) < 0 || int(child) >= len(c.files) {
+		return fmt.Errorf("sam: unknown child %d", child)
+	}
+	for _, p := range parents {
+		if int(p) < 0 || int(p) >= len(c.files) {
+			return fmt.Errorf("sam: unknown parent %d", p)
+		}
+		if p == child {
+			return fmt.Errorf("sam: file %d cannot derive from itself", child)
+		}
+		if c.isAncestor(child, p) {
+			return fmt.Errorf("sam: derivation %d -> %d would create a cycle", p, child)
+		}
+	}
+	meta := &c.files[child]
+	for _, p := range parents {
+		meta.Parents = append(meta.Parents, p)
+		c.children[p] = append(c.children[p], child)
+	}
+	return nil
+}
+
+// isAncestor reports whether a is an ancestor of f (walking parents up).
+func (c *Catalog) isAncestor(a, f trace.FileID) bool {
+	stack := []trace.FileID{f}
+	seen := map[trace.FileID]struct{}{}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == a {
+			return true
+		}
+		if _, dup := seen[cur]; dup {
+			continue
+		}
+		seen[cur] = struct{}{}
+		stack = append(stack, c.files[cur].Parents...)
+	}
+	return false
+}
+
+// Ancestry returns every transitive ancestor of id, sorted.
+func (c *Catalog) Ancestry(id trace.FileID) []trace.FileID {
+	var out []trace.FileID
+	seen := map[trace.FileID]struct{}{}
+	var walk func(trace.FileID)
+	walk = func(f trace.FileID) {
+		for _, p := range c.files[f].Parents {
+			if _, dup := seen[p]; dup {
+				continue
+			}
+			seen[p] = struct{}{}
+			out = append(out, p)
+			walk(p)
+		}
+	}
+	walk(id)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Descendants returns every transitive descendant of id, sorted.
+func (c *Catalog) Descendants(id trace.FileID) []trace.FileID {
+	var out []trace.FileID
+	seen := map[trace.FileID]struct{}{}
+	var walk func(trace.FileID)
+	walk = func(f trace.FileID) {
+		for _, ch := range c.children[f] {
+			if _, dup := seen[ch]; dup {
+				continue
+			}
+			seen[ch] = struct{}{}
+			out = append(out, ch)
+			walk(ch)
+		}
+	}
+	walk(id)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Select evaluates a query against the catalog.
+func (c *Catalog) Select(q Query) []trace.FileID {
+	var out []trace.FileID
+	for i := range c.files {
+		f := &c.files[i]
+		if q.Tier != nil && f.Tier != *q.Tier {
+			continue
+		}
+		if q.NamePrefix != "" && !strings.HasPrefix(f.Name, q.NamePrefix) {
+			continue
+		}
+		if f.Size < q.MinSize {
+			continue
+		}
+		if q.MaxSize > 0 && f.Size > q.MaxSize {
+			continue
+		}
+		if q.Status != nil && f.Status != *q.Status {
+			continue
+		}
+		out = append(out, f.ID)
+	}
+	return out
+}

@@ -1,0 +1,359 @@
+package sam
+
+import (
+	"testing"
+	"time"
+
+	"filecule/internal/synth"
+	"filecule/internal/trace"
+)
+
+var t0 = time.Date(2003, 1, 15, 12, 0, 0, 0, time.UTC)
+
+func mustRegister(t *testing.T, c *Catalog, name string, size int64, tier trace.Tier) trace.FileID {
+	t.Helper()
+	id, err := c.RegisterFile(name, size, tier)
+	if err != nil {
+		t.Fatalf("RegisterFile(%s): %v", name, err)
+	}
+	return id
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	c := NewCatalog()
+	raw := mustRegister(t, c, "raw-001", 1<<30, trace.TierRaw)
+	if c.NumFiles() != 1 {
+		t.Fatalf("NumFiles = %d", c.NumFiles())
+	}
+	id, ok := c.Lookup("raw-001")
+	if !ok || id != raw {
+		t.Errorf("Lookup = %d, %v", id, ok)
+	}
+	meta, err := c.File(raw)
+	if err != nil || meta.Tier != trace.TierRaw || meta.Size != 1<<30 {
+		t.Errorf("File = %+v, %v", meta, err)
+	}
+	if _, err := c.File(99); err == nil {
+		t.Error("unknown file accepted")
+	}
+	// Duplicates and bad input rejected.
+	if _, err := c.RegisterFile("raw-001", 1, trace.TierRaw); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := c.RegisterFile("", 1, trace.TierRaw); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := c.RegisterFile("neg", -1, trace.TierRaw); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+func TestStatusLifecycle(t *testing.T) {
+	c := NewCatalog()
+	f := mustRegister(t, c, "f", 1, trace.TierThumbnail)
+	if err := c.SetStatus(f, StatusArchived); err != nil {
+		t.Fatal(err)
+	}
+	meta, _ := c.File(f)
+	if meta.Status != StatusArchived || meta.Status.String() != "archived" {
+		t.Errorf("status = %v", meta.Status)
+	}
+	if err := c.SetStatus(42, StatusRetired); err == nil {
+		t.Error("unknown file accepted")
+	}
+}
+
+func TestProvenanceDAG(t *testing.T) {
+	c := NewCatalog()
+	raw := mustRegister(t, c, "raw", 10, trace.TierRaw)
+	reco := mustRegister(t, c, "reco", 5, trace.TierReconstructed)
+	tmb := mustRegister(t, c, "tmb", 1, trace.TierThumbnail)
+
+	if err := c.RecordDerivation(reco, raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RecordDerivation(tmb, reco); err != nil {
+		t.Fatal(err)
+	}
+	anc := c.Ancestry(tmb)
+	if len(anc) != 2 || anc[0] != raw || anc[1] != reco {
+		t.Errorf("Ancestry(tmb) = %v", anc)
+	}
+	desc := c.Descendants(raw)
+	if len(desc) != 2 {
+		t.Errorf("Descendants(raw) = %v", desc)
+	}
+	// Cycles and self-derivation rejected.
+	if err := c.RecordDerivation(raw, tmb); err == nil {
+		t.Error("cycle accepted")
+	}
+	if err := c.RecordDerivation(raw, raw); err == nil {
+		t.Error("self-derivation accepted")
+	}
+	if err := c.RecordDerivation(99, raw); err == nil {
+		t.Error("unknown child accepted")
+	}
+}
+
+func TestSelectQuery(t *testing.T) {
+	c := NewCatalog()
+	mustRegister(t, c, "tmb-a", 100, trace.TierThumbnail)
+	big := mustRegister(t, c, "tmb-b", 5000, trace.TierThumbnail)
+	mustRegister(t, c, "reco-a", 100, trace.TierReconstructed)
+
+	tier := trace.TierThumbnail
+	got := c.Select(Query{Tier: &tier})
+	if len(got) != 2 {
+		t.Errorf("tier query = %v", got)
+	}
+	got = c.Select(Query{Tier: &tier, MinSize: 1000})
+	if len(got) != 1 || got[0] != big {
+		t.Errorf("size query = %v", got)
+	}
+	got = c.Select(Query{NamePrefix: "reco-"})
+	if len(got) != 1 {
+		t.Errorf("prefix query = %v", got)
+	}
+	c.SetStatus(big, StatusRetired)
+	status := StatusRetired
+	got = c.Select(Query{Status: &status})
+	if len(got) != 1 || got[0] != big {
+		t.Errorf("status query = %v", got)
+	}
+	got = c.Select(Query{Tier: &tier, MaxSize: 200})
+	if len(got) != 1 {
+		t.Errorf("max-size query = %v", got)
+	}
+}
+
+func TestDatasetsAndSnapshots(t *testing.T) {
+	c := NewCatalog()
+	a := mustRegister(t, c, "tmb-a", 100, trace.TierThumbnail)
+	mustRegister(t, c, "tmb-b", 200, trace.TierThumbnail)
+
+	// Enumerated dataset.
+	if err := c.DefineDataset("mine", "anda", t0, []trace.FileID{a}, nil); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.Snapshot("mine")
+	if err != nil || len(snap) != 1 || snap[0] != a {
+		t.Errorf("Snapshot(mine) = %v, %v", snap, err)
+	}
+
+	// Dynamic dataset grows with the catalog.
+	tier := trace.TierThumbnail
+	if err := c.DefineDataset("all-tmb", "anda", t0, nil, &Query{Tier: &tier}); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ = c.Snapshot("all-tmb")
+	if len(snap) != 2 {
+		t.Fatalf("dynamic snapshot = %v", snap)
+	}
+	mustRegister(t, c, "tmb-c", 300, trace.TierThumbnail)
+	snap, _ = c.Snapshot("all-tmb")
+	if len(snap) != 3 {
+		t.Errorf("dynamic snapshot after growth = %v", snap)
+	}
+
+	// Validation.
+	if err := c.DefineDataset("mine", "x", t0, []trace.FileID{a}, nil); err == nil {
+		t.Error("duplicate dataset accepted")
+	}
+	if err := c.DefineDataset("both", "x", t0, []trace.FileID{a}, &Query{}); err == nil {
+		t.Error("dataset with files AND query accepted")
+	}
+	if err := c.DefineDataset("neither", "x", t0, nil, nil); err == nil {
+		t.Error("dataset with neither accepted")
+	}
+	if err := c.DefineDataset("dangling", "x", t0, []trace.FileID{99}, nil); err == nil {
+		t.Error("dangling file accepted")
+	}
+	if _, err := c.Snapshot("nope"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestLocationsService(t *testing.T) {
+	c := NewCatalog()
+	f := mustRegister(t, c, "f", 100, trace.TierThumbnail)
+	fnal, err := c.RegisterStation("fnal", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kit, _ := c.RegisterStation("kit", 1)
+
+	if err := c.AddReplica(f, fnal); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddReplica(f, fnal); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	c.AddReplica(f, kit)
+	locs := c.Locate(f)
+	if len(locs) != 2 || locs[0] != fnal || locs[1] != kit {
+		t.Errorf("Locate = %v", locs)
+	}
+	if c.ReplicaCount(f) != 2 {
+		t.Errorf("ReplicaCount = %d", c.ReplicaCount(f))
+	}
+	st, _ := c.Station(fnal)
+	if st.Bytes != 100 {
+		t.Errorf("station bytes = %d (idempotent add must count once)", st.Bytes)
+	}
+	c.DropReplica(f, fnal)
+	c.DropReplica(f, fnal) // no-op
+	if c.ReplicaCount(f) != 1 {
+		t.Errorf("ReplicaCount after drop = %d", c.ReplicaCount(f))
+	}
+	st, _ = c.Station(fnal)
+	if st.Bytes != 0 {
+		t.Errorf("station bytes after drop = %d", st.Bytes)
+	}
+	if err := c.AddReplica(99, fnal); err == nil {
+		t.Error("unknown file accepted")
+	}
+	if err := c.AddReplica(f, 99); err == nil {
+		t.Error("unknown station accepted")
+	}
+	if _, err := c.RegisterStation("fnal", 2); err == nil {
+		t.Error("duplicate station name accepted")
+	}
+}
+
+func TestProjectHistory(t *testing.T) {
+	c := NewCatalog()
+	a := mustRegister(t, c, "a", 1, trace.TierThumbnail)
+	c.DefineDataset("d", "u", t0, []trace.FileID{a}, nil)
+	ok := Project{Name: "p1", App: "root_analyze", User: "anda", Dataset: "d",
+		Start: t0, End: t0.Add(time.Hour)}
+	if err := c.RecordProject(ok); err != nil {
+		t.Fatal(err)
+	}
+	bad := ok
+	bad.Dataset = "nope"
+	if err := c.RecordProject(bad); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	bad = ok
+	bad.End = t0.Add(-time.Hour)
+	if err := c.RecordProject(bad); err == nil {
+		t.Error("inverted interval accepted")
+	}
+	bad = ok
+	bad.Name = ""
+	if err := c.RecordProject(bad); err == nil {
+		t.Error("unnamed project accepted")
+	}
+	got := c.Projects(func(p *Project) bool { return p.User == "anda" })
+	if len(got) != 1 || got[0].Name != "p1" {
+		t.Errorf("Projects = %+v", got)
+	}
+	if len(c.Projects(nil)) != 1 {
+		t.Error("nil filter should return all")
+	}
+}
+
+func TestFromTrace(t *testing.T) {
+	tr, err := synth.Generate(synth.DZero(5, 0.005))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := FromTrace(tr, ".gov")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumFiles() != len(tr.Files) {
+		t.Errorf("catalog files = %d, trace files = %d", c.NumFiles(), len(tr.Files))
+	}
+	// Every file starts at the hub.
+	for i := range tr.Files {
+		if c.ReplicaCount(tr.Files[i].ID) != 1 {
+			t.Fatalf("file %d has %d replicas, want 1 (hub)", i, c.ReplicaCount(tr.Files[i].ID))
+		}
+	}
+	hub := c.Locate(tr.Files[0].ID)[0]
+	st, _ := c.Station(hub)
+	if tr.Sites[st.Site].Domain != ".gov" {
+		t.Errorf("hub station at domain %s", tr.Sites[st.Site].Domain)
+	}
+	if st.Bytes != tr.TotalBytes() {
+		t.Errorf("hub bytes = %d, want %d", st.Bytes, tr.TotalBytes())
+	}
+	// One project per job; jobs with files have datasets.
+	if got := len(c.Projects(nil)); got != len(tr.Jobs) {
+		t.Errorf("projects = %d, jobs = %d", got, len(tr.Jobs))
+	}
+	withFiles := 0
+	for i := range tr.Jobs {
+		if len(tr.Jobs[i].Files) > 0 {
+			withFiles++
+		}
+	}
+	if c.NumDatasets() != withFiles {
+		t.Errorf("datasets = %d, jobs with files = %d", c.NumDatasets(), withFiles)
+	}
+	// Spot-check a snapshot round trip.
+	for i := range tr.Jobs {
+		if len(tr.Jobs[i].Files) == 0 {
+			continue
+		}
+		snap, err := c.Snapshot(mustDatasetName(tr.Jobs[i].ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(snap) != len(tr.Jobs[i].Files) {
+			t.Errorf("job %d snapshot has %d files, want %d", i, len(snap), len(tr.Jobs[i].Files))
+		}
+		break
+	}
+}
+
+func mustDatasetName(id trace.JobID) string {
+	return "ds-job-" + itoa(int(id))
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for ; n > 0; n /= 10 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+	}
+	return string(b)
+}
+
+func TestFromTraceRecordsProvenance(t *testing.T) {
+	b := trace.NewBuilder()
+	s := b.Site("s", ".gov", 1)
+	u := b.User("u", s)
+	raw1 := b.File("raw1", 1<<30, trace.TierRaw)
+	raw2 := b.File("raw2", 1<<30, trace.TierRaw)
+	reco := b.File("reco", 1<<29, trace.TierReconstructed)
+	tmb := b.File("tmb", 1<<20, trace.TierThumbnail)
+	b.Job(trace.Job{
+		User: u, Site: s, Node: "n", Tier: trace.TierRaw,
+		Family: trace.FamilyReconstruction, App: "d0reco", Version: "v1",
+		Start: t0, End: t0.Add(time.Hour),
+		Files: []trace.FileID{raw1, raw2}, Outputs: []trace.FileID{reco},
+	})
+	b.Job(trace.Job{
+		User: u, Site: s, Node: "n", Tier: trace.TierReconstructed,
+		Family: trace.FamilyReconstruction, App: "d0tmb", Version: "v1",
+		Start: t0.Add(2 * time.Hour), End: t0.Add(3 * time.Hour),
+		Files: []trace.FileID{reco}, Outputs: []trace.FileID{tmb},
+	})
+	tr := b.Build()
+	c, err := FromTrace(tr, ".gov")
+	if err != nil {
+		t.Fatal(err)
+	}
+	anc := c.Ancestry(tmb)
+	if len(anc) != 3 { // raw1, raw2, reco
+		t.Fatalf("Ancestry(tmb) = %v, want the full chain", anc)
+	}
+	desc := c.Descendants(raw1)
+	if len(desc) != 2 { // reco, tmb
+		t.Errorf("Descendants(raw1) = %v", desc)
+	}
+}

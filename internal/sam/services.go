@@ -1,0 +1,226 @@
+package sam
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"filecule/internal/trace"
+)
+
+// This file implements the dataset, location and processing-history
+// services of the catalog.
+
+// DefineDataset registers a named dataset, either enumerated (files) or
+// dynamic (query); exactly one of the two must be provided.
+func (c *Catalog) DefineDataset(name, owner string, created time.Time, files []trace.FileID, q *Query) error {
+	if name == "" {
+		return fmt.Errorf("sam: empty dataset name")
+	}
+	if _, dup := c.datasets[name]; dup {
+		return fmt.Errorf("sam: dataset %q already defined", name)
+	}
+	if (len(files) == 0) == (q == nil) {
+		return fmt.Errorf("sam: dataset %q needs exactly one of files or query", name)
+	}
+	for _, f := range files {
+		if int(f) < 0 || int(f) >= len(c.files) {
+			return fmt.Errorf("sam: dataset %q references unknown file %d", name, f)
+		}
+	}
+	ds := &Dataset{Name: name, Owner: owner, Created: created, Query: q}
+	if len(files) > 0 {
+		ds.Files = append([]trace.FileID(nil), files...)
+	}
+	c.datasets[name] = ds
+	return nil
+}
+
+// Dataset returns a defined dataset.
+func (c *Catalog) Dataset(name string) (*Dataset, bool) {
+	ds, ok := c.datasets[name]
+	return ds, ok
+}
+
+// NumDatasets returns the number of defined datasets.
+func (c *Catalog) NumDatasets() int { return len(c.datasets) }
+
+// Snapshot resolves a dataset to its current file list: enumerated datasets
+// return their list, dynamic ones evaluate their query now. Projects
+// consume snapshots, so a dataset's meaning can evolve while history stays
+// exact.
+func (c *Catalog) Snapshot(name string) ([]trace.FileID, error) {
+	ds, ok := c.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("sam: unknown dataset %q", name)
+	}
+	if ds.Query != nil {
+		return c.Select(*ds.Query), nil
+	}
+	return append([]trace.FileID(nil), ds.Files...), nil
+}
+
+// RegisterStation adds a station bound to a site.
+func (c *Catalog) RegisterStation(name string, site trace.SiteID) (StationID, error) {
+	if name == "" {
+		return 0, fmt.Errorf("sam: empty station name")
+	}
+	for _, st := range c.stations {
+		if st.Name == name {
+			return 0, fmt.Errorf("sam: station %q already registered", name)
+		}
+	}
+	id := StationID(len(c.stations))
+	c.stations[id] = &Station{ID: id, Name: name, Site: site}
+	return id, nil
+}
+
+// Station returns a station by ID.
+func (c *Catalog) Station(id StationID) (*Station, bool) {
+	st, ok := c.stations[id]
+	return st, ok
+}
+
+// AddReplica records that a station holds a copy of the file.
+func (c *Catalog) AddReplica(f trace.FileID, st StationID) error {
+	if int(f) < 0 || int(f) >= len(c.files) {
+		return fmt.Errorf("sam: unknown file %d", f)
+	}
+	station, ok := c.stations[st]
+	if !ok {
+		return fmt.Errorf("sam: unknown station %d", st)
+	}
+	locs := c.locations[f]
+	if locs == nil {
+		locs = make(map[StationID]struct{}, 2)
+		c.locations[f] = locs
+	}
+	if _, dup := locs[st]; dup {
+		return nil // idempotent
+	}
+	locs[st] = struct{}{}
+	station.Bytes += c.files[f].Size
+	return nil
+}
+
+// DropReplica removes a station's copy. Dropping a non-existent replica is
+// a no-op.
+func (c *Catalog) DropReplica(f trace.FileID, st StationID) {
+	locs := c.locations[f]
+	if locs == nil {
+		return
+	}
+	if _, ok := locs[st]; !ok {
+		return
+	}
+	delete(locs, st)
+	if station, ok := c.stations[st]; ok {
+		station.Bytes -= c.files[f].Size
+	}
+}
+
+// Locate returns the stations holding the file, sorted by ID.
+func (c *Catalog) Locate(f trace.FileID) []StationID {
+	locs := c.locations[f]
+	out := make([]StationID, 0, len(locs))
+	for st := range locs {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// ReplicaCount returns how many stations hold the file.
+func (c *Catalog) ReplicaCount(f trace.FileID) int { return len(c.locations[f]) }
+
+// RecordProject appends a processing-history record.
+func (c *Catalog) RecordProject(p Project) error {
+	if p.Name == "" {
+		return fmt.Errorf("sam: project needs a name")
+	}
+	if _, ok := c.datasets[p.Dataset]; p.Dataset != "" && !ok {
+		return fmt.Errorf("sam: project %q references unknown dataset %q", p.Name, p.Dataset)
+	}
+	if p.End.Before(p.Start) {
+		return fmt.Errorf("sam: project %q ends before it starts", p.Name)
+	}
+	c.projects = append(c.projects, p)
+	return nil
+}
+
+// Projects returns history records matching the filter (nil = all), in
+// insertion order.
+func (c *Catalog) Projects(match func(*Project) bool) []Project {
+	var out []Project
+	for i := range c.projects {
+		if match == nil || match(&c.projects[i]) {
+			out = append(out, c.projects[i])
+		}
+	}
+	return out
+}
+
+// FromTrace builds a catalog from a workload trace: every file registered,
+// one station per site, every file initially located at the hub station
+// (the first site of hubDomain, or site 0), one enumerated dataset and one
+// history record per job.
+func FromTrace(t *trace.Trace, hubDomain string) (*Catalog, error) {
+	c := NewCatalog()
+	for i := range t.Files {
+		f := &t.Files[i]
+		if _, err := c.RegisterFile(f.Name, f.Size, f.Tier); err != nil {
+			return nil, err
+		}
+	}
+	stationOf := make(map[trace.SiteID]StationID, len(t.Sites))
+	hub := StationID(-1)
+	for i := range t.Sites {
+		st, err := c.RegisterStation("station-"+t.Sites[i].Name, t.Sites[i].ID)
+		if err != nil {
+			return nil, err
+		}
+		stationOf[t.Sites[i].ID] = st
+		if hub < 0 && ((hubDomain == "" && i == 0) || t.Sites[i].Domain == hubDomain) {
+			hub = st
+		}
+	}
+	if hub < 0 {
+		hub = stationOf[0]
+	}
+	for i := range t.Files {
+		if err := c.AddReplica(t.Files[i].ID, hub); err != nil {
+			return nil, err
+		}
+	}
+	for i := range t.Jobs {
+		j := &t.Jobs[i]
+		// Jobs that record both sides feed the provenance DAG: every
+		// output derives from the job's inputs.
+		if len(j.Outputs) > 0 && len(j.Files) > 0 {
+			for _, out := range j.Outputs {
+				if err := c.RecordDerivation(out, j.Files...); err != nil {
+					return nil, fmt.Errorf("sam: job %d provenance: %w", j.ID, err)
+				}
+			}
+		}
+		name := fmt.Sprintf("ds-job-%d", j.ID)
+		if len(j.Files) > 0 {
+			if err := c.DefineDataset(name, t.Users[j.User].Name, j.Start, j.Files, nil); err != nil {
+				return nil, err
+			}
+		} else {
+			name = ""
+		}
+		if err := c.RecordProject(Project{
+			Name: fmt.Sprintf("project-%d", j.ID),
+			App:  j.App, Version: j.Version,
+			User:    t.Users[j.User].Name,
+			Dataset: name,
+			Station: stationOf[j.Site],
+			Start:   j.Start, End: j.End,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}

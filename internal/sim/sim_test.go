@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2003, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	k := New(t0)
+	var order []int
+	k.At(t0.Add(3*time.Second), func() { order = append(order, 3) })
+	k.At(t0.Add(1*time.Second), func() { order = append(order, 1) })
+	k.At(t0.Add(2*time.Second), func() { order = append(order, 2) })
+	if n := k.Run(); n != 3 {
+		t.Fatalf("Run processed %d events, want 3", n)
+	}
+	for i, want := range []int{1, 2, 3} {
+		if order[i] != want {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if !k.Now().Equal(t0.Add(3 * time.Second)) {
+		t.Errorf("Now = %v", k.Now())
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	k := New(t0)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		k.At(t0.Add(time.Second), func() { order = append(order, i) })
+	}
+	k.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("tie-break order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	k := New(t0)
+	hits := 0
+	var chain func()
+	chain = func() {
+		hits++
+		if hits < 4 {
+			k.After(time.Second, chain)
+		}
+	}
+	k.After(time.Second, chain)
+	k.Run()
+	if hits != 4 {
+		t.Errorf("chain ran %d times, want 4", hits)
+	}
+	if got := k.Now(); !got.Equal(t0.Add(4 * time.Second)) {
+		t.Errorf("Now = %v, want t0+4s", got)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New(t0)
+	ran := 0
+	for i := 1; i <= 5; i++ {
+		k.At(t0.Add(time.Duration(i)*time.Hour), func() { ran++ })
+	}
+	n := k.RunUntil(t0.Add(3 * time.Hour))
+	if n != 3 || ran != 3 {
+		t.Fatalf("RunUntil processed %d events, want 3", n)
+	}
+	if !k.Now().Equal(t0.Add(3 * time.Hour)) {
+		t.Errorf("Now = %v, want deadline", k.Now())
+	}
+	if k.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", k.Pending())
+	}
+	// Clock advances to deadline even with no events.
+	k2 := New(t0)
+	k2.RunUntil(t0.Add(time.Minute))
+	if !k2.Now().Equal(t0.Add(time.Minute)) {
+		t.Errorf("empty RunUntil Now = %v", k2.Now())
+	}
+}
+
+func TestHalt(t *testing.T) {
+	k := New(t0)
+	ran := 0
+	k.After(time.Second, func() { ran++; k.Halt() })
+	k.After(2*time.Second, func() { ran++ })
+	if n := k.Run(); n != 1 || ran != 1 {
+		t.Fatalf("Run after Halt processed %d events", n)
+	}
+	if k.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", k.Pending())
+	}
+	// Resume.
+	if n := k.Run(); n != 1 || ran != 2 {
+		t.Errorf("resumed Run processed %d events", n)
+	}
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	cases := []func(){
+		func() { New(t0).At(t0.Add(-time.Second), func() {}) },
+		func() { New(t0).After(-time.Second, func() {}) },
+		func() { New(t0).At(t0, nil) },
+		func() {
+			k := New(t0)
+			k.After(0, func() { k.Run() }) // reentrant
+			k.Run()
+		},
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

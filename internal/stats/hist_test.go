@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearHistogram(t *testing.T) {
+	h := NewLinearHistogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 5)
+	if len(h.Bins) != 5 {
+		t.Fatalf("got %d bins", len(h.Bins))
+	}
+	if h.Total() != 11 || h.Underflow != 0 || h.Overflow != 0 {
+		t.Errorf("total = %d under=%d over=%d", h.Total(), h.Underflow, h.Overflow)
+	}
+	// Max value lands in the last (closed) bin.
+	if h.Bins[4].Count != 3 { // 8, 9, 10
+		t.Errorf("last bin = %+v", h.Bins[4])
+	}
+}
+
+func TestLinearHistogramDegenerate(t *testing.T) {
+	h := NewLinearHistogram([]float64{7, 7, 7}, 3)
+	if h.Total() != 3 {
+		t.Errorf("degenerate total = %d, want 3", h.Total())
+	}
+}
+
+func TestLogHistogram(t *testing.T) {
+	xs := []float64{1, 10, 100, 1000, 0, -5}
+	h := NewLogHistogram(xs, 3)
+	if h.Underflow != 2 {
+		t.Errorf("underflow = %d, want 2 (non-positive samples)", h.Underflow)
+	}
+	if h.Total() != 4 {
+		t.Errorf("total = %d, want 4", h.Total())
+	}
+	// Log-spaced edges should give one sample per bin except the last
+	// closed bin: [1,10) [10,100) [100,1000].
+	want := []int{1, 1, 2}
+	for i, w := range want {
+		if h.Bins[i].Count != w {
+			t.Errorf("bin %d = %+v, want count %d", i, h.Bins[i], w)
+		}
+	}
+}
+
+func TestHistogramMassConservationProperty(t *testing.T) {
+	f := func(seed int64, n uint8, bins uint8) bool {
+		if n == 0 || bins == 0 {
+			return true
+		}
+		r := rand.New(rand.NewSource(seed))
+		xs := make([]float64, int(n))
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 50
+		}
+		h := NewLinearHistogram(xs, int(bins))
+		return h.Total()+h.Underflow+h.Overflow == len(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramExplicitEdges(t *testing.T) {
+	h := NewHistogram([]float64{-1, 0, 5, 10, 11}, []float64{0, 5, 10})
+	if h.Underflow != 1 || h.Overflow != 1 {
+		t.Errorf("under=%d over=%d", h.Underflow, h.Overflow)
+	}
+	if h.Bins[0].Count != 1 || h.Bins[1].Count != 2 {
+		t.Errorf("bins = %+v", h.Bins)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewLinearHistogram(nil, 3) },
+		func() { NewLinearHistogram([]float64{1}, 0) },
+		func() { NewLogHistogram([]float64{-1, 0}, 3) },
+		func() { NewHistogram([]float64{1}, []float64{0}) },
+		func() { NewHistogram([]float64{1}, []float64{0, 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogramMode(t *testing.T) {
+	h := NewHistogram([]float64{1, 1, 1, 6, 6}, []float64{0, 5, 10})
+	m := h.Mode()
+	if m.Lo != 0 || m.Count != 3 {
+		t.Errorf("Mode = %+v", m)
+	}
+}
+
+func TestCountHistogram(t *testing.T) {
+	h := NewCountHistogram([]int{1, 1, 2, 3, 3, 3})
+	if h.Min != 1 || h.Max != 3 || h.N != 6 {
+		t.Errorf("h = %+v", h)
+	}
+	if h.FractionAt(3) != 0.5 {
+		t.Errorf("FractionAt(3) = %v", h.FractionAt(3))
+	}
+	if h.FractionAtLeast(2) != 4.0/6 {
+		t.Errorf("FractionAtLeast(2) = %v", h.FractionAtLeast(2))
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewCountHistogram(nil) did not panic")
+			}
+		}()
+		NewCountHistogram(nil)
+	}()
+}

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSResult is the outcome of a two-sample Kolmogorov-Smirnov test.
+type KSResult struct {
+	// D is the supremum distance between the two empirical CDFs.
+	D float64
+	// PValue is the asymptotic probability of observing a distance at
+	// least this large under the null hypothesis that both samples come
+	// from the same distribution.
+	PValue float64
+}
+
+// KSTest runs the two-sample Kolmogorov-Smirnov test. It is used to
+// validate the synthetic workload generator: samples drawn at different
+// seeds or scales should be indistinguishable (high p), while distinct
+// tiers' size distributions should separate (low p). Panics on empty
+// samples.
+func KSTest(xs, ys []float64) KSResult {
+	if len(xs) == 0 || len(ys) == 0 {
+		panic("stats: KS test needs non-empty samples")
+	}
+	a := append([]float64(nil), xs...)
+	b := append([]float64(nil), ys...)
+	sort.Float64s(a)
+	sort.Float64s(b)
+
+	var d float64
+	i, j := 0, 0
+	n, m := float64(len(a)), float64(len(b))
+	for i < len(a) && j < len(b) {
+		// Advance past the whole tie group on both sides so equal
+		// values never create a spurious CDF gap.
+		v := math.Min(a[i], b[j])
+		for i < len(a) && a[i] == v {
+			i++
+		}
+		for j < len(b) && b[j] == v {
+			j++
+		}
+		if diff := math.Abs(float64(i)/n - float64(j)/m); diff > d {
+			d = diff
+		}
+	}
+
+	ne := n * m / (n + m)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	return KSResult{D: d, PValue: ksProb(lambda)}
+}
+
+// ksProb is the asymptotic Kolmogorov survival function
+// Q(λ) = 2 Σ_{k>=1} (-1)^{k-1} exp(-2 k² λ²).
+func ksProb(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	sum := 0.0
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k*k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

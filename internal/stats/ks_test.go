@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKSSameDistribution(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	xs := make([]float64, 3000)
+	ys := make([]float64, 3000)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+		ys[i] = r.NormFloat64()
+	}
+	res := KSTest(xs, ys)
+	if res.PValue < 0.01 {
+		t.Errorf("same-distribution samples rejected: D=%v p=%v", res.D, res.PValue)
+	}
+	if res.D > 0.06 {
+		t.Errorf("D = %v, unexpectedly large for same distribution", res.D)
+	}
+}
+
+func TestKSDifferentDistributions(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	xs := make([]float64, 2000)
+	ys := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+		ys[i] = r.NormFloat64() + 0.5 // shifted mean
+	}
+	res := KSTest(xs, ys)
+	if res.PValue > 1e-6 {
+		t.Errorf("shifted samples not rejected: D=%v p=%v", res.D, res.PValue)
+	}
+}
+
+func TestKSIdenticalSamples(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	res := KSTest(xs, xs)
+	if res.D != 0 || res.PValue < 0.999 {
+		t.Errorf("identical samples: D=%v p=%v", res.D, res.PValue)
+	}
+}
+
+func TestKSDisjointSupports(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ys := []float64{10, 20, 30}
+	res := KSTest(xs, ys)
+	if res.D != 1 {
+		t.Errorf("disjoint supports D = %v, want 1", res.D)
+	}
+	if res.PValue > 0.2 {
+		t.Errorf("disjoint supports p = %v, want small", res.PValue)
+	}
+}
+
+func TestKSPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty sample accepted")
+		}
+	}()
+	KSTest(nil, []float64{1})
+}

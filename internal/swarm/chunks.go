@@ -1,0 +1,219 @@
+package swarm
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"filecule/internal/sim"
+)
+
+// ChunkScenario parameterizes the chunk-level (protocol-ish) swarm
+// simulator: the filecule is split into chunks, peers exchange chunks with
+// rarest-first selection and bounded upload/download slots — the mechanism
+// Section 5 describes ("BitTorrent users make available chunks of the file
+// to other peers while downloading the missing chunks from other BitTorrent
+// clients").
+type ChunkScenario struct {
+	Chunks     int
+	ChunkBytes int64
+	// SeedUpload / PeerUpload / PeerDownload are capacities in bytes/s.
+	SeedUpload   float64
+	PeerUpload   float64
+	PeerDownload float64
+	// UploadSlots bounds concurrent uploads per peer (BitTorrent's
+	// unchoke slots, default 4); DownloadSlots bounds concurrent
+	// downloads per leecher (default 4). Each transfer reserves one slot
+	// at both ends and runs at min(upload, download) slot share.
+	UploadSlots   int
+	DownloadSlots int
+	// SeedAfterDone keeps finished leechers uploading.
+	SeedAfterDone bool
+	Arrivals      []time.Duration
+}
+
+// Validate checks the scenario.
+func (s *ChunkScenario) Validate() error {
+	if s.Chunks < 1 || s.ChunkBytes <= 0 {
+		return fmt.Errorf("swarm: need Chunks >= 1 and ChunkBytes > 0")
+	}
+	if s.SeedUpload <= 0 || s.PeerDownload <= 0 || s.PeerUpload < 0 {
+		return fmt.Errorf("swarm: bad capacities")
+	}
+	if len(s.Arrivals) == 0 {
+		return fmt.Errorf("swarm: need at least one leecher")
+	}
+	for _, a := range s.Arrivals {
+		if a < 0 {
+			return fmt.Errorf("swarm: negative arrival %v", a)
+		}
+	}
+	return nil
+}
+
+func (s *ChunkScenario) uploadSlots() int {
+	if s.UploadSlots < 1 {
+		return 4
+	}
+	return s.UploadSlots
+}
+
+func (s *ChunkScenario) downloadSlots() int {
+	if s.DownloadSlots < 1 {
+		return 4
+	}
+	return s.DownloadSlots
+}
+
+type chunkPeer struct {
+	idx      int // -1 for the origin seed
+	has      []bool
+	nHave    int
+	fetching []bool // chunks currently in flight to this peer
+	upBusy   int
+	downBusy int
+	arrived  time.Time
+	done     bool
+	left     bool
+	upload   float64
+	download float64
+}
+
+// SimulateChunks runs the chunk-level swarm and returns per-leecher
+// completion times (ordered by arrival).
+func SimulateChunks(s ChunkScenario) Result {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	epoch := time.Unix(0, 0).UTC()
+	k := sim.New(epoch)
+
+	seed := &chunkPeer{
+		idx: -1, has: make([]bool, s.Chunks), nHave: s.Chunks,
+		upload: s.SeedUpload, download: 0,
+	}
+	for i := range seed.has {
+		seed.has[i] = true
+	}
+	peers := []*chunkPeer{seed}
+	// rarity[c] counts copies of chunk c among present peers.
+	rarity := make([]int, s.Chunks)
+	for c := range rarity {
+		rarity[c] = 1
+	}
+
+	completions := make([]time.Duration, len(s.Arrivals))
+	arrivals := append([]time.Duration(nil), s.Arrivals...)
+	// Sort ascending for stable indexing of results.
+	for i := 1; i < len(arrivals); i++ {
+		for j := i; j > 0 && arrivals[j] < arrivals[j-1]; j-- {
+			arrivals[j], arrivals[j-1] = arrivals[j-1], arrivals[j]
+		}
+	}
+
+	var schedule func()
+	schedule = func() {
+		// Greedy matching: leechers in arrival order, rarest chunk
+		// first, uploader with the most free slots.
+		for _, p := range peers {
+			if p.idx < 0 || p.done || p.left {
+				continue
+			}
+			for p.downBusy < s.downloadSlots() {
+				c, up := pickTransfer(s, peers, rarity, p)
+				if c < 0 {
+					break
+				}
+				startTransfer(s, k, p, up, c, rarity, &completions, &schedule)
+			}
+		}
+	}
+
+	for i, at := range arrivals {
+		i := i
+		k.At(epoch.Add(at), func() {
+			p := &chunkPeer{
+				idx: i, has: make([]bool, s.Chunks),
+				fetching: make([]bool, s.Chunks),
+				arrived:  k.Now(),
+				upload:   s.PeerUpload, download: s.PeerDownload,
+			}
+			peers = append(peers, p)
+			schedule()
+		})
+	}
+	k.Run()
+	return newResult(completions)
+}
+
+// pickTransfer returns the rarest chunk p still needs that some peer with a
+// free upload slot can provide, plus that uploader; (-1, nil) if none.
+func pickTransfer(s ChunkScenario, peers []*chunkPeer, rarity []int, p *chunkPeer) (int, *chunkPeer) {
+	bestChunk := -1
+	for c := 0; c < s.Chunks; c++ {
+		if p.has[c] || p.fetching[c] || rarity[c] == 0 {
+			continue
+		}
+		if bestChunk >= 0 && rarity[c] >= rarity[bestChunk] {
+			continue
+		}
+		if findUploader(s, peers, p, c) != nil {
+			bestChunk = c
+		}
+	}
+	if bestChunk < 0 {
+		return -1, nil
+	}
+	return bestChunk, findUploader(s, peers, p, bestChunk)
+}
+
+// findUploader picks the holder of chunk c with the most free upload
+// capacity (ties to the earliest peer, seed first).
+func findUploader(s ChunkScenario, peers []*chunkPeer, p *chunkPeer, c int) *chunkPeer {
+	var best *chunkPeer
+	bestFree := -1.0
+	for _, u := range peers {
+		if u == p || u.left || !u.has[c] || u.upload <= 0 {
+			continue
+		}
+		if u.upBusy >= s.uploadSlots() {
+			continue
+		}
+		free := u.upload / float64(s.uploadSlots()) * float64(s.uploadSlots()-u.upBusy)
+		if free > bestFree {
+			bestFree = free
+			best = u
+		}
+	}
+	return best
+}
+
+func startTransfer(s ChunkScenario, k *sim.Kernel, p, up *chunkPeer, c int,
+	rarity []int, completions *[]time.Duration, schedule *func()) {
+	p.fetching[c] = true
+	p.downBusy++
+	up.upBusy++
+	rate := math.Min(up.upload/float64(s.uploadSlots()), p.download/float64(s.downloadSlots()))
+	dur := time.Duration(math.Ceil(float64(s.ChunkBytes) / rate * float64(time.Second)))
+	k.After(dur, func() {
+		p.fetching[c] = false
+		p.downBusy--
+		up.upBusy--
+		if !p.has[c] {
+			p.has[c] = true
+			p.nHave++
+			rarity[c]++
+		}
+		if p.nHave == s.Chunks && !p.done {
+			p.done = true
+			(*completions)[p.idx] = k.Now().Sub(p.arrived)
+			if !s.SeedAfterDone {
+				p.left = true
+				for ch := 0; ch < s.Chunks; ch++ {
+					rarity[ch]--
+				}
+			}
+		}
+		(*schedule)()
+	})
+}

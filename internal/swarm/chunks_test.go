@@ -1,0 +1,144 @@
+package swarm
+
+import (
+	"testing"
+	"time"
+)
+
+func baseChunkScenario() ChunkScenario {
+	return ChunkScenario{
+		Chunks:        10,
+		ChunkBytes:    100,
+		SeedUpload:    100,
+		PeerUpload:    100,
+		PeerDownload:  400,
+		UploadSlots:   4,
+		DownloadSlots: 4,
+		Arrivals:      []time.Duration{0},
+	}
+}
+
+func TestChunksSingleLeecherTime(t *testing.T) {
+	s := baseChunkScenario()
+	s.UploadSlots = 1
+	s.DownloadSlots = 1
+	r := SimulateChunks(s)
+	// Sequential chunks at min(100, 400) B/s: 10 * 100/100 = 10s.
+	if r.Mean.Round(time.Millisecond) != 10*time.Second {
+		t.Errorf("single leecher = %v, want 10s", r.Mean)
+	}
+}
+
+func TestChunksSlotsPipelineEqualAggregate(t *testing.T) {
+	// With 4 slots the seed still has 100 B/s total; 4 parallel chunk
+	// streams at 25 B/s each: same 10s wall clock for the whole file.
+	s := baseChunkScenario()
+	r := SimulateChunks(s)
+	if r.Mean < 9*time.Second || r.Mean > 12*time.Second {
+		t.Errorf("slotted single leecher = %v, want ~10s", r.Mean)
+	}
+}
+
+func TestChunksFlashCrowdScalability(t *testing.T) {
+	// The BitTorrent claim: as peers join a flash crowd, download time
+	// stays roughly constant (peers add the capacity they consume).
+	mean := func(n int) time.Duration {
+		s := baseChunkScenario()
+		s.Arrivals = make([]time.Duration, n)
+		r := SimulateChunks(s)
+		return r.Mean
+	}
+	small, large := mean(2), mean(16)
+	if large > 3*small {
+		t.Errorf("swarm does not scale: 2 peers %v vs 16 peers %v", small, large)
+	}
+}
+
+func TestChunksPeersServeEachOther(t *testing.T) {
+	// Seed alone: 100 B/s for 8 peers -> slow. With peer uploads the
+	// aggregate grows, so swarm beats the no-peer-upload configuration.
+	s := baseChunkScenario()
+	s.Arrivals = make([]time.Duration, 8)
+	with := SimulateChunks(s)
+	s.PeerUpload = 0
+	without := SimulateChunks(s)
+	if with.Mean >= without.Mean {
+		t.Errorf("peer uploads did not help: %v vs %v", with.Mean, without.Mean)
+	}
+}
+
+func TestChunksSeedAfterDone(t *testing.T) {
+	s := baseChunkScenario()
+	s.Arrivals = []time.Duration{0, 0, 0, 5 * time.Second}
+	selfish := SimulateChunks(s)
+	s.SeedAfterDone = true
+	altruistic := SimulateChunks(s)
+	// The late arrival benefits from finished peers that stay.
+	late := func(r Result) time.Duration { return r.Completions[3] }
+	if late(altruistic) > late(selfish) {
+		t.Errorf("lingering seeds slowed the late peer: %v vs %v",
+			late(altruistic), late(selfish))
+	}
+}
+
+func TestChunksEveryPeerCompletes(t *testing.T) {
+	s := baseChunkScenario()
+	s.Arrivals = []time.Duration{0, time.Second, 3 * time.Second, 10 * time.Second}
+	r := SimulateChunks(s)
+	for i, c := range r.Completions {
+		if c <= 0 {
+			t.Errorf("peer %d never completed (%v)", i, c)
+		}
+	}
+}
+
+func TestChunksAgreesWithFluidModel(t *testing.T) {
+	// For a single peer, the chunk simulator and the fluid model must
+	// agree (both reduce to FileBytes / min(seed up, peer down)).
+	cs := baseChunkScenario()
+	chunk := SimulateChunks(cs)
+	fl := Scenario{
+		FileBytes:    int64(cs.Chunks) * cs.ChunkBytes,
+		SeedUpload:   cs.SeedUpload,
+		PeerUpload:   cs.PeerUpload,
+		PeerDownload: cs.PeerDownload,
+		Eta:          1,
+		Arrivals:     []time.Duration{0},
+	}
+	fluid := SimulateSwarm(fl)
+	ratio := float64(chunk.Mean) / float64(fluid.Mean)
+	if ratio < 0.8 || ratio > 1.3 {
+		t.Errorf("chunk (%v) vs fluid (%v): ratio %v", chunk.Mean, fluid.Mean, ratio)
+	}
+}
+
+func TestChunkScenarioValidation(t *testing.T) {
+	bad := []func(*ChunkScenario){
+		func(s *ChunkScenario) { s.Chunks = 0 },
+		func(s *ChunkScenario) { s.ChunkBytes = 0 },
+		func(s *ChunkScenario) { s.SeedUpload = 0 },
+		func(s *ChunkScenario) { s.PeerDownload = 0 },
+		func(s *ChunkScenario) { s.PeerUpload = -1 },
+		func(s *ChunkScenario) { s.Arrivals = nil },
+		func(s *ChunkScenario) { s.Arrivals = []time.Duration{-1} },
+	}
+	for i, mutate := range bad {
+		s := baseChunkScenario()
+		mutate(&s)
+		if s.Validate() == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestChunksDeterministic(t *testing.T) {
+	s := baseChunkScenario()
+	s.Arrivals = []time.Duration{0, 0, time.Second, 2 * time.Second}
+	a := SimulateChunks(s)
+	b := SimulateChunks(s)
+	for i := range a.Completions {
+		if a.Completions[i] != b.Completions[i] {
+			t.Fatalf("run differs at peer %d: %v vs %v", i, a.Completions[i], b.Completions[i])
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package swarm answers the paper's Section 5 question: given the observed
+// access patterns, would a BitTorrent-like swarming transfer pay off? It
+// provides the access-interval analyses behind Figures 11 and 12 (the spans
+// between first and last request of a filecule per site and per user) and a
+// fluid-model swarm simulator that quantifies the download-time gain of
+// peer-assisted transfer over client-server at the observed concurrency.
+package swarm
+
+import (
+	"sort"
+	"time"
+
+	"filecule/internal/core"
+	"filecule/internal/trace"
+)
+
+// Interval is the usage span of one entity (site or user): the window
+// between its first and last request of a filecule, as plotted in Figures
+// 11 and 12. The paper's optimistic assumption — that the entity holds the
+// data for the whole window — is retained.
+type Interval struct {
+	Entity string
+	First  time.Time
+	Last   time.Time
+	Jobs   int // requests by this entity in the window
+}
+
+// Duration returns the interval length.
+func (iv Interval) Duration() time.Duration { return iv.Last.Sub(iv.First) }
+
+// SiteIntervals computes the per-site access intervals of filecule fc
+// (Figure 11). Sites are labelled by name; entries are ordered by first
+// access.
+func SiteIntervals(t *trace.Trace, p *core.Partition, fc int) []Interval {
+	return intervals(t, p, fc, func(j *trace.Job) string {
+		return t.Sites[j.Site].Name
+	})
+}
+
+// UserIntervals computes the per-user access intervals of filecule fc
+// (Figure 12).
+func UserIntervals(t *trace.Trace, p *core.Partition, fc int) []Interval {
+	return intervals(t, p, fc, func(j *trace.Job) string {
+		return t.Users[j.User].Name
+	})
+}
+
+func intervals(t *trace.Trace, p *core.Partition, fc int, key func(*trace.Job) string) []Interval {
+	if fc < 0 || fc >= p.NumFilecules() {
+		panic("swarm: filecule index out of range")
+	}
+	member := make(map[trace.FileID]struct{}, p.Filecules[fc].NumFiles())
+	for _, f := range p.Filecules[fc].Files {
+		member[f] = struct{}{}
+	}
+	byEntity := make(map[string]*Interval)
+	var order []string
+	for i := range t.Jobs {
+		j := &t.Jobs[i]
+		touches := false
+		for _, f := range j.Files {
+			if _, ok := member[f]; ok {
+				touches = true
+				break
+			}
+		}
+		if !touches {
+			continue
+		}
+		k := key(j)
+		iv := byEntity[k]
+		if iv == nil {
+			byEntity[k] = &Interval{Entity: k, First: j.Start, Last: j.End, Jobs: 1}
+			order = append(order, k)
+			continue
+		}
+		iv.Jobs++
+		if j.Start.Before(iv.First) {
+			iv.First = j.Start
+		}
+		if j.End.After(iv.Last) {
+			iv.Last = j.End
+		}
+	}
+	out := make([]Interval, 0, len(order))
+	for _, k := range order {
+		out = append(out, *byEntity[k])
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].First.Before(out[b].First) })
+	return out
+}
+
+// HottestFilecule returns the filecule with the most distinct users —
+// the paper's selection criterion for the Section 5 case study ("we focus
+// on a small set of filecules with larger numbers of users"). Ties break
+// toward more requests. It panics on an empty partition.
+func HottestFilecule(t *trace.Trace, p *core.Partition) int {
+	if p.NumFilecules() == 0 {
+		panic("swarm: empty partition")
+	}
+	users := core.UsersPerFilecule(t, p)
+	best := 0
+	for i := 1; i < len(users); i++ {
+		if users[i] > users[best] ||
+			(users[i] == users[best] && p.Filecules[i].Requests > p.Filecules[best].Requests) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Concurrency describes how many entities hold (optimistically) the data at
+// once.
+type Concurrency struct {
+	Max  int
+	Mean float64 // time-averaged over the union of intervals
+}
+
+// MeasureConcurrency sweeps the intervals and reports the maximum and
+// time-averaged number of simultaneously active entities.
+func MeasureConcurrency(ivs []Interval) Concurrency {
+	if len(ivs) == 0 {
+		return Concurrency{}
+	}
+	type edge struct {
+		at    time.Time
+		delta int
+	}
+	var edges []edge
+	for _, iv := range ivs {
+		edges = append(edges, edge{iv.First, +1}, edge{iv.Last, -1})
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if !edges[a].at.Equal(edges[b].at) {
+			return edges[a].at.Before(edges[b].at)
+		}
+		return edges[a].delta < edges[b].delta // close before open on ties
+	})
+	var c Concurrency
+	active := 0
+	var weighted float64
+	var total time.Duration
+	last := edges[0].at
+	for _, e := range edges {
+		span := e.at.Sub(last)
+		if active > 0 {
+			weighted += float64(active) * span.Seconds()
+			total += span
+		}
+		last = e.at
+		active += e.delta
+		if active > c.Max {
+			c.Max = active
+		}
+	}
+	if total > 0 {
+		c.Mean = weighted / total.Seconds()
+	}
+	return c
+}

@@ -1,0 +1,491 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"filecule/internal/dist"
+	"filecule/internal/trace"
+)
+
+// Generate produces a synthetic trace from the configuration. The same
+// Config always yields the identical trace.
+func Generate(cfg Config) (*trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &generator{
+		cfg: &cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		b:   trace.NewBuilder(),
+	}
+	g.buildSites()
+	g.buildUsers()
+	g.buildDatasets()
+	g.buildInterests()
+	g.buildDayChooser()
+	g.generateTierJobs()
+	g.generateOtherJobs()
+	g.plantHotFilecule()
+	t := g.b.Build()
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: generated invalid trace: %w", err)
+	}
+	return t, nil
+}
+
+// dataset is a group of files created together (a SAM dataset); whole- or
+// subset-requests of datasets are what induce filecule structure.
+type dataset struct {
+	files  []trace.FileID
+	region int
+}
+
+type userInfo struct {
+	id     trace.UserID
+	site   trace.SiteID
+	domain int
+	active []bool // per tier index
+	// interests[tier] is the user's ordered interest list (favorite
+	// first) of dataset indices within that tier.
+	interests [][]int
+}
+
+type generator struct {
+	cfg *Config
+	rng *rand.Rand
+	b   *trace.Builder
+
+	// Per domain.
+	domainSites [][]trace.SiteID
+	siteNodes   map[trace.SiteID][]string
+	domainUsers [][]int // indices into users
+
+	users []userInfo
+	// usersByDomainTier[d][t] lists user indices of domain d active in
+	// tier t; usersByTier[t] is the global fallback.
+	usersByDomainTier [][][]int
+	usersByTier       [][]int
+
+	// Per tier index.
+	datasets [][]dataset
+	// regionChooser[t][d] picks a non-empty region for domain d in tier
+	// t with home regions strongly preferred.
+	regionChooser [][]*regionPick
+	// regionDatasets[t][r] lists dataset indices of tier t in region r;
+	// regionZipf[t][r] picks among them with rank skew.
+	regionDatasets [][][]int
+
+	domainChooser *dist.WeightedChoice
+	dayChooser    *dist.WeightedChoice
+
+	homeRegions [][]int // per domain
+
+	fileCount int
+}
+
+type regionPick struct {
+	regions []int
+	choose  *dist.WeightedChoice
+}
+
+func (g *generator) buildSites() {
+	c := g.cfg
+	g.domainSites = make([][]trace.SiteID, len(c.Domains))
+	g.siteNodes = make(map[trace.SiteID][]string)
+	weights := make([]float64, len(c.Domains))
+	for d := range c.Domains {
+		dom := &c.Domains[d]
+		weights[d] = dom.Weight
+		base := strings.TrimPrefix(dom.Domain, ".")
+		nsites := dom.Sites
+		if nsites < 1 {
+			nsites = 1
+		}
+		for s := 0; s < nsites; s++ {
+			name := fmt.Sprintf("%s-%d", base, s)
+			id := g.b.Site(name, dom.Domain, 0)
+			g.domainSites[d] = append(g.domainSites[d], id)
+		}
+		nodes := dom.Nodes
+		if nodes < nsites {
+			nodes = nsites
+		}
+		for n := 0; n < nodes; n++ {
+			site := g.domainSites[d][n%nsites]
+			g.siteNodes[site] = append(g.siteNodes[site], fmt.Sprintf("node%d.%s-%d", n, base, n%nsites))
+		}
+	}
+	g.domainChooser = dist.NewWeightedChoice(weights)
+}
+
+func (g *generator) buildUsers() {
+	c := g.cfg
+	us := c.userScale()
+	nTiers := len(c.Tiers)
+	g.domainUsers = make([][]int, len(c.Domains))
+	g.usersByDomainTier = make([][][]int, len(c.Domains))
+	g.usersByTier = make([][]int, nTiers)
+	for d := range c.Domains {
+		g.usersByDomainTier[d] = make([][]int, nTiers)
+		n := scaleCount(c.Domains[d].Users, us, 1)
+		for k := 0; k < n; k++ {
+			idx := len(g.users)
+			site := g.domainSites[d][k%len(g.domainSites[d])]
+			id := g.b.User(fmt.Sprintf("u%d", idx), site)
+			u := userInfo{id: id, site: site, domain: d, active: make([]bool, nTiers)}
+			anyActive := false
+			for t := range c.Tiers {
+				if g.rng.Float64() < c.Tiers[t].ActiveUserFrac {
+					u.active[t] = true
+					anyActive = true
+				}
+			}
+			if !anyActive {
+				// Every user works in at least one tier; pick the
+				// most populous.
+				best, bestFrac := 0, 0.0
+				for t := range c.Tiers {
+					if c.Tiers[t].ActiveUserFrac > bestFrac {
+						best, bestFrac = t, c.Tiers[t].ActiveUserFrac
+					}
+				}
+				u.active[best] = true
+			}
+			g.users = append(g.users, u)
+			g.domainUsers[d] = append(g.domainUsers[d], idx)
+			for t := range c.Tiers {
+				if u.active[t] {
+					g.usersByDomainTier[d][t] = append(g.usersByDomainTier[d][t], idx)
+					g.usersByTier[t] = append(g.usersByTier[t], idx)
+				}
+			}
+		}
+	}
+	// Guarantee every tier has at least one active user somewhere.
+	for t := range c.Tiers {
+		if len(g.usersByTier[t]) == 0 {
+			g.users[0].active[t] = true
+			g.usersByTier[t] = append(g.usersByTier[t], 0)
+			d := g.users[0].domain
+			g.usersByDomainTier[d][t] = append(g.usersByDomainTier[d][t], 0)
+		}
+	}
+}
+
+func (g *generator) buildDatasets() {
+	c := g.cfg
+	g.datasets = make([][]dataset, len(c.Tiers))
+	g.regionDatasets = make([][][]int, len(c.Tiers))
+	for t := range c.Tiers {
+		tp := &c.Tiers[t]
+		filesTarget := int(math.Round(float64(tp.Files) * c.Scale))
+		nDatasets := int(math.Round(float64(filesTarget) / c.MeanFilesPerDataset))
+		if nDatasets < 1 {
+			nDatasets = 1
+		}
+		nFiles := dist.LognormalFromMean(c.MeanFilesPerDataset, c.FilesPerDatasetSigma)
+		size := dist.LognormalFromMean(tp.MeanFileSizeMB, tp.FileSizeSigma)
+		g.regionDatasets[t] = make([][]int, c.InterestRegions)
+		for ds := 0; ds < nDatasets; ds++ {
+			n := dist.ClampInt(nFiles.Sample(g.rng), 1, 5000)
+			d := dataset{region: g.rng.Intn(c.InterestRegions)}
+			for k := 0; k < n; k++ {
+				mb := size.Sample(g.rng)
+				bytes := dist.ClampInt64(mb*(1<<20), 1<<20, int64(tp.MaxFileSizeMB*(1<<20)))
+				name := fmt.Sprintf("t%d-d%d-f%d", t, ds, k)
+				d.files = append(d.files, g.b.File(name, bytes, tp.Tier))
+				g.fileCount++
+			}
+			g.datasets[t] = append(g.datasets[t], d)
+			g.regionDatasets[t][d.region] = append(g.regionDatasets[t][d.region], ds)
+		}
+	}
+}
+
+func (g *generator) buildInterests() {
+	c := g.cfg
+	// Home regions per domain.
+	g.homeRegions = make([][]int, len(c.Domains))
+	for d := range c.Domains {
+		perm := g.rng.Perm(c.InterestRegions)
+		g.homeRegions[d] = perm[:c.HomeRegions]
+	}
+	// Region choosers per (tier, domain), restricted to non-empty
+	// regions.
+	g.regionChooser = make([][]*regionPick, len(c.Tiers))
+	for t := range c.Tiers {
+		g.regionChooser[t] = make([]*regionPick, len(c.Domains))
+		var nonEmpty []int
+		for r := 0; r < c.InterestRegions; r++ {
+			if len(g.regionDatasets[t][r]) > 0 {
+				nonEmpty = append(nonEmpty, r)
+			}
+		}
+		for d := range c.Domains {
+			home := make(map[int]bool, len(g.homeRegions[d]))
+			for _, r := range g.homeRegions[d] {
+				home[r] = true
+			}
+			weights := make([]float64, len(nonEmpty))
+			for i, r := range nonEmpty {
+				if home[r] {
+					weights[i] = 1
+				} else {
+					weights[i] = c.ForeignInterestWeight
+				}
+			}
+			g.regionChooser[t][d] = &regionPick{
+				regions: nonEmpty,
+				choose:  dist.NewWeightedChoice(weights),
+			}
+		}
+	}
+	// Per-user interest lists.
+	interestSize := dist.LognormalFromMean(c.UserInterestDatasets, 0.7)
+	for ui := range g.users {
+		u := &g.users[ui]
+		u.interests = make([][]int, len(c.Tiers))
+		for t := range c.Tiers {
+			if !u.active[t] {
+				continue
+			}
+			m := dist.ClampInt(interestSize.Sample(g.rng), 1, len(g.datasets[t]))
+			u.interests[t] = g.sampleInterest(t, u.domain, m)
+		}
+	}
+}
+
+// sampleInterest draws up to m distinct datasets for a (tier, domain) pair,
+// preferring home regions and popular (low-index) datasets within a region.
+func (g *generator) sampleInterest(t, domain, m int) []int {
+	rp := g.regionChooser[t][domain]
+	seen := make(map[int]struct{}, m)
+	out := make([]int, 0, m)
+	for tries := 0; len(out) < m && tries < 6*m+20; tries++ {
+		r := rp.regions[rp.choose.Choose(g.rng)]
+		pool := g.regionDatasets[t][r]
+		z := dist.NewZipf(g.cfg.InterestZipfS, uint64(len(pool)))
+		ds := pool[int(z.Rank(g.rng))]
+		if _, dup := seen[ds]; dup {
+			continue
+		}
+		seen[ds] = struct{}{}
+		out = append(out, ds)
+	}
+	return out
+}
+
+func (g *generator) buildDayChooser() {
+	c := g.cfg
+	weights := make([]float64, c.Days)
+	startDay := int(c.Start.Weekday())
+	for i := range weights {
+		w := 0.6 + 0.8*float64(i)/float64(c.Days) // long-term ramp-up
+		w *= 1 + 0.35*math.Sin(2*math.Pi*float64(i)/30.0)
+		if wd := (startDay + i) % 7; wd == 0 || wd == 6 {
+			w *= 0.7 // weekend dip
+		}
+		weights[i] = w
+	}
+	g.dayChooser = dist.NewWeightedChoice(weights)
+}
+
+// jobStart samples an arrival time from the daily profile.
+func (g *generator) jobStart() time.Time {
+	day := g.dayChooser.Choose(g.rng)
+	return g.cfg.Start.Add(time.Duration(day)*24*time.Hour +
+		time.Duration(g.rng.Int63n(int64(24*time.Hour))))
+}
+
+// pickUser selects a user for a job in the given tier, following the
+// per-domain activity weights.
+func (g *generator) pickUser(tier int) *userInfo {
+	d := g.domainChooser.Choose(g.rng)
+	pool := g.usersByDomainTier[d][tier]
+	if len(pool) == 0 {
+		pool = g.usersByTier[tier]
+	}
+	return &g.users[pool[g.rng.Intn(len(pool))]]
+}
+
+var tierApps = map[trace.Tier]string{
+	trace.TierReconstructed: "d0_analyze_reco",
+	trace.TierRootTuple:     "root_analyze",
+	trace.TierThumbnail:     "d0_analyze_tmb",
+}
+
+func (g *generator) generateTierJobs() {
+	c := g.cfg
+	for t := range c.Tiers {
+		tp := &c.Tiers[t]
+		nJobs := scaleCount(tp.Jobs, c.Scale, 1)
+		duration := dist.LognormalFromMean(tp.MeanJobHours, 0.8)
+		nDatasets := dist.LognormalFromMean(tp.MeanDatasetsPerJob, 0.9)
+		app := tierApps[tp.Tier]
+		if app == "" {
+			app = "d0_analyze"
+		}
+		for k := 0; k < nJobs; k++ {
+			u := g.pickUser(t)
+			interest := u.interests[t]
+			files := g.jobFiles(t, u.domain, interest, dist.ClampInt(nDatasets.Sample(g.rng), 1, 80))
+			start := g.jobStart()
+			hours := duration.Sample(g.rng)
+			end := start.Add(time.Duration(dist.ClampInt64(hours*float64(time.Hour), int64(3*time.Minute), int64(200*time.Hour))))
+			g.b.Job(trace.Job{
+				User: u.id, Site: u.site,
+				Node:   g.pickNode(u.site),
+				Tier:   tp.Tier,
+				Family: trace.FamilyAnalysis,
+				App:    app, Version: fmt.Sprintf("v%d", 1+g.rng.Intn(5)),
+				Start: start, End: end,
+				Files: files,
+			})
+		}
+	}
+}
+
+// jobFiles assembles the input set: nDS datasets drawn from the user's
+// interest list with rank skew (plus occasional exploration picks from the
+// wider catalog), each read whole or as a contiguous subset.
+func (g *generator) jobFiles(tier, domain int, interest []int, nDS int) []trace.FileID {
+	if len(interest) == 0 {
+		return nil
+	}
+	z := dist.NewZipf(g.cfg.JobZipfS, uint64(len(interest)))
+	chosen := make(map[int]struct{}, nDS)
+	var files []trace.FileID
+	for tries := 0; len(chosen) < nDS && tries < 6*nDS+20; tries++ {
+		var ds int
+		if g.rng.Float64() < g.cfg.ExploreProb {
+			// Exploration: a dataset outside the routine interest
+			// set, uniform within a home-biased region.
+			rp := g.regionChooser[tier][domain]
+			pool := g.regionDatasets[tier][rp.regions[rp.choose.Choose(g.rng)]]
+			ds = pool[g.rng.Intn(len(pool))]
+		} else {
+			ds = interest[int(z.Rank(g.rng))]
+		}
+		if _, dup := chosen[ds]; dup {
+			continue
+		}
+		chosen[ds] = struct{}{}
+		dsFiles := g.datasets[tier][ds].files
+		if g.rng.Float64() < g.cfg.SubsetProb && len(dsFiles) > 1 {
+			lo := g.rng.Intn(len(dsFiles))
+			hi := lo + 1 + g.rng.Intn(len(dsFiles)-lo)
+			dsFiles = dsFiles[lo:hi]
+		}
+		if g.cfg.ShuffleWithinDataset && len(dsFiles) > 1 {
+			shuffled := append([]trace.FileID(nil), dsFiles...)
+			g.rng.Shuffle(len(shuffled), func(a, b int) {
+				shuffled[a], shuffled[b] = shuffled[b], shuffled[a]
+			})
+			dsFiles = shuffled
+		}
+		files = append(files, dsFiles...)
+	}
+	return files
+}
+
+func (g *generator) pickNode(site trace.SiteID) string {
+	nodes := g.siteNodes[site]
+	return nodes[g.rng.Intn(len(nodes))]
+}
+
+func (g *generator) generateOtherJobs() {
+	c := g.cfg
+	n := scaleCount(c.OtherJobs, c.Scale, 0)
+	if n == 0 {
+		return
+	}
+	duration := dist.LognormalFromMean(c.OtherJobHours, 0.8)
+	families := []trace.AppFamily{trace.FamilyReconstruction, trace.FamilyMonteCarlo, trace.FamilyAnalysis}
+	apps := []string{"d0reco", "mc_runjob", "d0_merge"}
+	for k := 0; k < n; k++ {
+		d := g.domainChooser.Choose(g.rng)
+		pool := g.domainUsers[d]
+		u := &g.users[pool[g.rng.Intn(len(pool))]]
+		start := g.jobStart()
+		hours := duration.Sample(g.rng)
+		end := start.Add(time.Duration(dist.ClampInt64(hours*float64(time.Hour), int64(3*time.Minute), int64(200*time.Hour))))
+		fi := g.rng.Intn(len(families))
+		g.b.Job(trace.Job{
+			User: u.id, Site: u.site,
+			Node:   g.pickNode(u.site),
+			Tier:   trace.TierOther,
+			Family: families[fi],
+			App:    apps[fi], Version: fmt.Sprintf("v%d", 1+g.rng.Intn(5)),
+			Start: start, End: end,
+		})
+	}
+}
+
+// plantHotFilecule creates the Section 5 case-study filecule: two ~1.1 GB
+// thumbnail files always requested together by a pool of users concentrated
+// at FermiLab (.gov) plus a handful of remote domains. Because no other job
+// ever touches these files and every hot job reads both, they form exactly
+// one 2-file filecule.
+func (g *generator) plantHotFilecule() {
+	c := g.cfg
+	if !c.PlantHotFilecule {
+		return
+	}
+	f1 := g.b.File("hot-tmb-0", int64(11)*(1<<30)/10, trace.TierThumbnail)
+	f2 := g.b.File("hot-tmb-1", int64(11)*(1<<30)/10, trace.TierThumbnail)
+	hotFiles := []trace.FileID{f1, f2}
+
+	// User pool: the paper observes 42 users from 6 sites, 38 of them at
+	// FermiLab. Scale the pool with the user population.
+	us := c.userScale()
+	wantGov := scaleCount(38, us, 2)
+	wantOther := scaleCount(4, us, 4) // at least one user in a few remote domains
+	var pool []int
+	gov := g.domainUsers[0]
+	for i := 0; i < len(gov) && i < wantGov; i++ {
+		pool = append(pool, gov[i])
+	}
+	added := 0
+	for d := 1; d < len(g.domainUsers) && added < wantOther; d++ {
+		if len(g.domainUsers[d]) == 0 {
+			continue
+		}
+		pool = append(pool, g.domainUsers[d][0])
+		added++
+	}
+	if len(pool) == 0 {
+		return
+	}
+
+	nJobs := scaleCount(c.HotJobs, c.Scale, 3*len(pool))
+	// 529 of 634 observed jobs came from FermiLab; weight accordingly.
+	weights := make([]float64, len(pool))
+	for i := range pool {
+		if g.users[pool[i]].domain == 0 {
+			weights[i] = float64(529) / float64(wantGov)
+		} else {
+			weights[i] = float64(634-529) / float64(wantOther)
+		}
+	}
+	choose := dist.NewWeightedChoice(weights)
+	duration := dist.LognormalFromMean(2.0, 0.6)
+	for k := 0; k < nJobs; k++ {
+		u := &g.users[pool[choose.Choose(g.rng)]]
+		start := g.jobStart()
+		hours := duration.Sample(g.rng)
+		end := start.Add(time.Duration(dist.ClampInt64(hours*float64(time.Hour), int64(3*time.Minute), int64(24*time.Hour))))
+		g.b.Job(trace.Job{
+			User: u.id, Site: u.site,
+			Node:   g.pickNode(u.site),
+			Tier:   trace.TierThumbnail,
+			Family: trace.FamilyAnalysis,
+			App:    "d0_analyze_tmb", Version: "v1",
+			Start: start, End: end,
+			Files: hotFiles,
+		})
+	}
+}

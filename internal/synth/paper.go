@@ -1,0 +1,88 @@
+package synth
+
+// Published calibration targets, straight from the paper's tables. These are
+// the numbers the generator is tuned to and the numbers EXPERIMENTS.md
+// compares against.
+
+// PaperTierRow is one row of Table 1.
+type PaperTierRow struct {
+	Tier          string
+	Users         int
+	Jobs          int
+	Files         int
+	InputPerJobMB float64 // N/A encoded as 0
+	TimePerJobHrs float64
+}
+
+// PaperTable1 reproduces Table 1 of the paper ("Characteristics of traces
+// analyzed per data tier").
+var PaperTable1 = []PaperTierRow{
+	{Tier: "reconstructed", Users: 320, Jobs: 17898, Files: 515677, InputPerJobMB: 36371, TimePerJobHrs: 11.01},
+	{Tier: "root-tuple", Users: 63, Jobs: 1307, Files: 60719, InputPerJobMB: 83041, TimePerJobHrs: 13.68},
+	{Tier: "thumbnail", Users: 449, Jobs: 94625, Files: 428610, InputPerJobMB: 53619, TimePerJobHrs: 4.89},
+	{Tier: "other", Users: 435, Jobs: 120962, Files: 0, InputPerJobMB: 0, TimePerJobHrs: 7.68},
+	{Tier: "all", Users: 561, Jobs: 233792, Files: 0, InputPerJobMB: 0, TimePerJobHrs: 6.87},
+}
+
+// PaperDomainRow is one row of Table 2.
+type PaperDomainRow struct {
+	Domain      string
+	Jobs        int // used as a relative activity weight; Table 2 counts a finer-grained job unit than Table 1
+	Nodes       int
+	Sites       int
+	Users       int
+	Filecules   int
+	Files       int
+	TotalDataGB float64
+}
+
+// PaperTable2 reproduces Table 2 of the paper ("Characteristics of analyzed
+// traces per location").
+var PaperTable2 = []PaperDomainRow{
+	{Domain: ".gov", Jobs: 3319711, Nodes: 12, Sites: 1, Users: 466, Filecules: 95234, Files: 945031, TotalDataGB: 4930850},
+	{Domain: ".de", Jobs: 390186, Nodes: 5, Sites: 4, Users: 23, Filecules: 33403, Files: 100257, TotalDataGB: 268815},
+	{Domain: ".uk", Jobs: 131760, Nodes: 8, Sites: 4, Users: 21, Filecules: 23876, Files: 62427, TotalDataGB: 117097},
+	{Domain: ".edu", Jobs: 54672, Nodes: 18, Sites: 12, Users: 32, Filecules: 14504, Files: 36868, TotalDataGB: 41081},
+	{Domain: ".cz", Jobs: 7400, Nodes: 1, Sites: 1, Users: 1, Filecules: 4789, Files: 7660, TotalDataGB: 9869},
+	{Domain: ".ca", Jobs: 5719, Nodes: 5, Sites: 2, Users: 4, Filecules: 649, Files: 8937, TotalDataGB: 22341},
+	{Domain: ".fr", Jobs: 5086, Nodes: 2, Sites: 1, Users: 11, Filecules: 1767, Files: 18215, TotalDataGB: 23958},
+	{Domain: ".nl", Jobs: 3854, Nodes: 3, Sites: 2, Users: 8, Filecules: 888, Files: 38812, TotalDataGB: 44012},
+	{Domain: ".mx", Jobs: 146, Nodes: 1, Sites: 1, Users: 1, Filecules: 32, Files: 1589, TotalDataGB: 349},
+	{Domain: ".br", Jobs: 12, Nodes: 2, Sites: 2, Users: 2, Filecules: 2, Files: 2, TotalDataGB: 2},
+	{Domain: ".cn", Jobs: 4, Nodes: 1, Sites: 1, Users: 2, Filecules: 2, Files: 62, TotalDataGB: 31},
+	{Domain: ".in", Jobs: 3, Nodes: 1, Sites: 1, Users: 2, Filecules: 2, Files: 2, TotalDataGB: 0.7},
+}
+
+// Headline figures quoted in the paper's introduction and Section 4.
+const (
+	// PaperMeanFilesPerJob: "Jobs are run on multiple files, on average
+	// 108 files per job."
+	PaperMeanFilesPerJob = 108
+	// PaperDistinctFiles: "more than 13 million accesses to about 1.13
+	// million distinct files".
+	PaperDistinctFiles = 1130000
+	// PaperFileAccesses: total file accesses in the instrumented jobs.
+	PaperFileAccesses = 13000000
+	// PaperJobsWithFileInfo: "we have detailed data access information
+	// about half of the jobs: these 115,895 jobs".
+	PaperJobsWithFileInfo = 115895
+	// PaperMaxUsersPerFilecule: Figure 4 caps at 44 users.
+	PaperMaxUsersPerFilecule = 44
+	// PaperSingleUserFileculeFrac: "about 10% of the filecules are
+	// accessed by one user only".
+	PaperSingleUserFileculeFrac = 0.10
+	// PaperLargestFileculeTB: "The largest filecule in our experiments is
+	// 17TB."
+	PaperLargestFileculeTB = 17.0
+	// PaperHotFileculeFiles..Jobs: the Section 5 case-study filecule:
+	// 2 files, 2.2 GB, 42 users, 6 sites, 634 jobs.
+	PaperHotFileculeFiles = 2
+	PaperHotFileculeGB    = 2.2
+	PaperHotFileculeUsers = 42
+	PaperHotFileculeSites = 6
+	PaperHotFileculeJobs  = 634
+	// PaperFig10Gain: filecule LRU beats file LRU by 4-5x in miss rate at
+	// large cache sizes, only ~9.5% at 1 TB.
+	PaperFig10LargeCacheGain = 4.5
+	PaperFig10SmallCacheGain = 1.095
+)

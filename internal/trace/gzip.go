@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"io"
+)
+
+// Gzip framing for the v1 text format: WriteGzip compresses, ReadAuto
+// transparently handles both plain and gzip-compressed inputs (detected by
+// the gzip magic bytes), so tools accept either without flags.
+
+// WriteGzip serializes t in the v1 text format, gzip-compressed.
+func WriteGzip(w io.Writer, t *Trace) error {
+	zw := gzip.NewWriter(w)
+	if err := Write(zw, t); err != nil {
+		zw.Close()
+		return err
+	}
+	return zw.Close()
+}
+
+// ReadAuto parses a trace from plain or gzip-compressed v1 input.
+func ReadAuto(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic, err := br.Peek(2)
+	if err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, err
+		}
+		defer zr.Close()
+		return Read(zr)
+	}
+	return Read(br)
+}

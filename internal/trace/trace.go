@@ -1,0 +1,382 @@
+// Package trace defines the workload model used throughout the filecule
+// library: files, jobs, users and sites of a SAM-like data-handling system,
+// together with the derived stream of individual file requests.
+//
+// The model mirrors the two trace kinds described in the paper (HPDC'06,
+// Section 2.3): "file traces" record which files each job requested, and
+// "application traces" record job metadata (user, node, data tier,
+// application family and start/stop times). Both are folded into a single
+// Trace value here.
+//
+// All identifiers are dense small integers so that large traces (the paper
+// analyzes 13M file accesses over 1.13M files) stay cache-friendly; the
+// human-readable names live in side tables on Trace.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// FileID identifies a file within a Trace. IDs are dense: valid IDs are
+// 0..len(Trace.Files)-1.
+type FileID int32
+
+// JobID identifies a job within a Trace. IDs are dense: valid IDs are
+// 0..len(Trace.Jobs)-1.
+type JobID int32
+
+// UserID identifies a user within a Trace. IDs are dense.
+type UserID int32
+
+// SiteID identifies a site (an institution hosting submission nodes) within
+// a Trace. IDs are dense.
+type SiteID int32
+
+// Tier is the data tier of a file or of a job's input dataset, following the
+// DZero tier taxonomy (Section 2.2 of the paper).
+type Tier uint8
+
+// Data tiers observed in the DZero traces.
+const (
+	TierOther Tier = iota
+	TierRaw
+	TierReconstructed
+	TierRootTuple
+	TierThumbnail
+
+	numTiers
+)
+
+// NumTiers is the number of distinct Tier values.
+const NumTiers = int(numTiers)
+
+// String returns the tier name used in the paper's tables.
+func (t Tier) String() string {
+	switch t {
+	case TierRaw:
+		return "raw"
+	case TierReconstructed:
+		return "reconstructed"
+	case TierRootTuple:
+		return "root-tuple"
+	case TierThumbnail:
+		return "thumbnail"
+	default:
+		return "other"
+	}
+}
+
+// ParseTier converts a tier name (as produced by Tier.String) back to a
+// Tier. Unknown names map to TierOther with ok=false.
+func ParseTier(s string) (Tier, bool) {
+	switch s {
+	case "raw":
+		return TierRaw, true
+	case "reconstructed":
+		return TierReconstructed, true
+	case "root-tuple":
+		return TierRootTuple, true
+	case "thumbnail":
+		return TierThumbnail, true
+	case "other":
+		return TierOther, true
+	default:
+		return TierOther, false
+	}
+}
+
+// AppFamily categorizes applications the way SAM does (Section 2.2):
+// reconstruction, monte-carlo production, and analysis.
+type AppFamily uint8
+
+// Application families.
+const (
+	FamilyAnalysis AppFamily = iota
+	FamilyReconstruction
+	FamilyMonteCarlo
+
+	numFamilies
+)
+
+// NumFamilies is the number of distinct AppFamily values.
+const NumFamilies = int(numFamilies)
+
+// String returns the SAM-style family name.
+func (f AppFamily) String() string {
+	switch f {
+	case FamilyReconstruction:
+		return "reconstruction"
+	case FamilyMonteCarlo:
+		return "montecarlo"
+	default:
+		return "analysis"
+	}
+}
+
+// ParseAppFamily converts a family name back to an AppFamily.
+func ParseAppFamily(s string) (AppFamily, bool) {
+	switch s {
+	case "reconstruction":
+		return FamilyReconstruction, true
+	case "montecarlo":
+		return FamilyMonteCarlo, true
+	case "analysis":
+		return FamilyAnalysis, true
+	default:
+		return FamilyAnalysis, false
+	}
+}
+
+// File is one catalogued file. Files in DZero are read-only once stored, so
+// Size never changes.
+type File struct {
+	ID   FileID
+	Name string
+	Size int64 // bytes
+	Tier Tier
+}
+
+// User is a member of the virtual organization. Users belong to exactly one
+// site in this model (the paper's traces associate users with submission
+// domains).
+type User struct {
+	ID   UserID
+	Name string
+	Site SiteID
+}
+
+// Site is an institution participating in the collaboration. The paper
+// aggregates sites per Internet domain (Table 2); Domain holds that label
+// (".gov", ".de", ...).
+type Site struct {
+	ID     SiteID
+	Name   string
+	Domain string
+	// Nodes is the number of submission nodes at this site (Table 2
+	// reports submission nodes per domain).
+	Nodes int
+}
+
+// Job is one SAM "project": an application run over a dataset on behalf of a
+// user. Files lists the job's input files in request order.
+type Job struct {
+	ID      JobID
+	User    UserID
+	Site    SiteID
+	Node    string // submission node name
+	Tier    Tier   // tier of the input dataset
+	Family  AppFamily
+	App     string // application name
+	Version string // application version
+	Start   time.Time
+	End     time.Time
+	Files   []FileID
+	// Outputs are the files this job produced (reconstruction and
+	// montecarlo jobs create new data; the paper: "the typical jobs
+	// analyze and produce new, processed data files"). Often empty in
+	// traces, which record only the read side.
+	Outputs []FileID
+}
+
+// Duration returns the job's wall-clock duration.
+func (j *Job) Duration() time.Duration { return j.End.Sub(j.Start) }
+
+// Trace is a complete workload: the file catalog, the site and user
+// populations, and the job history. The zero value is an empty trace.
+type Trace struct {
+	Files []File
+	Users []User
+	Sites []Site
+	Jobs  []Job
+}
+
+// Validate checks referential integrity: every ID stored on a job, user or
+// file must be dense and in range, and job time intervals must be ordered.
+// It returns the first problem found.
+func (t *Trace) Validate() error {
+	for i := range t.Files {
+		if t.Files[i].ID != FileID(i) {
+			return fmt.Errorf("trace: file at index %d has ID %d (want dense IDs)", i, t.Files[i].ID)
+		}
+		if t.Files[i].Size < 0 {
+			return fmt.Errorf("trace: file %d has negative size %d", i, t.Files[i].Size)
+		}
+	}
+	for i := range t.Sites {
+		if t.Sites[i].ID != SiteID(i) {
+			return fmt.Errorf("trace: site at index %d has ID %d (want dense IDs)", i, t.Sites[i].ID)
+		}
+	}
+	for i := range t.Users {
+		u := &t.Users[i]
+		if u.ID != UserID(i) {
+			return fmt.Errorf("trace: user at index %d has ID %d (want dense IDs)", i, u.ID)
+		}
+		if int(u.Site) < 0 || int(u.Site) >= len(t.Sites) {
+			return fmt.Errorf("trace: user %d references unknown site %d", i, u.Site)
+		}
+	}
+	for i := range t.Jobs {
+		j := &t.Jobs[i]
+		if j.ID != JobID(i) {
+			return fmt.Errorf("trace: job at index %d has ID %d (want dense IDs)", i, j.ID)
+		}
+		if int(j.User) < 0 || int(j.User) >= len(t.Users) {
+			return fmt.Errorf("trace: job %d references unknown user %d", i, j.User)
+		}
+		if int(j.Site) < 0 || int(j.Site) >= len(t.Sites) {
+			return fmt.Errorf("trace: job %d references unknown site %d", i, j.Site)
+		}
+		if j.End.Before(j.Start) {
+			return fmt.Errorf("trace: job %d ends before it starts", i)
+		}
+		for _, f := range j.Files {
+			if int(f) < 0 || int(f) >= len(t.Files) {
+				return fmt.Errorf("trace: job %d references unknown file %d", i, f)
+			}
+		}
+		for _, f := range j.Outputs {
+			if int(f) < 0 || int(f) >= len(t.Files) {
+				return fmt.Errorf("trace: job %d produces unknown file %d", i, f)
+			}
+		}
+	}
+	return nil
+}
+
+// NumRequests returns the total number of file requests (the sum of input
+// set sizes over all jobs).
+func (t *Trace) NumRequests() int {
+	n := 0
+	for i := range t.Jobs {
+		n += len(t.Jobs[i].Files)
+	}
+	return n
+}
+
+// TotalBytes returns the catalog size: the sum of all file sizes.
+func (t *Trace) TotalBytes() int64 {
+	var n int64
+	for i := range t.Files {
+		n += t.Files[i].Size
+	}
+	return n
+}
+
+// RequestedBytes returns the total bytes requested across all jobs, counting
+// a file once per request.
+func (t *Trace) RequestedBytes() int64 {
+	var n int64
+	for i := range t.Jobs {
+		for _, f := range t.Jobs[i].Files {
+			n += t.Files[f].Size
+		}
+	}
+	return n
+}
+
+// Span returns the interval [first job start, last job end]. ok is false for
+// a trace with no jobs.
+func (t *Trace) Span() (start, end time.Time, ok bool) {
+	if len(t.Jobs) == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	start, end = t.Jobs[0].Start, t.Jobs[0].End
+	for i := range t.Jobs {
+		j := &t.Jobs[i]
+		if j.Start.Before(start) {
+			start = j.Start
+		}
+		if j.End.After(end) {
+			end = j.End
+		}
+	}
+	return start, end, true
+}
+
+// SortJobsByStart orders Jobs by start time (stably) and renumbers their IDs
+// densely. Call it after assembling a trace from unordered sources.
+func (t *Trace) SortJobsByStart() {
+	sort.SliceStable(t.Jobs, func(a, b int) bool {
+		return t.Jobs[a].Start.Before(t.Jobs[b].Start)
+	})
+	for i := range t.Jobs {
+		t.Jobs[i].ID = JobID(i)
+	}
+}
+
+// JobsBySite partitions job indices by site ID. The result has one slice per
+// site, in site-ID order.
+func (t *Trace) JobsBySite() [][]JobID {
+	out := make([][]JobID, len(t.Sites))
+	for i := range t.Jobs {
+		s := t.Jobs[i].Site
+		out[s] = append(out[s], t.Jobs[i].ID)
+	}
+	return out
+}
+
+// JobsByDomain groups job indices by the domain label of their site.
+func (t *Trace) JobsByDomain() map[string][]JobID {
+	out := make(map[string][]JobID)
+	for i := range t.Jobs {
+		d := t.Sites[t.Jobs[i].Site].Domain
+		out[d] = append(out[d], t.Jobs[i].ID)
+	}
+	return out
+}
+
+// WithJobs returns a new trace sharing this trace's file, user and site
+// catalogs but containing only the given jobs, renumbered densely in the
+// given order. Job file lists are shared, not copied.
+func (t *Trace) WithJobs(ids []JobID) *Trace {
+	out := &Trace{Files: t.Files, Users: t.Users, Sites: t.Sites}
+	out.Jobs = make([]Job, len(ids))
+	for i, id := range ids {
+		out.Jobs[i] = t.Jobs[id]
+		out.Jobs[i].ID = JobID(i)
+	}
+	return out
+}
+
+// SplitByTime partitions the jobs at the given fraction of the job list
+// (ordered by start time): the first part is the history window, the second
+// the evaluation window. frac must be in (0,1).
+func (t *Trace) SplitByTime(frac float64) (history, future *Trace) {
+	if frac <= 0 || frac >= 1 {
+		panic(fmt.Sprintf("trace: split fraction %v outside (0,1)", frac))
+	}
+	ids := make([]JobID, len(t.Jobs))
+	for i := range ids {
+		ids[i] = t.Jobs[i].ID
+	}
+	sort.SliceStable(ids, func(a, b int) bool {
+		return t.Jobs[ids[a]].Start.Before(t.Jobs[ids[b]].Start)
+	})
+	cut := int(float64(len(ids)) * frac)
+	if cut == 0 {
+		cut = 1
+	}
+	if cut >= len(ids) {
+		cut = len(ids) - 1
+	}
+	return t.WithJobs(ids[:cut]), t.WithJobs(ids[cut:])
+}
+
+// DistinctFilesRequested returns the number of files that appear in at least
+// one job's input set.
+func (t *Trace) DistinctFilesRequested() int {
+	seen := make([]bool, len(t.Files))
+	n := 0
+	for i := range t.Jobs {
+		for _, f := range t.Jobs[i].Files {
+			if !seen[f] {
+				seen[f] = true
+				n++
+			}
+		}
+	}
+	return n
+}
