@@ -1,0 +1,39 @@
+# Tier-1 verification and developer loops. `make ci` is the gate:
+# vet + build + race-enabled tests + a short fuzz smoke over every target.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build vet test race fuzz-smoke bench selftest ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One short fuzz run per target (Go allows one -fuzz pattern per package
+# invocation). Seeds alone run in `test`; this explores beyond them.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzTraceCodec -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run=^$$ -fuzz=FuzzServerHandlers -fuzztime=$(FUZZTIME) ./internal/server
+	$(GO) test -run=^$$ -fuzz=FuzzAdviseConsistency -fuzztime=$(FUZZTIME) ./internal/server
+
+bench:
+	$(GO) test -run=^$$ -bench=. -benchmem .
+
+# Closed-loop verification of the serving layer: replay a synthetic trace
+# from concurrent clients and cross-check the partition byte-for-byte.
+selftest:
+	$(GO) run ./cmd/filecule-serve -selftest
+
+ci: vet build race fuzz-smoke
+	@echo "ci: all green"

@@ -10,11 +10,16 @@
 package filecule_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
 	"testing"
 
 	"filecule/internal/cache"
 	"filecule/internal/core"
 	"filecule/internal/experiments"
+	"filecule/internal/server"
 	"filecule/internal/synth"
 	"filecule/internal/trace"
 )
@@ -194,4 +199,128 @@ type writeCounter int
 func (w *writeCounter) Write(p []byte) (int, error) {
 	*w += writeCounter(len(p))
 	return len(p), nil
+}
+
+// --- serving hot path (internal/server handlers via httptest) ---
+
+// BenchmarkServerObserve measures job ingestion through the full HTTP
+// handler stack: JSON decode, validation, monitor refinement, metrics.
+func BenchmarkServerObserve(b *testing.B) {
+	t := benchRunner.Trace()
+	s := server.New(server.Config{Catalog: t.Files})
+	bodies := make([][]byte, len(t.Jobs))
+	for i := range t.Jobs {
+		body, err := json.Marshal(server.JobBody{Files: t.Jobs[i].Files})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = body
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := bodies[i%len(bodies)]
+		r := httptest.NewRequest("POST", "/v1/jobs", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, r)
+		if w.Code != 200 {
+			b.Fatalf("observe: %d %s", w.Code, w.Body)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchmarkServerObserveBatch measures the batched ingestion variant (one
+// lock acquisition and one HTTP round trip per 100 jobs).
+func BenchmarkServerObserveBatch(b *testing.B) {
+	t := benchRunner.Trace()
+	s := server.New(server.Config{Catalog: t.Files})
+	const batch = 100
+	var bodies [][]byte
+	for lo := 0; lo+batch <= len(t.Jobs); lo += batch {
+		var bb server.BatchBody
+		for _, j := range t.Jobs[lo : lo+batch] {
+			bb.Jobs = append(bb.Jobs, server.JobBody{Files: j.Files})
+		}
+		body, err := json.Marshal(bb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies = append(bodies, body)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := bodies[i%len(bodies)]
+		r := httptest.NewRequest("POST", "/v1/jobs/batch", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, r)
+		if w.Code != 200 {
+			b.Fatalf("batch: %d %s", w.Code, w.Body)
+		}
+	}
+	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchmarkServerAdvise measures cache-advice queries against a settled
+// partition — the read-mostly steady state where the snapshot and
+// granularity caches should make queries cheap.
+func BenchmarkServerAdvise(b *testing.B) {
+	t := benchRunner.Trace()
+	s := server.New(server.Config{Catalog: t.Files})
+	for i := range t.Jobs {
+		s.Monitor().Observe(t.Jobs[i].Files)
+	}
+	capacity := benchCapacity()
+	bodies := make([][]byte, 0, 256)
+	for i := 0; i < 256 && i < len(t.Jobs); i++ {
+		j := &t.Jobs[i]
+		if len(j.Files) == 0 {
+			continue
+		}
+		body, err := json.Marshal(server.AdviseBody{
+			CapacityBytes: capacity,
+			Files:         j.Files,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies = append(bodies, body)
+	}
+	if len(bodies) == 0 {
+		b.Fatal("no advise bodies")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := bodies[i%len(bodies)]
+		r := httptest.NewRequest("POST", "/v1/cache/advise", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, r)
+		if w.Code != 200 {
+			b.Fatalf("advise: %d %s", w.Code, w.Body)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkServerPartitionQuery measures snapshot-backed filecule lookups.
+func BenchmarkServerPartitionQuery(b *testing.B) {
+	t := benchRunner.Trace()
+	s := server.New(server.Config{Catalog: t.Files})
+	for i := range t.Jobs {
+		s.Monitor().Observe(t.Jobs[i].Files)
+	}
+	p := s.Monitor().Snapshot()
+	if p.NumFiles() == 0 {
+		b.Fatal("empty partition")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := p.Filecules[i%p.NumFilecules()].Files[0]
+		r := httptest.NewRequest("GET", fmt.Sprintf("/v1/filecules/%d", f), nil)
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, r)
+		if w.Code != 200 {
+			b.Fatalf("filecule: %d %s", w.Code, w.Body)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
 }

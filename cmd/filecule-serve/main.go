@@ -1,0 +1,189 @@
+// Command filecule-serve runs the filecule identification and cache-advice
+// service: an HTTP/JSON wrapper around the online identification monitor,
+// with Prometheus-style metrics and graceful shutdown.
+//
+//	filecule-serve -addr :8080 -scale 0.05          # serve a synthetic catalog
+//	filecule-serve -addr :8080 -trace trace.txt     # serve a trace's catalog
+//	filecule-serve -selftest                        # closed-loop verification
+//
+// In -selftest mode the command starts an in-process server on a loopback
+// port, replays a synthetic trace against it from -clients concurrent
+// submitters, and verifies that the partition the service converged to is
+// byte-identical to batch identification over the same trace, and that the
+// metrics endpoint reflects the traffic. It exits non-zero on any mismatch.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"filecule/internal/core"
+	"filecule/internal/server"
+	"filecule/internal/synth"
+	"filecule/internal/trace"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		path     = flag.String("trace", "", "trace file whose catalog backs cache advice (omit to synthesize)")
+		seed     = flag.Int64("seed", 1, "generator seed when synthesizing")
+		scale    = flag.Float64("scale", 0.05, "workload scale when synthesizing")
+		selftest = flag.Bool("selftest", false, "run the closed-loop load test and exit")
+		clients  = flag.Int("clients", 8, "selftest: concurrent submitters")
+		batch    = flag.Int("batch", 1, "selftest: jobs per request (1 = unbatched)")
+		pprof    = flag.Bool("pprof", true, "mount /debug/pprof")
+		grace    = flag.Duration("shutdown-grace", 10*time.Second, "request-draining bound on shutdown")
+		rdTO     = flag.Duration("read-timeout", 30*time.Second, "HTTP read timeout")
+		wrTO     = flag.Duration("write-timeout", 60*time.Second, "HTTP write timeout")
+	)
+	flag.Parse()
+
+	t := loadOrGen(*path, *seed, *scale)
+	cfg := server.Config{
+		Catalog:       t.Files,
+		EnablePprof:   *pprof,
+		ShutdownGrace: *grace,
+		ReadTimeout:   *rdTO,
+		WriteTimeout:  *wrTO,
+	}
+
+	if *selftest {
+		if err := runSelftest(cfg, t, *clients, *batch); err != nil {
+			fmt.Fprintln(os.Stderr, "selftest FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Println("selftest PASSED")
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	s := server.New(cfg)
+	ready := make(chan net.Addr, 1)
+	go func() {
+		a := <-ready
+		fmt.Printf("filecule-serve: listening on %s (catalog: %d files, %d jobs source trace)\n",
+			a, len(t.Files), len(t.Jobs))
+	}()
+	if err := s.ListenAndRun(ctx, *addr, ready); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("filecule-serve: drained and stopped")
+}
+
+func loadOrGen(path string, seed int64, scale float64) *trace.Trace {
+	if path == "" {
+		t, err := synth.Generate(synth.DZero(seed, scale))
+		if err != nil {
+			fatal(err)
+		}
+		return t
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	t, err := trace.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	return t
+}
+
+// runSelftest boots the service on a loopback port, replays t from many
+// clients, and cross-checks the served partition against batch
+// identification.
+func runSelftest(cfg server.Config, t *trace.Trace, clients, batch int) error {
+	fmt.Printf("selftest: %d jobs, %d files, %d clients, batch %d\n",
+		len(t.Jobs), len(t.Files), clients, batch)
+
+	s := server.New(cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- s.ListenAndRun(ctx, "127.0.0.1:0", ready) }()
+	addr := <-ready
+	base := "http://" + addr.String()
+
+	gen := &server.LoadGen{BaseURL: base, Clients: clients, BatchSize: batch}
+	rep, err := gen.Replay(t)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+
+	// The served partition must be byte-identical to batch identification
+	// over the same trace, in the service's canonical wire form.
+	want, err := server.PartitionJSON(core.Identify(t), int64(len(t.Jobs)), &trace.Trace{Files: t.Files})
+	if err != nil {
+		return err
+	}
+	got, err := get(base + "/v1/partition")
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(bytes.TrimSpace(got), bytes.TrimSpace(want)) {
+		return fmt.Errorf("served partition differs from batch identification (%d vs %d bytes)", len(got), len(want))
+	}
+	fmt.Printf("partition: byte-identical to core.Identify (%d filecules, %d bytes of JSON)\n",
+		core.Identify(t).NumFilecules(), len(want))
+
+	// The metrics endpoint must reflect the traffic.
+	metrics, err := get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	ms := string(metrics)
+	for _, needle := range []string{
+		"filecule_server_requests_total",
+		"filecule_server_request_seconds_quantile",
+		fmt.Sprintf("filecule_jobs_observed_total %d", len(t.Jobs)),
+	} {
+		if !strings.Contains(ms, needle) {
+			return fmt.Errorf("metrics output missing %q", needle)
+		}
+	}
+	fmt.Println("metrics: request counters and latency quantiles present")
+
+	// Exercise graceful shutdown.
+	cancel()
+	if err := <-done; err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return nil
+}
+
+func get(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: HTTP %d: %s", url, resp.StatusCode, b)
+	}
+	return b, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

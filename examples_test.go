@@ -1,0 +1,64 @@
+// Smoke tests for examples/: every example must build and run to
+// completion with exit status 0. The examples are the library's executable
+// documentation; these tests keep them compiling and working as the APIs
+// underneath them evolve.
+package filecule_test
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// exampleDirs discovers every example program.
+func exampleDirs(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no examples found")
+	}
+	return dirs
+}
+
+func TestExamplesBuildAndRun(t *testing.T) {
+	bindir := t.TempDir()
+	for _, name := range exampleDirs(t) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(bindir, name)
+			build := exec.Command("go", "build", "-o", bin, "./examples/"+name)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("go build: %v\n%s", err, out)
+			}
+
+			// The examples are self-contained demos at tiny scales and
+			// fixed seeds; the timeout guards against hangs, not
+			// slowness.
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+			defer cancel()
+			out, err := exec.CommandContext(ctx, bin).CombinedOutput()
+			if ctx.Err() != nil {
+				t.Fatalf("example %s timed out", name)
+			}
+			if err != nil {
+				t.Fatalf("example %s exited with %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s produced no output", name)
+			}
+		})
+	}
+}

@@ -1,0 +1,213 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"filecule/internal/trace"
+)
+
+// This file implements stateless cache advice: given a remote cache's
+// reported state and the files it is about to serve, compute which
+// replacement units to admit and which resident units to evict, at whatever
+// granularity the caller supplies. It is the decision kernel behind the
+// serving layer's /v1/cache/advise endpoint — the deployment Section 6 of
+// the paper sketches, where a central identification service advises
+// distributed site caches on filecule-granularity staging.
+//
+// Advise mirrors the admission semantics of Sim.serve exactly (including
+// the degenerate single-file fallback for units larger than the whole
+// cache) but leaves the state on the client: the server never tracks remote
+// residency, so any number of caches can consult one service.
+
+// ResidentUnit is one replacement unit a client cache reports as resident.
+// LastAccess is the client's own logical or wall clock; Advise only
+// compares values, so any monotone stamp works.
+type ResidentUnit struct {
+	Unit       UnitID
+	LastAccess int64
+}
+
+// AdviceRequest describes a client cache and the files it must serve next.
+type AdviceRequest struct {
+	// Capacity is the client cache size in bytes. Must be positive.
+	Capacity int64
+	// Files are the files about to be requested (a job's input set, or a
+	// prefix of it). Duplicates are allowed and deduplicated.
+	Files []trace.FileID
+	// Resident lists the units currently held by the client. Unit sizes
+	// are not trusted from the client; they are recomputed from the
+	// server's catalog.
+	Resident []ResidentUnit
+}
+
+// LoadUnit is one unit the advice says to fetch.
+type LoadUnit struct {
+	Unit UnitID
+	// Files are the unit's member files to stage (the whole filecule at
+	// filecule granularity; just the requested file for degenerate
+	// units).
+	Files []trace.FileID
+	Bytes int64
+}
+
+// Advice is the admission/eviction plan for one AdviceRequest.
+type Advice struct {
+	// Hits are requested units already resident — touch them.
+	Hits []UnitID
+	// Load are the units to fetch, in first-request order.
+	Load []LoadUnit
+	// Evict are the resident victims to discard before loading,
+	// least-recently-used first.
+	Evict []UnitID
+	// Bypassed lists requested files whose enclosing unit exceeds the
+	// whole cache; the advice degrades to caching just the file, the
+	// simulator's documented deviation.
+	Bypassed []trace.FileID
+	// BytesToLoad and BytesToEvict total the plan's traffic.
+	BytesToLoad  int64
+	BytesToEvict int64
+}
+
+// unitLister is implemented by granularities that can enumerate a unit's
+// member files (the filecule granularity); units of granularities without
+// it load only the requested file.
+type unitLister interface {
+	FilesOf(u UnitID) []trace.FileID
+}
+
+// FilesOf returns the member files of unit u: the filecule's files, or the
+// single file for degenerate units.
+func (g *FileculeGranularity) FilesOf(u UnitID) []trace.FileID {
+	if u >= degenerateBase {
+		return []trace.FileID{trace.FileID(u - degenerateBase)}
+	}
+	return g.part.Filecules[u].Files
+}
+
+// ValidUnit reports whether u denotes an existing replacement unit.
+func (g *FileculeGranularity) ValidUnit(u UnitID) bool {
+	if u >= degenerateBase {
+		f := u - degenerateBase
+		return f >= 0 && int(f) < len(g.files)
+	}
+	return u >= 0 && int(u) < len(g.sizes)
+}
+
+// ValidUnit reports whether u denotes an existing replacement unit.
+func (g *FileGranularity) ValidUnit(u UnitID) bool {
+	if u >= degenerateBase {
+		u -= degenerateBase
+	}
+	return u >= 0 && int(u) < len(g.files)
+}
+
+// unitValidator is implemented by granularities that can check unit
+// existence; Advise rejects unknown units instead of panicking in SizeOf.
+type unitValidator interface {
+	ValidUnit(u UnitID) bool
+}
+
+// Advise computes the admission/eviction plan for req under granularity g.
+// It never mutates state: the client applies (or ignores) the plan and
+// reports its new residency on the next call.
+func Advise(g Granularity, req AdviceRequest) (*Advice, error) {
+	if req.Capacity <= 0 {
+		return nil, fmt.Errorf("cache: advise capacity %d must be > 0", req.Capacity)
+	}
+	val, canValidate := g.(unitValidator)
+
+	// Recompute resident sizes from the catalog; reject unknown units and
+	// duplicates.
+	resident := make(map[UnitID]int64, len(req.Resident))
+	var used int64
+	for _, r := range req.Resident {
+		if canValidate && !val.ValidUnit(r.Unit) {
+			return nil, fmt.Errorf("cache: advise: unknown resident unit %d", r.Unit)
+		}
+		if _, dup := resident[r.Unit]; dup {
+			return nil, fmt.Errorf("cache: advise: duplicate resident unit %d", r.Unit)
+		}
+		sz := g.SizeOf(r.Unit)
+		resident[r.Unit] = sz
+		used += sz
+	}
+
+	adv := &Advice{}
+	planned := make(map[UnitID]bool, len(req.Files))
+	hit := make(map[UnitID]bool)
+	for _, f := range req.Files {
+		if canValidate && !val.ValidUnit(degenerate(f)) {
+			return nil, fmt.Errorf("cache: advise: unknown file %d", f)
+		}
+		unit := g.UnitOf(f)
+		if _, ok := resident[unit]; ok {
+			if !hit[unit] {
+				hit[unit] = true
+				adv.Hits = append(adv.Hits, unit)
+			}
+			continue
+		}
+		// The file may be resident as a degenerate unit from an
+		// earlier bypass.
+		if _, ok := resident[degenerate(f)]; ok {
+			if !hit[degenerate(f)] {
+				hit[degenerate(f)] = true
+				adv.Hits = append(adv.Hits, degenerate(f))
+			}
+			continue
+		}
+		if planned[unit] {
+			continue
+		}
+		size := g.SizeOf(unit)
+		if size > req.Capacity {
+			// Whole unit cannot fit; stage just the file.
+			unit = degenerate(f)
+			if planned[unit] {
+				continue
+			}
+			size = g.SizeOf(unit)
+			adv.Bypassed = append(adv.Bypassed, f)
+			if size > req.Capacity {
+				continue // single file larger than the cache
+			}
+		}
+		planned[unit] = true
+		files := []trace.FileID{f}
+		if l, ok := g.(unitLister); ok && unit < degenerateBase {
+			files = l.FilesOf(unit)
+		}
+		adv.Load = append(adv.Load, LoadUnit{Unit: unit, Files: files, Bytes: size})
+		adv.BytesToLoad += size
+	}
+
+	// Evict LRU victims until the plan fits, never evicting a unit the
+	// plan just touched or loads. Ties on LastAccess break by unit ID for
+	// determinism.
+	if used+adv.BytesToLoad > req.Capacity {
+		victims := make([]ResidentUnit, 0, len(req.Resident))
+		for _, r := range req.Resident {
+			if hit[r.Unit] || planned[r.Unit] {
+				continue
+			}
+			victims = append(victims, r)
+		}
+		sort.Slice(victims, func(a, b int) bool {
+			if victims[a].LastAccess != victims[b].LastAccess {
+				return victims[a].LastAccess < victims[b].LastAccess
+			}
+			return victims[a].Unit < victims[b].Unit
+		})
+		for _, v := range victims {
+			if used+adv.BytesToLoad <= req.Capacity {
+				break
+			}
+			adv.Evict = append(adv.Evict, v.Unit)
+			sz := resident[v.Unit]
+			adv.BytesToEvict += sz
+			used -= sz
+		}
+	}
+	return adv, nil
+}

@@ -20,6 +20,12 @@ type Monitor struct {
 	refiner *Refiner
 	// observed counts jobs folded in, exposed for progress reporting.
 	observed int64
+	// snap caches the last canonical snapshot; it is invalidated by the
+	// next Observe. Serving layers issue many reads per write, so
+	// read-mostly periods pay the O(files) canonicalization once. The
+	// pointer doubles as a cheap change detector: two equal Snapshot
+	// results between observations are the identical *Partition.
+	snap *Partition
 }
 
 // NewMonitor returns an empty identification service.
@@ -34,6 +40,20 @@ func (m *Monitor) Observe(files []trace.FileID) {
 	defer m.mu.Unlock()
 	m.refiner.Observe(files)
 	m.observed++
+	m.snap = nil
+}
+
+// ObserveBatch folds several jobs' input sets under one lock acquisition —
+// the batched ingestion path for serving layers, where per-job locking
+// dominates at high request rates.
+func (m *Monitor) ObserveBatch(jobs [][]trace.FileID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, files := range jobs {
+		m.refiner.Observe(files)
+		m.observed++
+	}
+	m.snap = nil
 }
 
 // ObserveJob folds a trace job.
@@ -54,9 +74,14 @@ func (m *Monitor) NumFilecules() int {
 }
 
 // Snapshot returns a consistent canonical Partition of everything observed
-// so far. Safe for concurrent use; the returned partition is immutable.
+// so far. Safe for concurrent use; the returned partition is immutable and
+// cached until the next Observe, so callers may compare successive results
+// by pointer to detect change.
 func (m *Monitor) Snapshot() *Partition {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.refiner.Partition()
+	if m.snap == nil {
+		m.snap = m.refiner.Partition()
+	}
+	return m.snap
 }

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"filecule/internal/stats"
+	"filecule/internal/trace"
+)
+
+// LoadGen replays a trace's jobs against a running server from many
+// concurrent clients — the closed-loop generator behind the -selftest flag
+// and a reusable benchmarking harness. Each client loops: take the next
+// unclaimed job (or batch of jobs), POST it, measure the round trip.
+type LoadGen struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Clients is the number of concurrent submitters; <= 0 means 8.
+	Clients int
+	// BatchSize groups jobs per request; <= 1 posts one job per request.
+	BatchSize int
+	// Timeout bounds each HTTP request; zero means 30s.
+	Timeout time.Duration
+}
+
+// LoadReport summarizes one replay.
+type LoadReport struct {
+	Jobs     int           // jobs replayed
+	Requests int64         // HTTP requests issued
+	Errors   int64         // transport errors or non-2xx responses
+	Duration time.Duration // wall-clock replay time
+	// Latency summarizes per-request round-trip seconds.
+	Latency stats.Summary
+}
+
+// JobsPerSec returns the replay throughput.
+func (r *LoadReport) JobsPerSec() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Jobs) / r.Duration.Seconds()
+}
+
+// String renders the report for terminal output.
+func (r *LoadReport) String() string {
+	return fmt.Sprintf(
+		"replayed %d jobs in %d requests over %v (%.0f jobs/s, %d errors)\n"+
+			"latency: p50 %.3fms  p90 %.3fms  p99 %.3fms  max %.3fms",
+		r.Jobs, r.Requests, r.Duration.Round(time.Millisecond), r.JobsPerSec(), r.Errors,
+		r.Latency.Median*1e3, r.Latency.P90*1e3, r.Latency.P99*1e3, r.Latency.Max*1e3)
+}
+
+// Replay posts every job of t (in ID order of claim) and blocks until all
+// are acknowledged. It is safe to call on a live server; jobs interleave
+// with other traffic.
+func (g *LoadGen) Replay(t *trace.Trace) (*LoadReport, error) {
+	clients := g.Clients
+	if clients <= 0 {
+		clients = 8
+	}
+	batch := g.BatchSize
+	if batch < 1 {
+		batch = 1
+	}
+	timeout := g.Timeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	hc := &http.Client{
+		Timeout: timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        clients * 2,
+			MaxIdleConnsPerHost: clients * 2,
+		},
+	}
+
+	var next int64 // next unclaimed job index
+	var requests, errs int64
+	latencies := make([][]float64, clients)
+	var firstErr error
+	var errOnce sync.Once
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				lo := atomic.AddInt64(&next, int64(batch)) - int64(batch)
+				if lo >= int64(len(t.Jobs)) {
+					return
+				}
+				hi := lo + int64(batch)
+				if hi > int64(len(t.Jobs)) {
+					hi = int64(len(t.Jobs))
+				}
+				url, body, err := g.encodeJobs(t.Jobs[lo:hi])
+				if err != nil {
+					atomic.AddInt64(&errs, 1)
+					errOnce.Do(func() { firstErr = err })
+					continue
+				}
+				t0 := time.Now()
+				resp, err := hc.Post(url, "application/json", bytes.NewReader(body))
+				atomic.AddInt64(&requests, 1)
+				if err != nil {
+					atomic.AddInt64(&errs, 1)
+					errOnce.Do(func() { firstErr = err })
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode/100 != 2 {
+					atomic.AddInt64(&errs, 1)
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("jobs %d..%d: HTTP %d", lo, hi-1, resp.StatusCode)
+					})
+					continue
+				}
+				latencies[c] = append(latencies[c], time.Since(t0).Seconds())
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	var all []float64
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	rep := &LoadReport{
+		Jobs:     len(t.Jobs),
+		Requests: requests,
+		Errors:   errs,
+		Duration: time.Since(start),
+		Latency:  stats.Summarize(all),
+	}
+	if errs > 0 {
+		return rep, fmt.Errorf("loadgen: %d of %d requests failed (first: %v)", errs, requests, firstErr)
+	}
+	return rep, nil
+}
+
+// encodeJobs builds the request URL and JSON body for a claim of jobs.
+func (g *LoadGen) encodeJobs(jobs []trace.Job) (url string, body []byte, err error) {
+	if len(jobs) == 1 && g.BatchSize <= 1 {
+		body, err = json.Marshal(JobBody{Files: jobs[0].Files})
+		return g.BaseURL + "/v1/jobs", body, err
+	}
+	b := BatchBody{Jobs: make([]JobBody, len(jobs))}
+	for i := range jobs {
+		b.Jobs[i] = JobBody{Files: jobs[i].Files}
+	}
+	body, err = json.Marshal(b)
+	return g.BaseURL + "/v1/jobs/batch", body, err
+}

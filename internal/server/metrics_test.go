@@ -1,0 +1,80 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricsObserveAndRender(t *testing.T) {
+	m := NewMetrics()
+	for i := 0; i < 10; i++ {
+		m.Observe("observe", http.StatusOK, time.Duration(i+1)*time.Millisecond)
+	}
+	m.Observe("observe", http.StatusBadRequest, 50*time.Microsecond)
+	m.Observe("advise", http.StatusOK, 2*time.Second)
+	m.Observe("advise", http.StatusOK, 20*time.Second) // above the last edge
+
+	if got := m.Requests(); got != 13 {
+		t.Errorf("Requests() = %d, want 13", got)
+	}
+
+	var sb strings.Builder
+	m.WritePrometheus(&sb)
+	out := sb.String()
+	for _, needle := range []string{
+		`filecule_server_requests_total{route="observe",code="200"} 10`,
+		`filecule_server_requests_total{route="observe",code="400"} 1`,
+		`filecule_server_requests_total{route="advise",code="200"} 2`,
+		`filecule_server_request_seconds_count{route="observe"} 11`,
+		`filecule_server_request_seconds_bucket{route="advise",le="+Inf"} 2`,
+		`filecule_server_request_seconds_quantile{route="observe",quantile="0.5"}`,
+	} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("prometheus output missing %q\n%s", needle, out)
+		}
+	}
+
+	// Median of 1..10ms and the 50µs outlier is ~5ms.
+	p50 := m.Quantile("observe", 0.5)
+	if p50 < 0.001 || p50 > 0.010 {
+		t.Errorf("p50 = %v, want within [1ms, 10ms]", p50)
+	}
+	if m.Quantile("nosuch", 0.5) != 0 {
+		t.Errorf("unknown route quantile should be 0")
+	}
+}
+
+func TestMetricsBucketsCumulative(t *testing.T) {
+	m := NewMetrics()
+	m.Observe("r", 200, 300*time.Microsecond) // falls in le=0.0005
+	m.Observe("r", 200, 40*time.Millisecond)  // falls in le=0.05
+	var sb strings.Builder
+	m.WritePrometheus(&sb)
+	out := sb.String()
+	for _, needle := range []string{
+		`filecule_server_request_seconds_bucket{route="r",le="0.00025"} 0`,
+		`filecule_server_request_seconds_bucket{route="r",le="0.0005"} 1`,
+		`filecule_server_request_seconds_bucket{route="r",le="0.025"} 1`,
+		`filecule_server_request_seconds_bucket{route="r",le="0.05"} 2`,
+		`filecule_server_request_seconds_bucket{route="r",le="10"} 2`,
+	} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("prometheus output missing %q\n%s", needle, out)
+		}
+	}
+}
+
+func TestMetricsSampleWindowBounded(t *testing.T) {
+	m := NewMetrics()
+	for i := 0; i < maxLatencySamples+100; i++ {
+		m.Observe("r", 200, time.Microsecond)
+	}
+	m.mu.Lock()
+	n := len(m.route["r"].samples)
+	m.mu.Unlock()
+	if n != maxLatencySamples {
+		t.Errorf("sample window = %d, want %d", n, maxLatencySamples)
+	}
+}

@@ -1,0 +1,489 @@
+// Package server exposes the filecule identification service over
+// HTTP/JSON — the deployment Section 6 of the paper sketches, where job
+// submissions stream past a concentration point and distributed site caches
+// ask for staging advice. It wraps core.Monitor for ingestion, serves
+// partition queries from cached snapshots, and computes filecule-granularity
+// cache admission/eviction advice via internal/cache.
+//
+// Endpoints:
+//
+//	POST /v1/jobs              observe one job's input set
+//	POST /v1/jobs/batch        observe many jobs under one lock
+//	GET  /v1/filecules/{file}  the filecule containing a file
+//	GET  /v1/partition         the full canonical partition
+//	GET  /v1/partition/summary partition shape statistics
+//	POST /v1/cache/advise      admission/eviction advice for a client cache
+//	GET  /metrics              Prometheus text exposition
+//	GET  /healthz              liveness probe
+//	/debug/pprof/*             standard profiles (when Config.EnablePprof)
+//
+// All responses are JSON except /metrics. Invalid input is answered with a
+// 4xx and a JSON {"error": ...} body; handlers never panic (fuzz-verified).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"time"
+
+	"filecule/internal/cache"
+	"filecule/internal/core"
+	"filecule/internal/trace"
+)
+
+// Config parameterizes a Server. The zero value serves with no catalog
+// (identification only; /v1/cache/advise is disabled) and default limits.
+type Config struct {
+	// Catalog is the file catalog (sizes) backing cache advice and byte
+	// accounting. File IDs in requests are validated against it when
+	// present; without a catalog any non-negative int32 ID is accepted
+	// and advice is unavailable.
+	Catalog []trace.File
+	// MaxBodyBytes caps request bodies; <= 0 means 32 MiB.
+	MaxBodyBytes int64
+	// MaxBatchJobs caps jobs per batch request; <= 0 means 10000.
+	MaxBatchJobs int
+	// ReadTimeout, WriteTimeout and IdleTimeout configure the underlying
+	// http.Server in Run; zero values mean 30s, 60s and 120s.
+	ReadTimeout, WriteTimeout, IdleTimeout time.Duration
+	// ShutdownGrace bounds request draining on shutdown; zero means 10s.
+	ShutdownGrace time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+}
+
+func (c *Config) maxBody() int64 {
+	if c.MaxBodyBytes > 0 {
+		return c.MaxBodyBytes
+	}
+	return 32 << 20
+}
+
+func (c *Config) maxBatch() int {
+	if c.MaxBatchJobs > 0 {
+		return c.MaxBatchJobs
+	}
+	return 10000
+}
+
+func orDefault(d, def time.Duration) time.Duration {
+	if d > 0 {
+		return d
+	}
+	return def
+}
+
+// Server is the HTTP serving layer. Create with New; it is safe for
+// concurrent use by any number of connections.
+type Server struct {
+	cfg     Config
+	monitor *core.Monitor
+	metrics *Metrics
+	mux     *http.ServeMux
+	// catTrace wraps the catalog for granularity construction.
+	catTrace *trace.Trace
+
+	// granMu guards the advice granularity, rebuilt only when the
+	// monitor snapshot changes (detected by pointer identity, which
+	// Monitor.Snapshot guarantees between observations).
+	granMu   sync.Mutex
+	granSnap *core.Partition
+	gran     *cache.FileculeGranularity
+}
+
+// New builds a Server from the configuration.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg,
+		monitor: core.NewMonitor(),
+		metrics: NewMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	if len(cfg.Catalog) > 0 {
+		s.catTrace = &trace.Trace{Files: cfg.Catalog}
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.metrics.instrument("observe", s.handleObserve))
+	s.mux.HandleFunc("POST /v1/jobs/batch", s.metrics.instrument("observe_batch", s.handleObserveBatch))
+	s.mux.HandleFunc("GET /v1/filecules/{file}", s.metrics.instrument("filecule", s.handleFilecule))
+	s.mux.HandleFunc("GET /v1/partition", s.metrics.instrument("partition", s.handlePartition))
+	s.mux.HandleFunc("GET /v1/partition/summary", s.metrics.instrument("summary", s.handleSummary))
+	s.mux.HandleFunc("POST /v1/cache/advise", s.metrics.instrument("advise", s.handleAdvise))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s
+}
+
+// Handler returns the root handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Monitor exposes the underlying identification monitor.
+func (s *Server) Monitor() *core.Monitor { return s.monitor }
+
+// Metrics exposes the request metrics collector.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Run serves on l until ctx is cancelled, then drains in-flight requests
+// for at most Config.ShutdownGrace before returning. It returns nil on a
+// clean shutdown.
+func (s *Server) Run(ctx context.Context, l net.Listener) error {
+	hs := &http.Server{
+		Handler:      s.Handler(),
+		ReadTimeout:  orDefault(s.cfg.ReadTimeout, 30*time.Second),
+		WriteTimeout: orDefault(s.cfg.WriteTimeout, 60*time.Second),
+		IdleTimeout:  orDefault(s.cfg.IdleTimeout, 120*time.Second),
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), orDefault(s.cfg.ShutdownGrace, 10*time.Second))
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			return fmt.Errorf("server: shutdown: %w", err)
+		}
+		return nil
+	}
+}
+
+// ListenAndRun listens on addr and calls Run. ready, if non-nil, receives
+// the bound address once listening (useful with ":0").
+func (s *Server) ListenAndRun(ctx context.Context, addr string, ready chan<- net.Addr) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- l.Addr()
+	}
+	return s.Run(ctx, l)
+}
+
+// --- request/response bodies ---
+
+// JobBody is the POST /v1/jobs request payload.
+type JobBody struct {
+	Files []trace.FileID `json:"files"`
+}
+
+// BatchBody is the POST /v1/jobs/batch request payload.
+type BatchBody struct {
+	Jobs []JobBody `json:"jobs"`
+}
+
+// ObserveResult reports ingestion progress.
+type ObserveResult struct {
+	Observed  int64 `json:"observed"`
+	Filecules int   `json:"filecules"`
+}
+
+// FileculeBody describes one filecule in responses.
+type FileculeBody struct {
+	ID       int            `json:"id"`
+	Files    []trace.FileID `json:"files"`
+	Requests int            `json:"requests"`
+	Bytes    int64          `json:"bytes,omitempty"`
+}
+
+// PartitionBody is the full-partition response.
+type PartitionBody struct {
+	Observed  int64          `json:"observed"`
+	Filecules []FileculeBody `json:"filecules"`
+}
+
+// SummaryBody is the partition-summary response.
+type SummaryBody struct {
+	Observed          int64   `json:"observed"`
+	Filecules         int     `json:"filecules"`
+	Files             int     `json:"files"`
+	Monatomic         int     `json:"monatomic"`
+	MeanFilesPerGroup float64 `json:"meanFilesPerFilecule"`
+	LargestFiles      int     `json:"largestFilecule"`
+	CoveredBytes      int64   `json:"coveredBytes,omitempty"`
+}
+
+// AdviseBody is the POST /v1/cache/advise request payload.
+type AdviseBody struct {
+	CapacityBytes int64          `json:"capacityBytes"`
+	Files         []trace.FileID `json:"files"`
+	Resident      []ResidentBody `json:"resident"`
+}
+
+// ResidentBody is one resident unit in an advise request.
+type ResidentBody struct {
+	Unit       cache.UnitID `json:"unit"`
+	LastAccess int64        `json:"lastAccess"`
+}
+
+// AdviceResult is the advise response.
+type AdviceResult struct {
+	Hits         []cache.UnitID `json:"hits,omitempty"`
+	Load         []LoadBody     `json:"load,omitempty"`
+	Evict        []cache.UnitID `json:"evict,omitempty"`
+	Bypassed     []trace.FileID `json:"bypassed,omitempty"`
+	BytesToLoad  int64          `json:"bytesToLoad"`
+	BytesToEvict int64          `json:"bytesToEvict"`
+}
+
+// LoadBody is one unit to fetch.
+type LoadBody struct {
+	Unit  cache.UnitID   `json:"unit"`
+	Files []trace.FileID `json:"files"`
+	Bytes int64          `json:"bytes"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// --- handlers ---
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody parses the JSON request body into v, enforcing the size cap.
+// It reports a client-appropriate status code on failure.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBody())
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", mbe.Limit)
+		} else {
+			writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+		}
+		return false
+	}
+	// Trailing garbage after the JSON value is a client error.
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "trailing data after JSON body")
+		return false
+	}
+	return true
+}
+
+// checkFiles validates a job's file IDs against the catalog.
+func (s *Server) checkFiles(files []trace.FileID) error {
+	for _, f := range files {
+		if f < 0 {
+			return fmt.Errorf("negative file ID %d", f)
+		}
+		if s.catTrace != nil && int(f) >= len(s.catTrace.Files) {
+			return fmt.Errorf("file ID %d outside catalog of %d files", f, len(s.catTrace.Files))
+		}
+	}
+	return nil
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	var body JobBody
+	if !s.decodeBody(w, r, &body) {
+		return
+	}
+	if err := s.checkFiles(body.Files); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.monitor.Observe(body.Files)
+	writeJSON(w, http.StatusOK, ObserveResult{
+		Observed:  s.monitor.Observed(),
+		Filecules: s.monitor.NumFilecules(),
+	})
+}
+
+func (s *Server) handleObserveBatch(w http.ResponseWriter, r *http.Request) {
+	var body BatchBody
+	if !s.decodeBody(w, r, &body) {
+		return
+	}
+	if len(body.Jobs) > s.cfg.maxBatch() {
+		writeError(w, http.StatusBadRequest, "batch of %d jobs exceeds limit %d", len(body.Jobs), s.cfg.maxBatch())
+		return
+	}
+	jobs := make([][]trace.FileID, len(body.Jobs))
+	for i, j := range body.Jobs {
+		if err := s.checkFiles(j.Files); err != nil {
+			writeError(w, http.StatusBadRequest, "job %d: %v", i, err)
+			return
+		}
+		jobs[i] = j.Files
+	}
+	s.monitor.ObserveBatch(jobs)
+	writeJSON(w, http.StatusOK, ObserveResult{
+		Observed:  s.monitor.Observed(),
+		Filecules: s.monitor.NumFilecules(),
+	})
+}
+
+func (s *Server) handleFilecule(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("file"))
+	if err != nil || id < 0 || id > 1<<31-1 {
+		writeError(w, http.StatusBadRequest, "bad file ID %q", r.PathValue("file"))
+		return
+	}
+	f := trace.FileID(id)
+	if err := s.checkFiles([]trace.FileID{f}); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p := s.monitor.Snapshot()
+	fc := p.FileculeOf(f)
+	if fc == nil {
+		writeError(w, http.StatusNotFound, "file %d not observed in any job", f)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.fileculeBody(p, fc))
+}
+
+func (s *Server) fileculeBody(p *core.Partition, fc *core.Filecule) FileculeBody {
+	b := FileculeBody{ID: fc.ID, Files: fc.Files, Requests: fc.Requests}
+	if s.catTrace != nil {
+		b.Bytes = p.Size(s.catTrace, fc.ID)
+	}
+	return b
+}
+
+// PartitionJSON encodes a partition in the service's canonical wire form:
+// filecules in canonical order, each with sorted member files. Two equal
+// partitions encode to identical bytes, which the self-test relies on.
+func PartitionJSON(p *core.Partition, observed int64, catalog *trace.Trace) ([]byte, error) {
+	body := PartitionBody{Observed: observed, Filecules: make([]FileculeBody, 0, p.NumFilecules())}
+	for i := range p.Filecules {
+		fc := &p.Filecules[i]
+		b := FileculeBody{ID: fc.ID, Files: fc.Files, Requests: fc.Requests}
+		if catalog != nil {
+			b.Bytes = p.Size(catalog, fc.ID)
+		}
+		body.Filecules = append(body.Filecules, b)
+	}
+	return json.Marshal(body)
+}
+
+func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
+	p := s.monitor.Snapshot()
+	buf, err := PartitionJSON(p, s.monitor.Observed(), s.catTrace)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encode: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf)
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	p := s.monitor.Snapshot()
+	sum := SummaryBody{
+		Observed:  s.monitor.Observed(),
+		Filecules: p.NumFilecules(),
+		Files:     p.NumFiles(),
+	}
+	for i := range p.Filecules {
+		n := p.Filecules[i].NumFiles()
+		if n == 1 {
+			sum.Monatomic++
+		}
+		if n > sum.LargestFiles {
+			sum.LargestFiles = n
+		}
+		if s.catTrace != nil {
+			sum.CoveredBytes += p.Size(s.catTrace, i)
+		}
+	}
+	if p.NumFilecules() > 0 {
+		sum.MeanFilesPerGroup = float64(p.NumFiles()) / float64(p.NumFilecules())
+	}
+	writeJSON(w, http.StatusOK, sum)
+}
+
+// granularity returns the advice granularity for the current snapshot,
+// rebuilding it only when the snapshot changed.
+func (s *Server) granularity() *cache.FileculeGranularity {
+	p := s.monitor.Snapshot()
+	s.granMu.Lock()
+	defer s.granMu.Unlock()
+	if s.granSnap != p {
+		s.gran = cache.NewFileculeGranularity(s.catTrace, p)
+		s.granSnap = p
+	}
+	return s.gran
+}
+
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	if s.catTrace == nil {
+		writeError(w, http.StatusUnprocessableEntity, "cache advice requires a file catalog; start the server with one")
+		return
+	}
+	var body AdviseBody
+	if !s.decodeBody(w, r, &body) {
+		return
+	}
+	if body.CapacityBytes <= 0 {
+		writeError(w, http.StatusBadRequest, "capacityBytes %d must be > 0", body.CapacityBytes)
+		return
+	}
+	if err := s.checkFiles(body.Files); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	req := cache.AdviceRequest{Capacity: body.CapacityBytes, Files: body.Files}
+	for _, res := range body.Resident {
+		req.Resident = append(req.Resident, cache.ResidentUnit{Unit: res.Unit, LastAccess: res.LastAccess})
+	}
+	adv, err := cache.Advise(s.granularity(), req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out := AdviceResult{
+		Hits:         adv.Hits,
+		Evict:        adv.Evict,
+		Bypassed:     adv.Bypassed,
+		BytesToLoad:  adv.BytesToLoad,
+		BytesToEvict: adv.BytesToEvict,
+	}
+	for _, lu := range adv.Load {
+		out.Load = append(out.Load, LoadBody{Unit: lu.Unit, Files: lu.Files, Bytes: lu.Bytes})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WritePrometheus(w)
+	// Application-level gauges alongside the HTTP counters.
+	p := s.monitor.Snapshot()
+	fmt.Fprintf(w, "# TYPE filecule_jobs_observed_total counter\n")
+	fmt.Fprintf(w, "filecule_jobs_observed_total %d\n", s.monitor.Observed())
+	fmt.Fprintf(w, "# TYPE filecule_partition_filecules gauge\n")
+	fmt.Fprintf(w, "filecule_partition_filecules %d\n", p.NumFilecules())
+	fmt.Fprintf(w, "# TYPE filecule_partition_files gauge\n")
+	fmt.Fprintf(w, "filecule_partition_files %d\n", p.NumFiles())
+}

@@ -1,0 +1,332 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"filecule/internal/core"
+	"filecule/internal/synth"
+	"filecule/internal/trace"
+)
+
+// testServer returns a server backed by a small synthetic trace's catalog,
+// plus the trace itself.
+func testServer(tb testing.TB) (*Server, *trace.Trace) {
+	tb.Helper()
+	t, err := synth.Generate(synth.DZero(11, 0.003))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return New(Config{Catalog: t.Files}), t
+}
+
+// do runs one request through the handler and returns the recorder.
+func do(s *Server, method, path, body string) *httptest.ResponseRecorder {
+	var r *http.Request
+	if body == "" {
+		r = httptest.NewRequest(method, path, nil)
+	} else {
+		r = httptest.NewRequest(method, path, strings.NewReader(body))
+		r.Header.Set("Content-Type", "application/json")
+	}
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	return w
+}
+
+func TestObserveThenQuery(t *testing.T) {
+	s, _ := testServer(t)
+	w := do(s, "POST", "/v1/jobs", `{"files":[1,2,3]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("observe: %d %s", w.Code, w.Body)
+	}
+	var res ObserveResult
+	if err := json.Unmarshal(w.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Observed != 1 || res.Filecules != 1 {
+		t.Errorf("ObserveResult = %+v, want 1 job 1 filecule", res)
+	}
+
+	// Splitting job: {1,2} stays together, 3 departs.
+	do(s, "POST", "/v1/jobs", `{"files":[1,2]}`)
+
+	w = do(s, "GET", "/v1/filecules/1", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("filecule: %d %s", w.Code, w.Body)
+	}
+	var fc FileculeBody
+	if err := json.Unmarshal(w.Body.Bytes(), &fc); err != nil {
+		t.Fatal(err)
+	}
+	if len(fc.Files) != 2 || fc.Files[0] != 1 || fc.Files[1] != 2 || fc.Requests != 2 {
+		t.Errorf("filecule of 1 = %+v, want files [1 2] requests 2", fc)
+	}
+	if fc.Bytes == 0 {
+		t.Errorf("filecule bytes not populated from catalog")
+	}
+
+	w = do(s, "GET", "/v1/filecules/3", "")
+	var fc3 FileculeBody
+	if err := json.Unmarshal(w.Body.Bytes(), &fc3); err != nil {
+		t.Fatal(err)
+	}
+	if len(fc3.Files) != 1 || fc3.Requests != 1 {
+		t.Errorf("filecule of 3 = %+v, want singleton with 1 request", fc3)
+	}
+}
+
+func TestBatchObserveMatchesSequential(t *testing.T) {
+	s, tr := testServer(t)
+	s2 := New(Config{Catalog: tr.Files})
+
+	// Feed the same jobs batched and unbatched; partitions must agree.
+	n := 200
+	if n > len(tr.Jobs) {
+		n = len(tr.Jobs)
+	}
+	var batch BatchBody
+	for i := 0; i < n; i++ {
+		body, _ := json.Marshal(JobBody{Files: tr.Jobs[i].Files})
+		if w := do(s, "POST", "/v1/jobs", string(body)); w.Code != http.StatusOK {
+			t.Fatalf("observe %d: %d %s", i, w.Code, w.Body)
+		}
+		batch.Jobs = append(batch.Jobs, JobBody{Files: tr.Jobs[i].Files})
+	}
+	bb, _ := json.Marshal(batch)
+	if w := do(s2, "POST", "/v1/jobs/batch", string(bb)); w.Code != http.StatusOK {
+		t.Fatalf("batch observe: %d %s", w.Code, w.Body)
+	}
+
+	if !s.Monitor().Snapshot().Equal(s2.Monitor().Snapshot()) {
+		t.Error("batched and unbatched ingestion disagree")
+	}
+	p1 := do(s, "GET", "/v1/partition", "").Body.String()
+	p2 := do(s2, "GET", "/v1/partition", "").Body.String()
+	if p1 != p2 {
+		t.Error("partition JSON differs between batched and unbatched ingestion")
+	}
+}
+
+func TestPartitionMatchesBatchIdentify(t *testing.T) {
+	s, tr := testServer(t)
+	var batch BatchBody
+	for i := range tr.Jobs {
+		batch.Jobs = append(batch.Jobs, JobBody{Files: tr.Jobs[i].Files})
+	}
+	bb, _ := json.Marshal(batch)
+	if w := do(s, "POST", "/v1/jobs/batch", string(bb)); w.Code != http.StatusOK {
+		t.Fatalf("batch observe: %d %s", w.Code, w.Body)
+	}
+
+	want, err := PartitionJSON(core.Identify(tr), int64(len(tr.Jobs)), &trace.Trace{Files: tr.Files})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimSpace(do(s, "GET", "/v1/partition", "").Body.String())
+	if got != string(want) {
+		t.Errorf("served partition differs from core.Identify (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s, _ := testServer(t)
+	do(s, "POST", "/v1/jobs", `{"files":[0,1]}`)
+	do(s, "POST", "/v1/jobs", `{"files":[2]}`)
+	w := do(s, "GET", "/v1/partition/summary", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("summary: %d %s", w.Code, w.Body)
+	}
+	var sum SummaryBody
+	if err := json.Unmarshal(w.Body.Bytes(), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Observed != 2 || sum.Filecules != 2 || sum.Files != 3 || sum.Monatomic != 1 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if sum.LargestFiles != 2 || sum.MeanFilesPerGroup != 1.5 {
+		t.Errorf("summary shape = %+v", sum)
+	}
+	if sum.CoveredBytes == 0 {
+		t.Errorf("summary bytes not populated")
+	}
+}
+
+func TestAdviseEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	do(s, "POST", "/v1/jobs", `{"files":[0,1]}`)
+
+	w := do(s, "POST", "/v1/cache/advise", `{"capacityBytes":1099511627776,"files":[0]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("advise: %d %s", w.Code, w.Body)
+	}
+	var adv AdviceResult
+	if err := json.Unmarshal(w.Body.Bytes(), &adv); err != nil {
+		t.Fatal(err)
+	}
+	if len(adv.Load) != 1 || len(adv.Load[0].Files) != 2 {
+		t.Errorf("advise = %+v, want one 2-file filecule load", adv)
+	}
+	if adv.BytesToLoad == 0 {
+		t.Errorf("advise bytes = %+v", adv)
+	}
+
+	// Second call with the advised unit resident: pure hit.
+	body := fmt.Sprintf(`{"capacityBytes":1099511627776,"files":[0],"resident":[{"unit":%d,"lastAccess":1}]}`,
+		adv.Load[0].Unit)
+	w = do(s, "POST", "/v1/cache/advise", body)
+	var adv2 AdviceResult
+	if err := json.Unmarshal(w.Body.Bytes(), &adv2); err != nil {
+		t.Fatal(err)
+	}
+	if len(adv2.Hits) != 1 || len(adv2.Load) != 0 {
+		t.Errorf("resident advise = %+v, want one hit", adv2)
+	}
+}
+
+func TestAdviseWithoutCatalog(t *testing.T) {
+	s := New(Config{})
+	do(s, "POST", "/v1/jobs", `{"files":[0,1]}`)
+	w := do(s, "POST", "/v1/cache/advise", `{"capacityBytes":100,"files":[0]}`)
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Errorf("advise without catalog: %d, want 422", w.Code)
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	s, tr := testServer(t)
+	cases := []struct {
+		name, method, path, body string
+		want                     int
+	}{
+		{"bad json", "POST", "/v1/jobs", `{"files":`, http.StatusBadRequest},
+		{"wrong type", "POST", "/v1/jobs", `{"files":"nope"}`, http.StatusBadRequest},
+		{"unknown field", "POST", "/v1/jobs", `{"fils":[1]}`, http.StatusBadRequest},
+		{"trailing data", "POST", "/v1/jobs", `{"files":[1]}{"files":[2]}`, http.StatusBadRequest},
+		{"negative file", "POST", "/v1/jobs", `{"files":[-1]}`, http.StatusBadRequest},
+		{"file beyond catalog", "POST", "/v1/jobs",
+			fmt.Sprintf(`{"files":[%d]}`, len(tr.Files)), http.StatusBadRequest},
+		{"bad batch", "POST", "/v1/jobs/batch", `{"jobs":[{"files":[-2]}]}`, http.StatusBadRequest},
+		{"bad filecule id", "GET", "/v1/filecules/xyz", "", http.StatusBadRequest},
+		{"huge filecule id", "GET", "/v1/filecules/99999999999999999999", "", http.StatusBadRequest},
+		{"unobserved file", "GET", "/v1/filecules/0", "", http.StatusNotFound},
+		{"advise bad capacity", "POST", "/v1/cache/advise", `{"capacityBytes":0,"files":[1]}`, http.StatusBadRequest},
+		{"advise unknown unit", "POST", "/v1/cache/advise",
+			`{"capacityBytes":100,"resident":[{"unit":123456789}]}`, http.StatusBadRequest},
+		{"unknown route", "GET", "/v1/nope", "", http.StatusNotFound},
+		{"wrong method", "GET", "/v1/jobs", "", http.StatusMethodNotAllowed},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w := do(s, c.method, c.path, c.body)
+			if w.Code != c.want {
+				t.Errorf("%s %s: %d, want %d (body %s)", c.method, c.path, w.Code, c.want, w.Body)
+			}
+		})
+	}
+}
+
+func TestBatchLimit(t *testing.T) {
+	s := New(Config{MaxBatchJobs: 2})
+	w := do(s, "POST", "/v1/jobs/batch", `{"jobs":[{"files":[1]},{"files":[2]},{"files":[3]}]}`)
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("oversized batch: %d, want 400", w.Code)
+	}
+}
+
+func TestBodyLimit(t *testing.T) {
+	s := New(Config{MaxBodyBytes: 64})
+	big := `{"files":[` + strings.Repeat("1,", 1000) + `1]}`
+	w := do(s, "POST", "/v1/jobs", big)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: %d, want 413", w.Code)
+	}
+}
+
+// TestConcurrentObserveAndQuery hammers the handler from many goroutines —
+// meaningful under -race — and checks the final partition against batch
+// identification.
+func TestConcurrentObserveAndQuery(t *testing.T) {
+	s, tr := testServer(t)
+	n := 400
+	if n > len(tr.Jobs) {
+		n = len(tr.Jobs)
+	}
+	workers := 8
+	var next int64
+	var mu sync.Mutex
+	next = 0
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= int64(n) {
+			return -1
+		}
+		i := int(next)
+		next++
+		return i
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := claim()
+				if i < 0 {
+					return
+				}
+				body, _ := json.Marshal(JobBody{Files: tr.Jobs[i].Files})
+				if w := do(s, "POST", "/v1/jobs", string(body)); w.Code != http.StatusOK {
+					t.Errorf("observe: %d %s", w.Code, w.Body)
+					return
+				}
+				// Interleave reads with writes.
+				if i%7 == 0 {
+					do(s, "GET", "/v1/partition/summary", "")
+				}
+				if i%11 == 0 {
+					do(s, "GET", "/metrics", "")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	want := core.Identify(tr.WithJobs(jobIDs(n)))
+	if !s.Monitor().Snapshot().Equal(want) {
+		t.Error("concurrent ingestion diverged from batch identification")
+	}
+}
+
+func jobIDs(n int) []trace.JobID {
+	ids := make([]trace.JobID, n)
+	for i := range ids {
+		ids[i] = trace.JobID(i)
+	}
+	return ids
+}
+
+func TestHealthz(t *testing.T) {
+	s, _ := testServer(t)
+	if w := do(s, "GET", "/healthz", ""); w.Code != http.StatusOK {
+		t.Errorf("healthz: %d", w.Code)
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	s := New(Config{EnablePprof: true})
+	if w := do(s, "GET", "/debug/pprof/cmdline", ""); w.Code != http.StatusOK {
+		t.Errorf("pprof cmdline: %d", w.Code)
+	}
+	off := New(Config{})
+	if w := do(off, "GET", "/debug/pprof/cmdline", ""); w.Code == http.StatusOK {
+		t.Errorf("pprof served while disabled")
+	}
+}
