@@ -1,15 +1,29 @@
-# Tier-1 verification and developer loops. `make ci` is the gate:
-# vet + build + race-enabled tests + a short fuzz smoke over every target.
+# Tier-1 verification and developer loops. `make ci` is the gate the GitHub
+# workflow runs (one source of truth — .github/workflows/ci.yml only calls
+# make targets): gofmt + vet + build + race-enabled tests + a short fuzz
+# smoke over every target. `make bench-gate` is the benchmark-regression
+# gate against the committed BENCH_baseline.json.
 
 GO ?= go
 FUZZTIME ?= 10s
+BENCHDIR ?= .bench
+# Benchmarks the regression gate watches: the sweep engine pair plus the
+# serving hot path. The Large sweep variants are excluded by the $$ anchors.
+BENCHPAT ?= SweepEngine$$|SweepSequential$$|CacheReplay|Server
+BENCH_TOLERANCE ?= 0.15
 
-.PHONY: all build vet test race fuzz-smoke bench selftest ci
+.PHONY: all build fmt-check vet test race fuzz-smoke bench selftest ci \
+	bench-json bench-gate bench-baseline
 
 all: ci
 
 build:
 	$(GO) build ./...
+
+# gofmt has no check mode: -l lists unformatted files, so fail if any.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -30,10 +44,32 @@ fuzz-smoke:
 bench:
 	$(GO) test -run=^$$ -bench=. -benchmem .
 
+# Assemble the machine-readable benchmark report (BENCH_sweep.json): gated
+# benchmarks plus the full-grid sweep at bench scale, whose miss rates are
+# exact and machine-independent.
+bench-json:
+	mkdir -p $(BENCHDIR)
+	$(GO) test -run=^$$ -bench='$(BENCHPAT)' -benchmem . | tee $(BENCHDIR)/bench.txt
+	$(GO) run ./cmd/filecule-cachesim -sweep -scale 0.02 -seed 1 -o $(BENCHDIR)/sweep.json
+	$(GO) run ./cmd/filecule-benchgate -bench $(BENCHDIR)/bench.txt \
+		-sweep $(BENCHDIR)/sweep.json -o BENCH_sweep.json
+	@echo "bench-json: wrote BENCH_sweep.json"
+
+# Gate the fresh report against the committed baseline: fail on >15% ns/op
+# or B/op regression, a sub-3x sweep speedup, or any sweep miss-rate drift.
+bench-gate: bench-json
+	$(GO) run ./cmd/filecule-benchgate -report BENCH_sweep.json \
+		-baseline BENCH_baseline.json -tolerance $(BENCH_TOLERANCE)
+
+# Refresh the committed baseline after a deliberate performance change.
+bench-baseline: bench-json
+	$(GO) run ./cmd/filecule-benchgate -report BENCH_sweep.json \
+		-baseline BENCH_baseline.json -update
+
 # Closed-loop verification of the serving layer: replay a synthetic trace
 # from concurrent clients and cross-check the partition byte-for-byte.
 selftest:
 	$(GO) run ./cmd/filecule-serve -selftest
 
-ci: vet build race fuzz-smoke
+ci: fmt-check vet build race fuzz-smoke
 	@echo "ci: all green"

@@ -20,6 +20,7 @@ import (
 	"filecule/internal/core"
 	"filecule/internal/experiments"
 	"filecule/internal/server"
+	"filecule/internal/sim"
 	"filecule/internal/synth"
 	"filecule/internal/trace"
 )
@@ -200,6 +201,50 @@ func (w *writeCounter) Write(p []byte) (int, error) {
 	*w += writeCounter(len(p))
 	return len(p), nil
 }
+
+// --- cache-grid sweep engine (internal/sim) ---
+
+// benchSweepGrid runs one full policy × granularity × capacity grid per
+// iteration through the given engine, reporting aggregate simulated
+// cell-requests per second (one cell-request = one request replayed into one
+// grid cell).
+func benchSweepGrid(b *testing.B, scale float64,
+	engine func(*trace.Trace, *core.Partition, []trace.Request, sim.SweepConfig) (*sim.SweepResult, error)) {
+	b.Helper()
+	r := experiments.New(experiments.Config{Seed: 1, Scale: scale})
+	t := r.Trace()
+	p := r.Partition()
+	reqs := r.Requests()
+	cfg := sim.SweepConfig{Scale: scale}
+	cells := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := engine(t, p, reqs, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Cells) == 0 || res.Cells[0].Metrics.Requests == 0 {
+			b.Fatal("empty sweep")
+		}
+		cells = len(res.Cells)
+	}
+	b.ReportMetric(float64(len(reqs))*float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cellreq/s")
+}
+
+// BenchmarkSweepEngine is the single-pass dense engine over the full grid at
+// bench scale — one of the two numbers behind the CI speedup gate.
+func BenchmarkSweepEngine(b *testing.B) { benchSweepGrid(b, benchScale, sim.Sweep) }
+
+// BenchmarkSweepSequential is the same grid replayed one cell at a time
+// through the cache package — the reference cost the engine is compared to.
+func BenchmarkSweepSequential(b *testing.B) { benchSweepGrid(b, benchScale, sim.SweepSequential) }
+
+// The Large pair reproduces the headline comparison on a ~100k-job trace
+// (scale 0.4). Excluded from the default CI bench pattern; run explicitly:
+//
+//	go test -bench='SweepEngineLarge|SweepSequentialLarge' -benchtime=1x
+func BenchmarkSweepEngineLarge(b *testing.B)     { benchSweepGrid(b, 0.4, sim.Sweep) }
+func BenchmarkSweepSequentialLarge(b *testing.B) { benchSweepGrid(b, 0.4, sim.SweepSequential) }
 
 // --- serving hot path (internal/server handlers via httptest) ---
 

@@ -1,0 +1,332 @@
+// Command filecule-benchgate turns `go test -bench` output into a
+// machine-readable benchmark report (the filecule-bench/v1 schema) and gates
+// changes against a committed baseline:
+//
+//	go test -bench 'Sweep|Server' -benchmem ./... > bench.txt
+//	filecule-cachesim -sweep -scale 0.02 -o sweep.json
+//	filecule-benchgate -bench bench.txt -sweep sweep.json -o BENCH_sweep.json
+//	filecule-benchgate -report BENCH_sweep.json -baseline BENCH_baseline.json
+//	filecule-benchgate -report BENCH_sweep.json -baseline BENCH_baseline.json -update
+//
+// The gate fails (exit 1) when ns/op or B/op regresses beyond the tolerance
+// band against the baseline, when the speedup ratio between paired
+// engine/sequential benchmarks drops below the configured floor, or when the
+// embedded sweep miss rates — which are machine-independent — differ at all.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"filecule/internal/sim"
+)
+
+// BenchSchema versions the benchmark report JSON.
+const BenchSchema = "filecule-bench/v1"
+
+// Benchmark is one parsed benchmark result. Metrics maps unit to value
+// (ns/op, B/op, allocs/op, plus any custom b.ReportMetric units).
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the filecule-bench/v1 document: benchmark numbers plus the
+// machine-independent sweep results they were measured against.
+type Report struct {
+	Schema     string           `json:"schema"`
+	Benchmarks []Benchmark      `json:"benchmarks"`
+	Sweep      *sim.SweepResult `json:"sweep,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("filecule-benchgate", flag.ExitOnError)
+	var (
+		benchPath = fs.String("bench", "", "`go test -bench` output to parse ('-' for stdin)")
+		sweepPath = fs.String("sweep", "", "sweep JSON (filecule-sweep/v1) to embed in the report")
+		outPath   = fs.String("o", "", "write the assembled report JSON here ('-' for stdout)")
+
+		reportPath   = fs.String("report", "", "report to gate against the baseline")
+		basePath     = fs.String("baseline", "", "committed baseline report")
+		tolerance    = fs.Float64("tolerance", 0.15, "allowed fractional regression of ns/op and B/op")
+		speedupFloor = fs.Float64("speedup-floor", 3, "required SweepEngine over SweepSequential wall-clock ratio (0 disables)")
+		update       = fs.Bool("update", false, "rewrite the baseline from the report instead of gating")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *benchPath != "" {
+		rep, err := assemble(*benchPath, *sweepPath)
+		if err != nil {
+			return err
+		}
+		if err := writeReport(rep, *outPath, stdout); err != nil {
+			return err
+		}
+	}
+
+	if *reportPath == "" {
+		if *benchPath == "" {
+			return fmt.Errorf("nothing to do: pass -bench to assemble a report and/or -report -baseline to gate")
+		}
+		return nil
+	}
+	rep, err := readReport(*reportPath)
+	if err != nil {
+		return err
+	}
+	if *basePath == "" {
+		return fmt.Errorf("-report requires -baseline")
+	}
+	if *update {
+		f, err := os.Create(*basePath)
+		if err != nil {
+			return err
+		}
+		if err := encodeReport(f, rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "benchgate: baseline %s updated (%d benchmarks)\n", *basePath, len(rep.Benchmarks))
+		return nil
+	}
+	base, err := readReport(*basePath)
+	if err != nil {
+		return err
+	}
+	violations := gate(base, rep, *tolerance, *speedupFloor)
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(stdout, "FAIL:", v)
+		}
+		return fmt.Errorf("benchgate: %d violation(s) against %s (tolerance %.0f%%)",
+			len(violations), *basePath, *tolerance*100)
+	}
+	fmt.Fprintf(stdout, "benchgate: %d benchmarks within %.0f%% of baseline\n", len(rep.Benchmarks), *tolerance*100)
+	return nil
+}
+
+// assemble parses bench output and optionally embeds a sweep result.
+func assemble(benchPath, sweepPath string) (*Report, error) {
+	var r io.Reader = os.Stdin
+	if benchPath != "-" {
+		f, err := os.Open(benchPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	benches, err := parseBench(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(benches) == 0 {
+		return nil, fmt.Errorf("no Benchmark lines found in %s", benchPath)
+	}
+	rep := &Report{Schema: BenchSchema, Benchmarks: benches}
+	if sweepPath != "" {
+		data, err := os.ReadFile(sweepPath)
+		if err != nil {
+			return nil, err
+		}
+		var sw sim.SweepResult
+		if err := json.Unmarshal(data, &sw); err != nil {
+			return nil, fmt.Errorf("parse sweep %s: %w", sweepPath, err)
+		}
+		if sw.Schema != sim.SweepSchema {
+			return nil, fmt.Errorf("sweep %s: schema %q, want %q", sweepPath, sw.Schema, sim.SweepSchema)
+		}
+		// Strip the machine-dependent fields so baseline diffs stay clean.
+		sw.WallSeconds = 0
+		sw.Workers = 0
+		rep.Sweep = &sw
+	}
+	return rep, nil
+}
+
+// parseBench extracts benchmark lines from `go test -bench` output:
+//
+//	BenchmarkSweepEngine-4   100   123456 ns/op   789 B/op   10 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped so reports compare across machines.
+func parseBench(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "BenchmarkX	--- FAIL" style lines
+		}
+		b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bench line %q: bad value %q", sc.Text(), fields[i])
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		out = append(out, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// gate compares a report against the baseline and returns all violations.
+func gate(base, rep *Report, tolerance, speedupFloor float64) []string {
+	var out []string
+	byName := make(map[string]Benchmark, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		byName[b.Name] = b
+	}
+	names := make([]string, 0, len(base.Benchmarks))
+	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		names = append(names, b.Name)
+		baseBy[b.Name] = b
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		bb := baseBy[name]
+		rb, ok := byName[name]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: present in baseline, missing from report", name))
+			continue
+		}
+		for _, unit := range []string{"ns/op", "B/op"} {
+			bv, bok := bb.Metrics[unit]
+			rv, rok := rb.Metrics[unit]
+			if !bok || bv == 0 {
+				continue
+			}
+			if !rok {
+				out = append(out, fmt.Sprintf("%s: baseline has %s, report does not", name, unit))
+				continue
+			}
+			if rv > bv*(1+tolerance) {
+				out = append(out, fmt.Sprintf("%s: %s regressed %.1f%% (%.4g -> %.4g, tolerance %.0f%%)",
+					name, unit, (rv/bv-1)*100, bv, rv, tolerance*100))
+			}
+		}
+	}
+
+	// The engine's reason to exist, checked within one machine and one run —
+	// immune to runner-to-runner speed differences.
+	if speedupFloor > 0 {
+		eng, eok := byName["SweepEngine"]
+		seq, sok := byName["SweepSequential"]
+		if eok && sok && eng.Metrics["ns/op"] > 0 {
+			if ratio := seq.Metrics["ns/op"] / eng.Metrics["ns/op"]; ratio < speedupFloor {
+				out = append(out, fmt.Sprintf(
+					"SweepEngine only %.2fx faster than SweepSequential, floor %gx", ratio, speedupFloor))
+			}
+		}
+	}
+
+	// Sweep miss rates are exact functions of trace + config: any drift is a
+	// behavior change, not noise.
+	if base.Sweep != nil {
+		if rep.Sweep == nil {
+			out = append(out, "baseline embeds sweep results, report does not")
+		} else {
+			out = append(out, gateSweep(base.Sweep, rep.Sweep)...)
+		}
+	}
+	return out
+}
+
+func gateSweep(base, rep *sim.SweepResult) []string {
+	var out []string
+	if base.Scale != rep.Scale || base.Requests != rep.Requests {
+		return []string{fmt.Sprintf("sweep workload changed: scale %g/%d requests vs baseline %g/%d — update the baseline deliberately",
+			rep.Scale, rep.Requests, base.Scale, base.Requests)}
+	}
+	type key struct {
+		p, g string
+		tb   float64
+	}
+	repBy := make(map[key]sim.CellResult, len(rep.Cells))
+	for _, c := range rep.Cells {
+		repBy[key{c.Policy, c.Granularity, c.CacheTB}] = c
+	}
+	for _, b := range base.Cells {
+		r, ok := repBy[key{b.Policy, b.Granularity, b.CacheTB}]
+		if !ok {
+			out = append(out, fmt.Sprintf("sweep cell %s/%s/%gTB missing from report", b.Policy, b.Granularity, b.CacheTB))
+			continue
+		}
+		if r.Metrics != b.Metrics {
+			out = append(out, fmt.Sprintf("sweep cell %s/%s/%gTB changed: %+v -> %+v",
+				b.Policy, b.Granularity, b.CacheTB, b.Metrics, r.Metrics))
+		}
+	}
+	return out
+}
+
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if rep.Schema != BenchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, BenchSchema)
+	}
+	return &rep, nil
+}
+
+func writeReport(rep *Report, path string, stdout io.Writer) error {
+	if path == "" || path == "-" {
+		return encodeReport(stdout, rep)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := encodeReport(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func encodeReport(w io.Writer, rep *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

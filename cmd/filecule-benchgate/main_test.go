@@ -1,0 +1,135 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"filecule/internal/cache"
+	"filecule/internal/sim"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: filecule
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSweepEngine-4     	       2	1143987559 ns/op	  18857003 cellreq/s	68932928 B/op	    1697 allocs/op
+BenchmarkSweepSequential-4 	       1	10794147786 ns/op	   1998502 cellreq/s	817193200 B/op	16246037 allocs/op
+BenchmarkServerAdvise      	   12345	     97531 ns/op	     10250 req/s
+PASS
+ok  	filecule	12.120s
+`
+
+func parseSample(t *testing.T) []Benchmark {
+	t.Helper()
+	benches, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatalf("parseBench: %v", err)
+	}
+	return benches
+}
+
+func TestParseBench(t *testing.T) {
+	benches := parseSample(t)
+	if len(benches) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(benches))
+	}
+	eng := benches[0]
+	if eng.Name != "SweepEngine" {
+		t.Errorf("name %q: GOMAXPROCS suffix should be stripped", eng.Name)
+	}
+	if eng.Iterations != 2 || eng.Metrics["ns/op"] != 1143987559 || eng.Metrics["B/op"] != 68932928 {
+		t.Errorf("SweepEngine parsed wrong: %+v", eng)
+	}
+	if benches[2].Name != "ServerAdvise" || benches[2].Metrics["req/s"] != 10250 {
+		t.Errorf("unsuffixed custom-metric benchmark parsed wrong: %+v", benches[2])
+	}
+}
+
+func report(t *testing.T) *Report {
+	return &Report{Schema: BenchSchema, Benchmarks: parseSample(t)}
+}
+
+func scaleBench(r *Report, name, unit string, factor float64) {
+	for i := range r.Benchmarks {
+		if r.Benchmarks[i].Name == name {
+			r.Benchmarks[i].Metrics[unit] *= factor
+		}
+	}
+}
+
+func TestGateWithinTolerance(t *testing.T) {
+	base, rep := report(t), report(t)
+	scaleBench(rep, "ServerAdvise", "ns/op", 1.10) // +10% < 15% band
+	if v := gate(base, rep, 0.15, 3); len(v) != 0 {
+		t.Errorf("unexpected violations: %v", v)
+	}
+}
+
+func TestGateNsOpRegression(t *testing.T) {
+	base, rep := report(t), report(t)
+	scaleBench(rep, "ServerAdvise", "ns/op", 1.30)
+	v := gate(base, rep, 0.15, 3)
+	if len(v) != 1 || !strings.Contains(v[0], "ServerAdvise") || !strings.Contains(v[0], "ns/op") {
+		t.Errorf("want one ServerAdvise ns/op violation, got %v", v)
+	}
+}
+
+func TestGateBytesRegressionAndMissing(t *testing.T) {
+	base, rep := report(t), report(t)
+	scaleBench(rep, "SweepEngine", "B/op", 2)
+	rep.Benchmarks = rep.Benchmarks[:2] // drop ServerAdvise
+	v := gate(base, rep, 0.15, 0)
+	if len(v) != 2 {
+		t.Fatalf("want B/op + missing-benchmark violations, got %v", v)
+	}
+}
+
+func TestGateSpeedupFloor(t *testing.T) {
+	base, rep := report(t), report(t)
+	// Slow the engine until the in-report ratio drops under the floor.
+	scaleBench(rep, "SweepEngine", "ns/op", 4) // ratio ~9.4/4 = 2.4 < 3
+	// Keep ns/op within band by relaxing tolerance; only the floor fires.
+	v := gate(base, rep, 10, 3)
+	if len(v) != 1 || !strings.Contains(v[0], "faster than SweepSequential") {
+		t.Errorf("want speedup-floor violation, got %v", v)
+	}
+}
+
+func sweepFixture(misses int64) *sim.SweepResult {
+	return &sim.SweepResult{
+		Schema: sim.SweepSchema, Scale: 0.02, Requests: 100,
+		Cells: []sim.CellResult{{
+			Policy: "lru", Granularity: "file", CacheTB: 1,
+			Metrics: cache.Metrics{Requests: 100, Misses: misses, Hits: 100 - misses},
+		}},
+	}
+}
+
+func TestGateSweepExactness(t *testing.T) {
+	base, rep := report(t), report(t)
+	base.Sweep = sweepFixture(40)
+	rep.Sweep = sweepFixture(41) // off by a single miss
+	v := gate(base, rep, 0.15, 0)
+	if len(v) != 1 || !strings.Contains(v[0], "lru/file/1TB") {
+		t.Errorf("want exact sweep-cell violation, got %v", v)
+	}
+	rep.Sweep = sweepFixture(40)
+	if v := gate(base, rep, 0.15, 0); len(v) != 0 {
+		t.Errorf("identical sweeps must pass, got %v", v)
+	}
+	rep.Sweep = nil
+	if v := gate(base, rep, 0.15, 0); len(v) != 1 {
+		t.Errorf("missing sweep section must fail, got %v", v)
+	}
+}
+
+func TestGateSweepWorkloadChange(t *testing.T) {
+	base, rep := report(t), report(t)
+	base.Sweep = sweepFixture(40)
+	rep.Sweep = sweepFixture(40)
+	rep.Sweep.Scale = 0.05
+	v := gate(base, rep, 0.15, 0)
+	if len(v) != 1 || !strings.Contains(v[0], "workload changed") {
+		t.Errorf("want workload-change violation, got %v", v)
+	}
+}

@@ -1,15 +1,18 @@
 // Command filecule-cachesim replays a trace through the cache simulator and
 // prints miss rates across cache sizes and policies — the Figure 10
-// experiment plus the policy ablation:
+// experiment plus the policy ablation and the full-grid sweep engine:
 //
 //	filecule-cachesim -scale 0.05                  # Figure 10 sweep
 //	filecule-cachesim -trace trace.txt -ablation   # policy zoo
 //	filecule-cachesim -sizes 1,10,100 -policy gds  # custom sweep
+//	filecule-cachesim -sweep -o sweep.json         # single-pass grid sweep
+//	filecule-cachesim -sweep -table                # ... rendered as tables
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -18,43 +21,62 @@ import (
 	"filecule/internal/core"
 	"filecule/internal/experiments"
 	"filecule/internal/report"
+	"filecule/internal/sim"
 	"filecule/internal/synth"
 	"filecule/internal/trace"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	// ExitOnError keeps the conventional usage-error exit code 2.
+	fs := flag.NewFlagSet("filecule-cachesim", flag.ExitOnError)
 	var (
-		path     = flag.String("trace", "", "trace file (omit to synthesize)")
-		seed     = flag.Int64("seed", 1, "generator seed when synthesizing")
-		scale    = flag.Float64("scale", 0.05, "workload scale; also scales cache sizes")
-		sizes    = flag.String("sizes", "", "comma-separated cache sizes in full-scale TB (default: the paper's 7 sizes)")
-		policy   = flag.String("policy", "lru", "eviction policy: lru, fifo, lfu, size, gds, gdsf, landlord, bundle")
-		ablation = flag.Bool("ablation", false, "run the full policy-zoo ablation instead of a sweep")
+		path     = fs.String("trace", "", "trace file (omit to synthesize)")
+		seed     = fs.Int64("seed", 1, "generator seed when synthesizing")
+		scale    = fs.Float64("scale", 0.05, "workload scale; also scales cache sizes")
+		sizes    = fs.String("sizes", "", "comma-separated cache sizes in full-scale TB (default: the paper's 7 sizes)")
+		policy   = fs.String("policy", "lru", "eviction policy: lru, fifo, lfu, size, gds, gdsf, landlord, bundle")
+		ablation = fs.Bool("ablation", false, "run the full policy-zoo ablation instead of a sweep")
+
+		sweep    = fs.Bool("sweep", false, "run the single-pass grid sweep engine (policies x granularities x sizes)")
+		policies = fs.String("policies", "", "sweep: comma-separated policies (default lru,arc,gds,opt)")
+		grans    = fs.String("grans", "", "sweep: comma-separated granularities (default file,filecule,bundle)")
+		workers  = fs.Int("workers", 0, "sweep: simulation workers (default GOMAXPROCS)")
+		table    = fs.Bool("table", false, "sweep: render per-policy tables instead of JSON")
+		out      = fs.String("o", "-", "sweep: JSON output path ('-' for stdout)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err // unreachable with ExitOnError; kept for safety
+	}
 
-	t := loadOrGen(*path, *seed, *scale)
+	t, err := loadOrGen(*path, *seed, *scale)
+	if err != nil {
+		return err
+	}
+
+	if *sweep {
+		return runSweep(t, *scale, *sizes, *policies, *grans, *workers, *table, *out, stdout)
+	}
+
 	r := experiments.NewForTrace(t, *scale)
-
 	if *ablation {
 		res, err := r.Run("ablation")
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Print(res.Render())
-		return
+		_, err = fmt.Fprint(stdout, res.Render())
+		return err
 	}
 
-	sizeList := experiments.Fig10CacheSizesTB
-	if *sizes != "" {
-		sizeList = nil
-		for _, s := range strings.Split(*sizes, ",") {
-			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
-			if err != nil || v <= 0 {
-				fatal(fmt.Errorf("bad size %q", s))
-			}
-			sizeList = append(sizeList, v)
-		}
+	sizeList, err := parseSizes(*sizes)
+	if err != nil {
+		return err
 	}
 
 	p := core.Identify(t)
@@ -67,62 +89,129 @@ func main() {
 		if capBytes < 1<<20 {
 			capBytes = 1 << 20
 		}
-		fm := cache.NewSim(t, cache.NewFileGranularity(t), mkPolicy(*policy, p), capBytes).Replay(reqs)
-		cm := cache.NewSim(t, cache.NewFileculeGranularity(t, p), mkPolicy(*policy, p), capBytes).Replay(reqs)
+		pol, err := mkPolicy(*policy, p)
+		if err != nil {
+			return err
+		}
+		fm := cache.NewSim(t, cache.NewFileGranularity(t), pol, capBytes).Replay(reqs)
+		pol, err = mkPolicy(*policy, p)
+		if err != nil {
+			return err
+		}
+		cm := cache.NewSim(t, cache.NewFileculeGranularity(t, p), pol, capBytes).Replay(reqs)
 		gain := 0.0
 		if cm.MissRate() > 0 {
 			gain = fm.MissRate() / cm.MissRate()
 		}
 		tb.AddRow(tbs, fm.MissRate(), cm.MissRate(), gain)
 	}
-	tb.Render(os.Stdout)
+	return tb.Render(stdout)
 }
 
-func mkPolicy(name string, p *core.Partition) cache.Policy {
+// runSweep drives the single-pass engine and emits JSON (the
+// filecule-sweep/v1 schema) or rendered tables.
+func runSweep(t *trace.Trace, scale float64, sizes, policies, grans string, workers int, asTable bool, out string, stdout io.Writer) (err error) {
+	cfg := sim.SweepConfig{Scale: scale, Workers: workers}
+	if cfg.CapacitiesTB, err = parseSizes(sizes); err != nil {
+		return err
+	}
+	if policies != "" {
+		cfg.Policies = splitList(policies)
+	}
+	if grans != "" {
+		cfg.Granularities = splitList(grans)
+	}
+
+	p := core.Identify(t)
+	res, err := sim.Sweep(t, p, t.Requests(), cfg)
+	if err != nil {
+		return err
+	}
+
+	if asTable {
+		for _, tb := range report.SweepTables(res) {
+			if err := tb.Render(stdout); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintln(stdout); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	w := stdout
+	if out != "-" && out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		w = f
+	}
+	return res.WriteJSON(w)
+}
+
+func parseSizes(s string) ([]float64, error) {
+	if s == "" {
+		return experiments.Fig10CacheSizesTB, nil
+	}
+	var sizes []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		sizes = append(sizes, v)
+	}
+	return sizes, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func mkPolicy(name string, p *core.Partition) (cache.Policy, error) {
 	switch name {
 	case "lru":
-		return cache.NewLRU()
+		return cache.NewLRU(), nil
 	case "fifo":
-		return cache.NewFIFO()
+		return cache.NewFIFO(), nil
 	case "lfu":
-		return cache.NewLFU()
+		return cache.NewLFU(), nil
 	case "size":
-		return cache.NewSize()
+		return cache.NewSize(), nil
 	case "gds":
-		return cache.NewGDS()
+		return cache.NewGDS(), nil
 	case "gdsf":
-		return cache.NewGDSF()
+		return cache.NewGDSF(), nil
 	case "landlord":
-		return cache.NewLandlord()
+		return cache.NewLandlord(), nil
 	case "bundle":
-		return cache.NewBundleLRU(p)
+		return cache.NewBundleLRU(p), nil
 	default:
-		fatal(fmt.Errorf("unknown policy %q", name))
-		return nil
+		return nil, fmt.Errorf("unknown policy %q", name)
 	}
 }
 
-func loadOrGen(path string, seed int64, scale float64) *trace.Trace {
+func loadOrGen(path string, seed int64, scale float64) (*trace.Trace, error) {
 	if path == "" {
-		t, err := synth.Generate(synth.DZero(seed, scale))
-		if err != nil {
-			fatal(err)
-		}
-		return t
+		return synth.Generate(synth.DZero(seed, scale))
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
 	defer f.Close()
-	t, err := trace.ReadAuto(f)
-	if err != nil {
-		fatal(err)
-	}
-	return t
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	return trace.ReadAuto(f)
 }

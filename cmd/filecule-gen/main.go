@@ -30,13 +30,13 @@ func main() {
 	}
 
 	w := os.Stdout
+	var f *os.File
 	if *out != "-" {
-		f, err := os.Create(*out)
+		f, err = os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		w = f
 	}
 	write := trace.Write
@@ -46,6 +46,14 @@ func main() {
 	if err := write(w, t); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	// Close errors surface buffered-write failures (full disk); a silent
+	// exit 0 here would report a truncated trace as success.
+	if f != nil {
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d jobs, %d files, %d users, %d sites (%d file requests)\n",
 		len(t.Jobs), len(t.Files), len(t.Users), len(t.Sites), t.NumRequests())

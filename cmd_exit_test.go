@@ -1,0 +1,103 @@
+// Exit-code contract tests for the command-line tools: usage errors exit 2
+// (the flag package convention), operational failures exit 1, success exits
+// 0. A tool that prints an error but exits 0 silently breaks scripts and CI
+// pipelines, so the contract is pinned here for every command.
+package filecule_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// buildCmds compiles every command once into a shared temp dir and returns
+// the binary paths by command name.
+func buildCmds(t *testing.T, names ...string) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	bins := make(map[string]string, len(names))
+	for _, name := range names {
+		bin := filepath.Join(dir, name)
+		out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+name).CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, out)
+		}
+		bins[name] = bin
+	}
+	return bins
+}
+
+func exitCode(t *testing.T, bin string, args ...string) (int, string) {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode(), string(out)
+	}
+	t.Fatalf("%s %v: %v\n%s", bin, args, err, out)
+	return -1, ""
+}
+
+func TestCommandExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds every command; skipped in -short mode")
+	}
+	bins := buildCmds(t,
+		"filecule-cachesim", "filecule-gen", "filecule-analyze",
+		"filecule-repro", "filecule-swarm", "filecule-serve")
+
+	noSuchTrace := filepath.Join(t.TempDir(), "missing.trace")
+	unwritable := filepath.Join(t.TempDir(), "no-such-dir", "out.trace")
+	tiny := []string{"-scale", "0.001", "-seed", "1"}
+
+	cases := []struct {
+		name string
+		bin  string
+		args []string
+		want int
+	}{
+		// Usage errors: the flag package's conventional exit 2.
+		{"bad flag", "filecule-cachesim", []string{"-no-such-flag"}, 2},
+		{"bad flag gen", "filecule-gen", []string{"-no-such-flag"}, 2},
+
+		// Operational failures: exit 1.
+		{"missing trace", "filecule-cachesim", []string{"-trace", noSuchTrace}, 1},
+		{"unknown policy", "filecule-cachesim", append([]string{"-policy", "belady"}, tiny...), 1},
+		{"bad sweep policy", "filecule-cachesim", append([]string{"-sweep", "-policies", "mru"}, tiny...), 1},
+		{"bad sweep gran", "filecule-cachesim", append([]string{"-sweep", "-grans", "block"}, tiny...), 1},
+		{"bad sweep size", "filecule-cachesim", append([]string{"-sizes", "zero"}, tiny...), 1},
+		{"sweep unwritable output", "filecule-cachesim", append([]string{"-sweep", "-o", unwritable}, tiny...), 1},
+		{"gen unwritable output", "filecule-gen", append([]string{"-o", unwritable}, tiny...), 1},
+		{"analyze missing trace", "filecule-analyze", []string{"-trace", noSuchTrace}, 1},
+		{"analyze unknown experiment", "filecule-analyze", append([]string{"-exp", "fig99"}, tiny...), 1},
+		{"repro unknown experiment", "filecule-repro", append([]string{"-exp", "fig99"}, tiny...), 1},
+		{"swarm missing trace", "filecule-swarm", []string{"-trace", noSuchTrace}, 1},
+		{"serve missing trace", "filecule-serve", []string{"-trace", noSuchTrace}, 1},
+
+		// Success: exit 0.
+		{"gen ok", "filecule-gen", append([]string{"-o", filepath.Join(t.TempDir(), "t.trace")}, tiny...), 0},
+		{"sweep ok", "filecule-cachesim",
+			append([]string{"-sweep", "-policies", "lru", "-grans", "file", "-sizes", "1"}, tiny...), 0},
+		{"repro list ok", "filecule-repro", []string{"-list"}, 0},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			got, out := exitCode(t, bins[tc.bin], tc.args...)
+			if got != tc.want {
+				t.Errorf("%s %v: exit %d, want %d\noutput:\n%s", tc.bin, tc.args, got, tc.want, out)
+			}
+		})
+	}
+	// Successful trace generation must produce a loadable trace.
+	okTrace := filepath.Join(t.TempDir(), "ok.trace")
+	if got, out := exitCode(t, bins["filecule-gen"], "-o", okTrace, "-scale", "0.001"); got != 0 {
+		t.Fatalf("gen: exit %d\n%s", got, out)
+	}
+	if fi, err := os.Stat(okTrace); err != nil || fi.Size() == 0 {
+		t.Fatalf("gen produced no trace: %v", err)
+	}
+}

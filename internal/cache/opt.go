@@ -22,19 +22,7 @@ func SimulateOPT(t *trace.Trace, g Granularity, capacity int64, reqs []trace.Req
 	if capacity <= 0 {
 		panic("cache: capacity must be > 0")
 	}
-	const never = int64(1) << 62
-	n := len(reqs)
-	nextUse := make([]int64, n)
-	lastSeen := make(map[UnitID]int64, 1024)
-	for i := n - 1; i >= 0; i-- {
-		u := g.UnitOf(reqs[i].File)
-		if j, ok := lastSeen[u]; ok {
-			nextUse[i] = j
-		} else {
-			nextUse[i] = never
-		}
-		lastSeen[u] = int64(i)
-	}
+	nextUse := NextUse(g, reqs)
 
 	resident := make(map[UnitID]*optEntry)
 	var pq optHeap

@@ -1,0 +1,127 @@
+package cache
+
+import (
+	"container/heap"
+	"fmt"
+
+	"filecule/internal/core"
+	"filecule/internal/trace"
+)
+
+// Stepper drives a simulation one request at a time. It is the contract the
+// sweep engine (internal/sim) uses to advance every grid cell in lock-step
+// from a single pass over the request stream: Step consumes the request at
+// logical time now (the global request index), Metrics reports the counters
+// accumulated so far.
+//
+// Sim implements Stepper for every online Policy/Granularity pair; OPTSim
+// (via NewOPTPolicy plus Sim) covers the offline-optimal cells.
+type Stepper interface {
+	Step(r trace.Request, now int64)
+	Metrics() Metrics
+}
+
+// Step implements Stepper: it is exactly one iteration of Replay, so
+// stepping a Sim through a request stream with now = the request index is
+// byte-identical to calling Replay on the whole stream.
+func (s *Sim) Step(r trace.Request, now int64) { s.AccessJob(r.Job, r.File, now) }
+
+// Never is the next-use index assigned to requests whose unit is never
+// requested again (far beyond any valid request index).
+const Never = int64(1) << 62
+
+// NextUse returns, for each request index i, the index of the next request
+// mapping to the same replacement unit under g, or Never. It is the offline
+// pre-pass behind Belady's OPT; computing it once and sharing it across all
+// cache capacities of a granularity is one of the sweep engine's savings.
+func NextUse(g Granularity, reqs []trace.Request) []int64 {
+	return nextUseBy(func(f trace.FileID) UnitID { return g.UnitOf(f) }, reqs)
+}
+
+// NextUseBundles returns the per-request next-use chain at bundle
+// granularity: the next request touching any file of the same bundle
+// (filecule, or the file itself when the partition does not cover it).
+// It feeds OPT cells wrapped in a BundlePolicy.
+func NextUseBundles(p *core.Partition, reqs []trace.Request) []int64 {
+	return nextUseBy(func(f trace.FileID) UnitID {
+		if i := p.Of(f); i >= 0 {
+			return UnitID(i)
+		}
+		return degenerate(f)
+	}, reqs)
+}
+
+func nextUseBy(unitOf func(trace.FileID) UnitID, reqs []trace.Request) []int64 {
+	next := make([]int64, len(reqs))
+	lastSeen := make(map[UnitID]int64, 1024)
+	for i := len(reqs) - 1; i >= 0; i-- {
+		u := unitOf(reqs[i].File)
+		if j, ok := lastSeen[u]; ok {
+			next[i] = j
+		} else {
+			next[i] = Never
+		}
+		lastSeen[u] = int64(i)
+	}
+	return next
+}
+
+// OPTPolicy is Belady's offline-optimal replacement expressed as a Policy,
+// so that OPT cells compose with Sim, with granularities, and with the
+// BundlePolicy wrapper exactly like the online policies. It requires the
+// per-request next-use chain (from NextUse or NextUseBundles) computed over
+// the same request stream the simulator replays, and it relies on the Sim
+// contract that Admit/Touch are called with now = the current request index.
+//
+// Driven through Sim at file or filecule granularity it reproduces
+// SimulateOPT's results exactly (see TestOPTPolicyMatchesSimulateOPT); the
+// standalone SimulateOPT remains as the independently-coded cross-check.
+type OPTPolicy struct {
+	next    []int64
+	entries map[UnitID]*optEntry
+	pq      optHeap
+}
+
+// NewOPTPolicy builds the policy over a next-use chain.
+func NewOPTPolicy(next []int64) *OPTPolicy {
+	return &OPTPolicy{next: next, entries: make(map[UnitID]*optEntry)}
+}
+
+// Name implements Policy.
+func (p *OPTPolicy) Name() string { return "opt" }
+
+// Admit implements Policy.
+func (p *OPTPolicy) Admit(u UnitID, size, now int64) {
+	if _, dup := p.entries[u]; dup {
+		panic(fmt.Sprintf("cache: opt double admit of unit %d", u))
+	}
+	e := &optEntry{unit: u, size: size, next: p.next[now]}
+	p.entries[u] = e
+	heap.Push(&p.pq, e)
+}
+
+// Touch implements Policy: the unit's priority becomes its next use after
+// the current request.
+func (p *OPTPolicy) Touch(u UnitID, now int64) {
+	e := p.entries[u]
+	e.next = p.next[now]
+	heap.Fix(&p.pq, e.index)
+}
+
+// Victim implements Policy: the resident unit used farthest in the future.
+func (p *OPTPolicy) Victim() UnitID {
+	if len(p.pq) == 0 {
+		panic("cache: opt victim requested from empty cache")
+	}
+	return p.pq[0].unit
+}
+
+// Remove implements Policy.
+func (p *OPTPolicy) Remove(u UnitID) {
+	e := p.entries[u]
+	heap.Remove(&p.pq, e.index)
+	delete(p.entries, u)
+}
+
+// Len implements Policy.
+func (p *OPTPolicy) Len() int { return len(p.entries) }

@@ -1,0 +1,77 @@
+package report
+
+import (
+	"fmt"
+
+	"filecule/internal/sim"
+)
+
+// SweepTables renders a sweep result as one comparison table per policy —
+// the Figure-10 view generalized across the whole grid. Each table has one
+// row per cache size with the miss rate at every swept granularity, plus the
+// paper's headline file/filecule gain column when both granularities are
+// present. Row and table order follow the sweep's deterministic cell order.
+func SweepTables(res *sim.SweepResult) []*Table {
+	// Reconstruct the grid axes from the cells, preserving first-seen order.
+	var policies, grans []string
+	var sizes []float64
+	seenP := map[string]bool{}
+	seenG := map[string]bool{}
+	seenS := map[float64]bool{}
+	type key struct {
+		policy, gran string
+		tb           float64
+	}
+	byCell := make(map[key]sim.CellResult, len(res.Cells))
+	for _, c := range res.Cells {
+		if !seenP[c.Policy] {
+			seenP[c.Policy] = true
+			policies = append(policies, c.Policy)
+		}
+		if !seenG[c.Granularity] {
+			seenG[c.Granularity] = true
+			grans = append(grans, c.Granularity)
+		}
+		if !seenS[c.CacheTB] {
+			seenS[c.CacheTB] = true
+			sizes = append(sizes, c.CacheTB)
+		}
+		byCell[key{c.Policy, c.Granularity, c.CacheTB}] = c
+	}
+
+	withGain := seenG["file"] && seenG["filecule"]
+	var tables []*Table
+	for _, p := range policies {
+		cols := []string{"cache (full-scale TB)"}
+		for _, g := range grans {
+			cols = append(cols, g+" miss rate")
+		}
+		if withGain {
+			cols = append(cols, "gain (file/filecule)")
+		}
+		tb := NewTable(fmt.Sprintf("cache sweep: %s miss rate by granularity (scale %.3g)", p, res.Scale), cols...)
+		for _, s := range sizes {
+			row := []interface{}{s}
+			for _, g := range grans {
+				c, ok := byCell[key{p, g, s}]
+				if !ok {
+					row = append(row, "-")
+					continue
+				}
+				row = append(row, c.MissRate)
+			}
+			if withGain {
+				f, fok := byCell[key{p, "file", s}]
+				c, cok := byCell[key{p, "filecule", s}]
+				gain := 0.0
+				if fok && cok && c.MissRate > 0 {
+					gain = f.MissRate / c.MissRate
+				}
+				row = append(row, gain)
+			}
+			tb.AddRow(row...)
+		}
+		tables = append(tables, tb)
+	}
+	return tables
+}

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"filecule/internal/cache"
+	"filecule/internal/core"
+	"filecule/internal/trace"
+)
+
+// The sweep engine avoids interface dispatch and map lookups on its hot path
+// by resolving each request once per *axis* (a granularity's unit space) into
+// a dense, slot-indexed form shared by every cell on that axis.
+//
+// Slot spaces mirror cache.UnitID semantics exactly, in the same order:
+//
+//	file axis:     [0,F) files, [F,2F) degenerate per-file units
+//	filecule axis: [0,K) filecules, [K,K+F) degenerate per-file units
+//	bundle keys:   [0,K) filecules, [K,K+F) per-file singleton bundles
+//
+// Real units sort below degenerate units and both sort by ID, so policies
+// whose tie-breaking inspects unit order (ARC's ghost trimming) behave
+// byte-identically to their cache-package counterparts.
+
+// axisKind indexes the resolved streams carried by each batch. The bundle
+// granularity shares the file axis stream (its replacement units are files);
+// only its eviction keys differ.
+type axisKind int
+
+const (
+	axisFile axisKind = iota
+	axisFilecule
+	numAxes
+)
+
+// resolved is one request after unit resolution: the replacement-unit slot,
+// the degenerate fallback slot, and the two sizes Sim.serve needs. 24 bytes,
+// filled sequentially into pooled batch buffers.
+type resolved struct {
+	unit     int32
+	deg      int32
+	size     int64
+	fileSize int64
+}
+
+// axisData is the static, read-only shape of one axis, shared by all cells
+// and all workers.
+type axisData struct {
+	kind     axisKind
+	nUnits   int32   // F (file axis) or K (filecule axis)
+	nSlots   int32   // nUnits + F
+	sizes    []int64 // unit sizes, len nUnits
+	fileSize []int64 // catalog file sizes, len F
+	slotOf   []int32 // file -> unit slot (identity on the file axis)
+}
+
+// newFileAxis builds the file-granularity axis.
+func newFileAxis(t *trace.Trace) *axisData {
+	f := int32(len(t.Files))
+	sizes := make([]int64, f)
+	slot := make([]int32, f)
+	for i := range t.Files {
+		sizes[i] = t.Files[i].Size
+		slot[i] = int32(i)
+	}
+	return &axisData{kind: axisFile, nUnits: f, nSlots: 2 * f, sizes: sizes, fileSize: sizes, slotOf: slot}
+}
+
+// newFileculeAxis builds the filecule-granularity axis. Files the partition
+// does not cover (never requested during identification) map to their
+// degenerate slot, exactly like cache.FileculeGranularity.
+func newFileculeAxis(t *trace.Trace, p *core.Partition) *axisData {
+	f := int32(len(t.Files))
+	k := int32(p.NumFilecules())
+	sizes := make([]int64, k)
+	for i := range sizes {
+		sizes[i] = p.Size(t, i)
+	}
+	fileSize := make([]int64, f)
+	slot := make([]int32, f)
+	for i := range t.Files {
+		fileSize[i] = t.Files[i].Size
+		if fc := p.Of(trace.FileID(i)); fc >= 0 {
+			slot[i] = int32(fc)
+		} else {
+			slot[i] = k + int32(i)
+		}
+	}
+	return &axisData{kind: axisFilecule, nUnits: k, nSlots: k + f, sizes: sizes, fileSize: fileSize, slotOf: slot}
+}
+
+// slotSize returns the byte size of any slot (unit or degenerate).
+func (a *axisData) slotSize(v int32) int64 {
+	if v < a.nUnits {
+		return a.sizes[v]
+	}
+	return a.fileSize[v-a.nUnits]
+}
+
+// resolve fills out with the axis view of chunk. out must have len(chunk).
+func (a *axisData) resolve(chunk []trace.Request, out []resolved) {
+	for i := range chunk {
+		f := chunk[i].File
+		u := a.slotOf[f]
+		fs := a.fileSize[f]
+		size := fs
+		if u < a.nUnits {
+			size = a.sizes[u]
+		}
+		out[i] = resolved{unit: u, deg: a.nUnits + int32(f), size: size, fileSize: fs}
+	}
+}
+
+// nextUseBySlot computes the per-request next-use chain over an arbitrary
+// per-file slot mapping (axis units, or bundle keys), densely. It matches
+// cache.NextUse / cache.NextUseBundles value for value and is shared by
+// every OPT cell of the axis — one backward pass instead of one per cell.
+func nextUseBySlot(slotOf []int32, nSlots int32, reqs []trace.Request) []int64 {
+	next := make([]int64, len(reqs))
+	last := make([]int64, nSlots)
+	for i := range last {
+		last[i] = cache.Never
+	}
+	for i := len(reqs) - 1; i >= 0; i-- {
+		s := slotOf[reqs[i].File]
+		next[i] = last[s]
+		last[s] = int64(i)
+	}
+	return next
+}
+
+// bundleKeys maps each file to its bundle slot in [0, K+F): the enclosing
+// filecule or the per-file singleton. Identical, order and all, to
+// cache.BundlePolicy.KeyOf.
+func bundleKeys(t *trace.Trace, p *core.Partition) []int32 {
+	k := int32(p.NumFilecules())
+	keys := make([]int32, len(t.Files))
+	for i := range keys {
+		if fc := p.Of(trace.FileID(i)); fc >= 0 {
+			keys[i] = int32(fc)
+		} else {
+			keys[i] = k + int32(i)
+		}
+	}
+	return keys
+}

@@ -1,0 +1,905 @@
+package sim
+
+import (
+	"fmt"
+
+	"filecule/internal/cache"
+)
+
+// This file holds the dense grid-cell simulators. Each cell replays the
+// resolved request stream with the exact branch and counter order of
+// cache.Sim.serve, but over slot-indexed arrays instead of maps and with the
+// policy inlined instead of dispatched — zero steady-state allocation, no
+// interface calls on the per-request path. The differential test
+// (sweep_test.go) pins every cell to struct equality with the cache package.
+//
+// The heap-backed policies (GreedyDual, OPT) replicate container/heap's
+// up/down/Fix/Remove algorithms verbatim so their sift sequences — and hence
+// later victim choices — match the reference implementations step for step.
+
+// cellSpec identifies one grid cell.
+type cellSpec struct {
+	Policy      string
+	Granularity string
+	CacheTB     float64
+	Capacity    int64
+	axis        axisKind
+}
+
+// cell is one grid cell's simulator. run consumes a resolved batch whose
+// first request has global index base; batches arrive in stream order.
+type cell interface {
+	run(rs []resolved, base int64)
+	metrics() cache.Metrics
+	spec() cellSpec
+}
+
+// cellCore carries the policy-independent simulator state.
+type cellCore struct {
+	sp       cellSpec
+	capacity int64
+	used     int64
+	warmup   int64
+	resident []bool
+	ax       *axisData
+	m        cache.Metrics
+}
+
+func newCellCore(sp cellSpec, ax *axisData, warmup int64) cellCore {
+	return cellCore{sp: sp, capacity: sp.Capacity, warmup: warmup,
+		resident: make([]bool, ax.nSlots), ax: ax}
+}
+
+func (c *cellCore) metrics() cache.Metrics { return c.m }
+func (c *cellCore) spec() cellSpec         { return c.sp }
+
+// denseBase is the slot-level policy contract, mirroring cache.Policy. All
+// four dense policy states implement it; the bundle cell composes through it.
+type denseBase interface {
+	admit(v int32, size, now int64)
+	touch(v int32, now int64)
+	victim() int32
+	remove(v int32)
+}
+
+// ---------------------------------------------------------------- LRU
+
+// lruState is an intrusive doubly-linked list over slots, MRU at the front.
+// Slot nSlots is the sentinel.
+type lruState struct {
+	prev, next []int32
+	sentinel   int32
+}
+
+func newLRUState(nSlots int32) *lruState {
+	s := &lruState{prev: make([]int32, nSlots+1), next: make([]int32, nSlots+1), sentinel: nSlots}
+	s.prev[nSlots] = nSlots
+	s.next[nSlots] = nSlots
+	return s
+}
+
+func (s *lruState) pushFront(v int32) {
+	h := s.next[s.sentinel]
+	s.prev[v], s.next[v] = s.sentinel, h
+	s.next[s.sentinel], s.prev[h] = v, v
+}
+
+func (s *lruState) unlink(v int32) {
+	p, n := s.prev[v], s.next[v]
+	s.next[p], s.prev[n] = n, p
+}
+
+func (s *lruState) admit(v int32, size, now int64) { s.pushFront(v) }
+func (s *lruState) touch(v int32, now int64)       { s.unlink(v); s.pushFront(v) }
+func (s *lruState) remove(v int32)                 { s.unlink(v) }
+
+func (s *lruState) victim() int32 {
+	v := s.prev[s.sentinel]
+	if v == s.sentinel {
+		panic("sim: LRU victim requested from empty cache")
+	}
+	return v
+}
+
+// ---------------------------------------------------------------- ARC
+
+// ghostHeap is a plain binary min-heap of slot numbers, used to find the
+// minimum-ID member of a ghost list without scanning. Entries go stale when
+// a slot leaves its ghost list; popGhost discards them lazily. Every current
+// ghost has at least one live entry, so the first valid pop is the true
+// minimum — matching the reference ARC's minKey map scan.
+type ghostHeap []int32
+
+func (h *ghostHeap) push(v int32) {
+	*h = append(*h, v)
+	a := *h
+	j := len(a) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if a[i] <= a[j] {
+			break
+		}
+		a[i], a[j] = a[j], a[i]
+		j = i
+	}
+}
+
+func (h *ghostHeap) pop() int32 {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	*h = a[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		if r := l + 1; r < n && a[r] < a[l] {
+			l = r
+		}
+		if a[i] <= a[l] {
+			break
+		}
+		a[i], a[l] = a[l], a[i]
+		i = l
+	}
+	return top
+}
+
+// arcState is the dense byte-aware ARC: T1/T2 as two intrusive lists sharing
+// one link array (sentinels at nSlots and nSlots+1), ghost membership as a
+// per-slot state byte with byte/count totals, and lazy min-heaps standing in
+// for the reference implementation's minKey scans.
+type arcState struct {
+	capacity   int64
+	prev, next []int32
+	t1s, t2s   int32
+	inT2       []bool
+	admitSize  []int64 // last admit size per slot; doubles as the ghost size
+	ghost      []uint8 // 0 none, 1 in B1, 2 in B2
+	g1, g2     ghostHeap
+
+	t1Bytes, t2Bytes int64
+	b1Bytes, b2Bytes int64
+	b1Count, b2Count int64
+	p                int64
+}
+
+func newARCState(nSlots int32, capacity int64) *arcState {
+	s := &arcState{
+		capacity:  capacity,
+		prev:      make([]int32, nSlots+2),
+		next:      make([]int32, nSlots+2),
+		t1s:       nSlots,
+		t2s:       nSlots + 1,
+		inT2:      make([]bool, nSlots),
+		admitSize: make([]int64, nSlots),
+		ghost:     make([]uint8, nSlots),
+	}
+	s.prev[s.t1s], s.next[s.t1s] = s.t1s, s.t1s
+	s.prev[s.t2s], s.next[s.t2s] = s.t2s, s.t2s
+	return s
+}
+
+func (s *arcState) pushFront(sentinel, v int32) {
+	h := s.next[sentinel]
+	s.prev[v], s.next[v] = sentinel, h
+	s.next[sentinel], s.prev[h] = v, v
+}
+
+func (s *arcState) unlink(v int32) {
+	p, n := s.prev[v], s.next[v]
+	s.next[p], s.prev[n] = n, p
+}
+
+func (s *arcState) admit(v int32, size, now int64) {
+	inT2 := false
+	switch s.ghost[v] {
+	case 1: // recency ghost hit: grow p proportionally to the miss
+		gs := s.admitSize[v]
+		s.ghost[v] = 0
+		s.b1Bytes -= gs
+		s.b1Count--
+		s.p = minI64(s.capacity, s.p+maxI64(gs, s.b2Bytes/maxI64(1, s.b1Count+1)))
+		inT2 = true
+	case 2:
+		gs := s.admitSize[v]
+		s.ghost[v] = 0
+		s.b2Bytes -= gs
+		s.b2Count--
+		s.p = maxI64(0, s.p-maxI64(gs, s.b1Bytes/maxI64(1, s.b2Count+1)))
+		inT2 = true
+	}
+	s.admitSize[v] = size
+	s.inT2[v] = inT2
+	if inT2 {
+		s.pushFront(s.t2s, v)
+		s.t2Bytes += size
+	} else {
+		s.pushFront(s.t1s, v)
+		s.t1Bytes += size
+	}
+	s.trimGhosts()
+}
+
+func (s *arcState) touch(v int32, now int64) {
+	if s.inT2[v] {
+		s.unlink(v)
+		s.pushFront(s.t2s, v)
+		return
+	}
+	s.unlink(v)
+	s.t1Bytes -= s.admitSize[v]
+	s.inT2[v] = true
+	s.pushFront(s.t2s, v)
+	s.t2Bytes += s.admitSize[v]
+}
+
+func (s *arcState) victim() int32 {
+	var v int32
+	if s.t1Bytes > s.p || s.prev[s.t2s] == s.t2s {
+		v = s.prev[s.t1s]
+		if v == s.t1s {
+			panic("sim: ARC victim requested from empty cache")
+		}
+	} else {
+		v = s.prev[s.t2s]
+	}
+	return v
+}
+
+func (s *arcState) remove(v int32) {
+	size := s.admitSize[v]
+	s.unlink(v)
+	if s.inT2[v] {
+		s.t2Bytes -= size
+		s.ghost[v] = 2
+		s.b2Bytes += size
+		s.b2Count++
+		s.g2.push(v)
+	} else {
+		s.t1Bytes -= size
+		s.ghost[v] = 1
+		s.b1Bytes += size
+		s.b1Count++
+		s.g1.push(v)
+	}
+	s.trimGhosts()
+}
+
+func (s *arcState) trimGhosts() {
+	for s.b1Bytes > s.capacity {
+		v := s.popGhost(&s.g1, 1)
+		s.b1Bytes -= s.admitSize[v]
+		s.ghost[v] = 0
+		s.b1Count--
+	}
+	for s.b2Bytes > s.capacity {
+		v := s.popGhost(&s.g2, 2)
+		s.b2Bytes -= s.admitSize[v]
+		s.ghost[v] = 0
+		s.b2Count--
+	}
+}
+
+func (s *arcState) popGhost(h *ghostHeap, want uint8) int32 {
+	for len(*h) > 0 {
+		v := h.pop()
+		if s.ghost[v] == want {
+			return v
+		}
+	}
+	panic("sim: ARC ghost accounting out of sync")
+}
+
+// ---------------------------------------------------------------- indexed heaps
+
+// gdsState is dense GreedyDual-Size with uniform cost: H = L + 1/size, a
+// min-heap on H maintained with container/heap's exact algorithms (slot
+// positions tracked in pos, -1 when absent).
+type gdsState struct {
+	hVal   []float64
+	sizeOf []int64
+	pos    []int32
+	heap   []int32
+	l      float64
+}
+
+func newGDSState(nSlots int32) *gdsState {
+	s := &gdsState{
+		hVal:   make([]float64, nSlots),
+		sizeOf: make([]int64, nSlots),
+		pos:    make([]int32, nSlots),
+	}
+	for i := range s.pos {
+		s.pos[i] = -1
+	}
+	return s
+}
+
+func (s *gdsState) less(i, j int) bool { return s.hVal[s.heap[i]] < s.hVal[s.heap[j]] }
+
+func (s *gdsState) swap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.pos[s.heap[i]], s.pos[s.heap[j]] = int32(i), int32(j)
+}
+
+func (s *gdsState) up(j int) {
+	for {
+		i := (j - 1) / 2
+		if i == j || !s.less(j, i) {
+			break
+		}
+		s.swap(i, j)
+		j = i
+	}
+}
+
+func (s *gdsState) down(i0, n int) bool {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && s.less(j2, j1) {
+			j = j2
+		}
+		if !s.less(j, i) {
+			break
+		}
+		s.swap(i, j)
+		i = j
+	}
+	return i > i0
+}
+
+func (s *gdsState) push(v int32) {
+	s.heap = append(s.heap, v)
+	s.pos[v] = int32(len(s.heap) - 1)
+	s.up(len(s.heap) - 1)
+}
+
+func (s *gdsState) fix(i int) {
+	if !s.down(i, len(s.heap)) {
+		s.up(i)
+	}
+}
+
+func (s *gdsState) removeAt(i int) {
+	n := len(s.heap) - 1
+	if n != i {
+		s.swap(i, n)
+		if !s.down(i, n) {
+			s.up(i)
+		}
+	}
+	s.pos[s.heap[n]] = -1
+	s.heap = s.heap[:n]
+}
+
+func (s *gdsState) admit(v int32, size, now int64) {
+	s.sizeOf[v] = size
+	s.hVal[v] = s.l + 1/float64(size)
+	s.push(v)
+}
+
+func (s *gdsState) touch(v int32, now int64) {
+	s.hVal[v] = s.l + 1/float64(s.sizeOf[v])
+	s.fix(int(s.pos[v]))
+}
+
+func (s *gdsState) victim() int32 {
+	if len(s.heap) == 0 {
+		panic("sim: gds victim requested from empty cache")
+	}
+	return s.heap[0]
+}
+
+func (s *gdsState) remove(v int32) {
+	i := int(s.pos[v])
+	if i == 0 {
+		// Evicting the current victim advances the inflation value.
+		s.l = s.hVal[v]
+	}
+	s.removeAt(i)
+}
+
+// optState is dense Belady: a max-heap on each resident slot's next use,
+// fed by the axis's shared per-request next-use chain.
+type optState struct {
+	nu   []int64 // per-request next use, shared across OPT cells of the axis
+	key  []int64 // per-slot next use while resident
+	pos  []int32
+	heap []int32
+}
+
+func newOPTState(nSlots int32, nextUse []int64) *optState {
+	s := &optState{
+		nu:  nextUse,
+		key: make([]int64, nSlots),
+		pos: make([]int32, nSlots),
+	}
+	for i := range s.pos {
+		s.pos[i] = -1
+	}
+	return s
+}
+
+func (s *optState) less(i, j int) bool { return s.key[s.heap[i]] > s.key[s.heap[j]] }
+
+func (s *optState) swap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.pos[s.heap[i]], s.pos[s.heap[j]] = int32(i), int32(j)
+}
+
+func (s *optState) up(j int) {
+	for {
+		i := (j - 1) / 2
+		if i == j || !s.less(j, i) {
+			break
+		}
+		s.swap(i, j)
+		j = i
+	}
+}
+
+func (s *optState) down(i0, n int) bool {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && s.less(j2, j1) {
+			j = j2
+		}
+		if !s.less(j, i) {
+			break
+		}
+		s.swap(i, j)
+		i = j
+	}
+	return i > i0
+}
+
+func (s *optState) push(v int32) {
+	s.heap = append(s.heap, v)
+	s.pos[v] = int32(len(s.heap) - 1)
+	s.up(len(s.heap) - 1)
+}
+
+func (s *optState) fix(i int) {
+	if !s.down(i, len(s.heap)) {
+		s.up(i)
+	}
+}
+
+func (s *optState) removeAt(i int) {
+	n := len(s.heap) - 1
+	if n != i {
+		s.swap(i, n)
+		if !s.down(i, n) {
+			s.up(i)
+		}
+	}
+	s.pos[s.heap[n]] = -1
+	s.heap = s.heap[:n]
+}
+
+func (s *optState) admit(v int32, size, now int64) {
+	s.key[v] = s.nu[now]
+	s.push(v)
+}
+
+func (s *optState) touch(v int32, now int64) {
+	s.key[v] = s.nu[now]
+	s.fix(int(s.pos[v]))
+}
+
+func (s *optState) victim() int32 {
+	if len(s.heap) == 0 {
+		panic("sim: opt victim requested from empty cache")
+	}
+	return s.heap[0]
+}
+
+func (s *optState) remove(v int32) { s.removeAt(int(s.pos[v])) }
+
+// ---------------------------------------------------------------- cells
+
+// The run loops below are deliberate near-copies of one skeleton — one per
+// policy — so every policy operation is a direct, inlinable call. Any change
+// to the skeleton must be applied to all five and to cache.Sim.serve.
+
+type lruCell struct {
+	cellCore
+	st *lruState
+}
+
+func (c *lruCell) run(rs []resolved, base int64) {
+	m := &c.m
+	for k := range rs {
+		r := &rs[k]
+		now := base + int64(k)
+		count := now >= c.warmup
+		if count {
+			m.Requests++
+			m.BytesRequested += r.fileSize
+		}
+		if c.resident[r.unit] {
+			c.st.touch(r.unit, now)
+			if count {
+				m.Hits++
+			}
+			continue
+		}
+		if r.deg != r.unit && c.resident[r.deg] {
+			c.st.touch(r.deg, now)
+			if count {
+				m.Hits++
+			}
+			continue
+		}
+		if count {
+			m.Misses++
+			m.BytesMissed += r.fileSize
+		}
+		slot, size := r.unit, r.size
+		if size > c.capacity {
+			if count {
+				m.Bypasses++
+			}
+			slot, size = r.deg, r.fileSize
+			if size > c.capacity {
+				continue
+			}
+		}
+		for c.used+size > c.capacity {
+			v := c.st.victim()
+			vs := c.ax.slotSize(v)
+			c.st.remove(v)
+			c.resident[v] = false
+			c.used -= vs
+			if count {
+				m.Evictions++
+				m.BytesEvicted += vs
+			}
+		}
+		c.resident[slot] = true
+		c.used += size
+		c.st.admit(slot, size, now)
+		if count {
+			m.BytesLoaded += size
+		}
+	}
+}
+
+type arcCell struct {
+	cellCore
+	st *arcState
+}
+
+func (c *arcCell) run(rs []resolved, base int64) {
+	m := &c.m
+	for k := range rs {
+		r := &rs[k]
+		now := base + int64(k)
+		count := now >= c.warmup
+		if count {
+			m.Requests++
+			m.BytesRequested += r.fileSize
+		}
+		if c.resident[r.unit] {
+			c.st.touch(r.unit, now)
+			if count {
+				m.Hits++
+			}
+			continue
+		}
+		if r.deg != r.unit && c.resident[r.deg] {
+			c.st.touch(r.deg, now)
+			if count {
+				m.Hits++
+			}
+			continue
+		}
+		if count {
+			m.Misses++
+			m.BytesMissed += r.fileSize
+		}
+		slot, size := r.unit, r.size
+		if size > c.capacity {
+			if count {
+				m.Bypasses++
+			}
+			slot, size = r.deg, r.fileSize
+			if size > c.capacity {
+				continue
+			}
+		}
+		for c.used+size > c.capacity {
+			v := c.st.victim()
+			vs := c.ax.slotSize(v)
+			c.st.remove(v)
+			c.resident[v] = false
+			c.used -= vs
+			if count {
+				m.Evictions++
+				m.BytesEvicted += vs
+			}
+		}
+		c.resident[slot] = true
+		c.used += size
+		c.st.admit(slot, size, now)
+		if count {
+			m.BytesLoaded += size
+		}
+	}
+}
+
+type gdsCell struct {
+	cellCore
+	st *gdsState
+}
+
+func (c *gdsCell) run(rs []resolved, base int64) {
+	m := &c.m
+	for k := range rs {
+		r := &rs[k]
+		now := base + int64(k)
+		count := now >= c.warmup
+		if count {
+			m.Requests++
+			m.BytesRequested += r.fileSize
+		}
+		if c.resident[r.unit] {
+			c.st.touch(r.unit, now)
+			if count {
+				m.Hits++
+			}
+			continue
+		}
+		if r.deg != r.unit && c.resident[r.deg] {
+			c.st.touch(r.deg, now)
+			if count {
+				m.Hits++
+			}
+			continue
+		}
+		if count {
+			m.Misses++
+			m.BytesMissed += r.fileSize
+		}
+		slot, size := r.unit, r.size
+		if size > c.capacity {
+			if count {
+				m.Bypasses++
+			}
+			slot, size = r.deg, r.fileSize
+			if size > c.capacity {
+				continue
+			}
+		}
+		for c.used+size > c.capacity {
+			v := c.st.victim()
+			vs := c.ax.slotSize(v)
+			c.st.remove(v)
+			c.resident[v] = false
+			c.used -= vs
+			if count {
+				m.Evictions++
+				m.BytesEvicted += vs
+			}
+		}
+		c.resident[slot] = true
+		c.used += size
+		c.st.admit(slot, size, now)
+		if count {
+			m.BytesLoaded += size
+		}
+	}
+}
+
+type optCell struct {
+	cellCore
+	st *optState
+}
+
+func (c *optCell) run(rs []resolved, base int64) {
+	m := &c.m
+	for k := range rs {
+		r := &rs[k]
+		now := base + int64(k)
+		count := now >= c.warmup
+		if count {
+			m.Requests++
+			m.BytesRequested += r.fileSize
+		}
+		if c.resident[r.unit] {
+			c.st.touch(r.unit, now)
+			if count {
+				m.Hits++
+			}
+			continue
+		}
+		if r.deg != r.unit && c.resident[r.deg] {
+			c.st.touch(r.deg, now)
+			if count {
+				m.Hits++
+			}
+			continue
+		}
+		if count {
+			m.Misses++
+			m.BytesMissed += r.fileSize
+		}
+		slot, size := r.unit, r.size
+		if size > c.capacity {
+			if count {
+				m.Bypasses++
+			}
+			slot, size = r.deg, r.fileSize
+			if size > c.capacity {
+				continue
+			}
+		}
+		for c.used+size > c.capacity {
+			v := c.st.victim()
+			vs := c.ax.slotSize(v)
+			c.st.remove(v)
+			c.resident[v] = false
+			c.used -= vs
+			if count {
+				m.Evictions++
+				m.BytesEvicted += vs
+			}
+		}
+		c.resident[slot] = true
+		c.used += size
+		c.st.admit(slot, size, now)
+		if count {
+			m.BytesLoaded += size
+		}
+	}
+}
+
+// bundleCell runs on the file axis but lets a base policy rank bundles
+// (filecules, or per-file singletons), evicting the least recently used
+// resident member of the base's victim bundle — the dense mirror of
+// cache.BundlePolicy. Member lists are -1-terminated intrusive lists over
+// file slots, MRU first.
+type bundleCell struct {
+	cellCore
+	bundleOf     []int32 // file slot -> bundle slot, shared across cells
+	fprev, fnext []int32 // member links per file slot
+	bhead, btail []int32 // per bundle slot; -1 when the bundle is inactive
+	base         denseBase
+}
+
+func newBundleCell(sp cellSpec, ax *axisData, warmup int64, bundleOf []int32, nBundles int32, base denseBase) *bundleCell {
+	c := &bundleCell{
+		cellCore: newCellCore(sp, ax, warmup),
+		bundleOf: bundleOf,
+		fprev:    make([]int32, ax.nUnits),
+		fnext:    make([]int32, ax.nUnits),
+		bhead:    make([]int32, nBundles),
+		btail:    make([]int32, nBundles),
+		base:     base,
+	}
+	for i := range c.bhead {
+		c.bhead[i], c.btail[i] = -1, -1
+	}
+	return c
+}
+
+func (c *bundleCell) memberPushFront(b, f int32) {
+	h := c.bhead[b]
+	c.fprev[f], c.fnext[f] = -1, h
+	if h >= 0 {
+		c.fprev[h] = f
+	} else {
+		c.btail[b] = f
+	}
+	c.bhead[b] = f
+}
+
+func (c *bundleCell) memberRemove(b, f int32) {
+	p, n := c.fprev[f], c.fnext[f]
+	if p >= 0 {
+		c.fnext[p] = n
+	} else {
+		c.bhead[b] = n
+	}
+	if n >= 0 {
+		c.fprev[n] = p
+	} else {
+		c.btail[b] = p
+	}
+}
+
+func (c *bundleCell) run(rs []resolved, base int64) {
+	m := &c.m
+	for k := range rs {
+		r := &rs[k]
+		now := base + int64(k)
+		count := now >= c.warmup
+		if count {
+			m.Requests++
+			m.BytesRequested += r.fileSize
+		}
+		if c.resident[r.unit] {
+			b := c.bundleOf[r.unit]
+			c.memberRemove(b, r.unit)
+			c.memberPushFront(b, r.unit)
+			c.base.touch(b, now)
+			if count {
+				m.Hits++
+			}
+			continue
+		}
+		// Degenerate units are unreachable on the file axis (a bypassed
+		// file is itself oversized), so no fallback hit check is needed.
+		if count {
+			m.Misses++
+			m.BytesMissed += r.fileSize
+		}
+		slot, size := r.unit, r.size
+		if size > c.capacity {
+			if count {
+				m.Bypasses++
+			}
+			// size == fileSize at file granularity: the degenerate unit
+			// cannot fit either.
+			continue
+		}
+		for c.used+size > c.capacity {
+			vb := c.base.victim()
+			v := c.btail[vb]
+			if v < 0 {
+				panic(fmt.Sprintf("sim: bundle base chose inactive bundle %d", vb))
+			}
+			vs := c.ax.slotSize(v)
+			c.memberRemove(vb, v)
+			if c.bhead[vb] < 0 {
+				c.base.remove(vb)
+			}
+			c.resident[v] = false
+			c.used -= vs
+			if count {
+				m.Evictions++
+				m.BytesEvicted += vs
+			}
+		}
+		b := c.bundleOf[slot]
+		if c.bhead[b] < 0 {
+			c.base.admit(b, size, now)
+		} else {
+			c.base.touch(b, now)
+		}
+		c.resident[slot] = true
+		c.used += size
+		c.memberPushFront(b, slot)
+		if count {
+			m.BytesLoaded += size
+		}
+	}
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,12 @@
+//go:build !race
+
+package sim
+
+// diffScale sizes the differential-test workload. The race detector slows
+// the simulators by an order of magnitude, so race builds (race_on_test.go)
+// shrink it; correctness is scale-independent.
+const diffScale = 0.02
+
+// raceEnabled gates timing-sensitive assertions that are meaningless under
+// the race detector's instrumentation.
+const raceEnabled = false

@@ -1,0 +1,12 @@
+//go:build race
+
+package sim
+
+// diffScale under the race detector: a smaller workload keeps the full-grid
+// differential test fast while still exercising every policy's evictions,
+// bypasses and ghost trims.
+const diffScale = 0.005
+
+// raceEnabled gates timing-sensitive assertions that are meaningless under
+// the race detector's instrumentation.
+const raceEnabled = true

@@ -1,0 +1,418 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"filecule/internal/cache"
+	"filecule/internal/core"
+	"filecule/internal/trace"
+)
+
+// SweepSchema versions the sweep result JSON (and the sweep section of the
+// benchmark baseline that embeds it).
+const SweepSchema = "filecule-sweep/v1"
+
+// Grid vocabularies accepted by SweepConfig.
+var (
+	SweepPolicies      = []string{"lru", "arc", "gds", "opt"}
+	SweepGranularities = []string{"file", "filecule", "bundle"}
+)
+
+// SweepConfig selects the grid and tunes the engine. Zero values mean "the
+// full paper grid with engine defaults".
+type SweepConfig struct {
+	// Policies and Granularities select grid axes, in output order.
+	// Defaults: all of SweepPolicies, all of SweepGranularities.
+	Policies      []string
+	Granularities []string
+	// CapacitiesTB are nominal full-scale cache sizes; each is scaled by
+	// Scale and clamped to at least 1 MiB, exactly like the Figure 10
+	// experiment. Default: experiments.Fig10CacheSizesTB values.
+	CapacitiesTB []float64
+	// Scale is the trace subsampling factor the capacities are scaled by.
+	// Default 1.
+	Scale float64
+	// Workers is the number of simulation goroutines the cells are
+	// sharded over. Default GOMAXPROCS. Results are identical for any
+	// worker count.
+	Workers int
+	// BatchSize is the number of requests resolved per pooled batch.
+	// Default 4096.
+	BatchSize int
+	// Warmup excludes the first Warmup requests from the metrics.
+	Warmup int64
+}
+
+var defaultCapacitiesTB = []float64{1, 2, 5, 10, 20, 50, 100}
+
+func (c *SweepConfig) withDefaults() SweepConfig {
+	out := *c
+	if len(out.Policies) == 0 {
+		out.Policies = SweepPolicies
+	}
+	if len(out.Granularities) == 0 {
+		out.Granularities = SweepGranularities
+	}
+	if len(out.CapacitiesTB) == 0 {
+		out.CapacitiesTB = defaultCapacitiesTB
+	}
+	if out.Scale == 0 {
+		out.Scale = 1
+	}
+	if out.Workers <= 0 {
+		out.Workers = runtime.GOMAXPROCS(0)
+	}
+	if out.BatchSize <= 0 {
+		out.BatchSize = 4096
+	}
+	return out
+}
+
+func (c *SweepConfig) validate() error {
+	if c.Scale < 0 {
+		return fmt.Errorf("sim: sweep scale %g must be non-negative (0 means full scale)", c.Scale)
+	}
+	if c.Warmup < 0 {
+		return fmt.Errorf("sim: sweep warmup %d must be non-negative", c.Warmup)
+	}
+	for _, p := range c.Policies {
+		if !contains(SweepPolicies, p) {
+			return fmt.Errorf("sim: unknown sweep policy %q (have %v)", p, SweepPolicies)
+		}
+	}
+	for _, g := range c.Granularities {
+		if !contains(SweepGranularities, g) {
+			return fmt.Errorf("sim: unknown sweep granularity %q (have %v)", g, SweepGranularities)
+		}
+	}
+	for _, tb := range c.CapacitiesTB {
+		if tb <= 0 {
+			return fmt.Errorf("sim: sweep cache size %g TB must be positive", tb)
+		}
+	}
+	return nil
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// scaledCapacity converts a nominal full-scale TB size into simulated bytes,
+// matching the Figure 10 experiment's scaling and clamp.
+func scaledCapacity(tb, scale float64) int64 {
+	capBytes := int64(tb * scale * (1 << 40))
+	if capBytes < 1<<20 {
+		capBytes = 1 << 20
+	}
+	return capBytes
+}
+
+// grid enumerates the cell specs in deterministic output order:
+// granularity-major, then policy, then capacity.
+func (c *SweepConfig) grid() []cellSpec {
+	var specs []cellSpec
+	for _, g := range c.Granularities {
+		ax := axisFile
+		if g == "filecule" {
+			ax = axisFilecule
+		}
+		for _, p := range c.Policies {
+			for _, tb := range c.CapacitiesTB {
+				specs = append(specs, cellSpec{
+					Policy:      p,
+					Granularity: g,
+					CacheTB:     tb,
+					Capacity:    scaledCapacity(tb, c.Scale),
+					axis:        ax,
+				})
+			}
+		}
+	}
+	return specs
+}
+
+// CellResult is one grid cell's outcome.
+type CellResult struct {
+	Policy        string        `json:"policy"`
+	Granularity   string        `json:"granularity"`
+	CacheTB       float64       `json:"cache_tb"`
+	CapacityBytes int64         `json:"capacity_bytes"`
+	Metrics       cache.Metrics `json:"metrics"`
+	MissRate      float64       `json:"miss_rate"`
+	ByteMissRate  float64       `json:"byte_miss_rate"`
+}
+
+// SweepResult is the machine-readable outcome of a sweep, stable enough to
+// serve as a benchmark baseline: everything except Engine, Workers and
+// WallSeconds is a pure function of the trace and config.
+type SweepResult struct {
+	Schema      string       `json:"schema"`
+	Engine      string       `json:"engine"` // "single-pass" or "sequential"
+	Jobs        int          `json:"jobs"`
+	Files       int          `json:"files"`
+	Filecules   int          `json:"filecules"`
+	Requests    int          `json:"requests"`
+	Scale       float64      `json:"scale"`
+	Warmup      int64        `json:"warmup,omitempty"`
+	Workers     int          `json:"workers"`
+	WallSeconds float64      `json:"wall_seconds"`
+	Cells       []CellResult `json:"cells"`
+}
+
+// WriteJSON emits the result as indented JSON.
+func (r *SweepResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// batch is one resolved chunk of the request stream, fanned out to every
+// worker and returned to the pool by whichever worker finishes it last.
+type batch struct {
+	base int64
+	n    int
+	res  [numAxes][]resolved
+	refs atomic.Int32
+}
+
+// Sweep replays the full policy × granularity × capacity grid from a single
+// pass over reqs. One reader resolves each request once per axis into pooled
+// batches; the cells are sharded round-robin over Workers goroutines, each
+// owning its cells' state exclusively (no locks on the simulation path).
+// Every cell consumes batches in stream order, so results are deterministic
+// and independent of Workers, and — cell for cell — byte-identical to
+// SweepSequential and to cache.Sim replays (see TestSweepMatchesSequential).
+func Sweep(t *trace.Trace, p *core.Partition, reqs []trace.Request, cfg SweepConfig) (*SweepResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	specs := cfg.grid()
+
+	// Static shared state: axes, bundle keys, and per-axis next-use chains
+	// (computed once, shared by all OPT cells of the axis).
+	var axes [numAxes]*axisData
+	var nextUse [numAxes][]int64
+	var bundleNextUse []int64
+	var bKeys []int32
+	needAxis := [numAxes]bool{}
+	needOPT := [numAxes]bool{}
+	needBundle, needBundleOPT := false, false
+	for _, sp := range specs {
+		needAxis[sp.axis] = true
+		if sp.Granularity == "bundle" {
+			needBundle = true
+			if sp.Policy == "opt" {
+				needBundleOPT = true
+			}
+		} else if sp.Policy == "opt" {
+			needOPT[sp.axis] = true
+		}
+	}
+	if needAxis[axisFile] {
+		axes[axisFile] = newFileAxis(t)
+	}
+	if needAxis[axisFilecule] {
+		axes[axisFilecule] = newFileculeAxis(t, p)
+	}
+	for k := axisKind(0); k < numAxes; k++ {
+		if needOPT[k] {
+			nextUse[k] = nextUseBySlot(axes[k].slotOf, axes[k].nSlots, reqs)
+		}
+	}
+	nBundles := int32(p.NumFilecules()) + int32(len(t.Files))
+	if needBundle {
+		bKeys = bundleKeys(t, p)
+		if needBundleOPT {
+			bundleNextUse = nextUseBySlot(bKeys, nBundles, reqs)
+		}
+	}
+
+	cells := make([]cell, len(specs))
+	for i, sp := range specs {
+		cells[i] = buildCell(sp, axes[sp.axis], cfg.Warmup, nextUse[sp.axis], bKeys, nBundles, bundleNextUse)
+	}
+
+	// Fan the resolved stream out to the workers.
+	workers := cfg.Workers
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	pool := sync.Pool{New: func() interface{} {
+		b := &batch{}
+		for k := axisKind(0); k < numAxes; k++ {
+			if needAxis[k] {
+				b.res[k] = make([]resolved, cfg.BatchSize)
+			}
+		}
+		return b
+	}}
+	chans := make([]chan *batch, workers)
+	for i := range chans {
+		chans[i] = make(chan *batch, 4)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := cells[w:]
+			for b := range chans[w] {
+				for i := 0; i < len(mine); i += workers {
+					c := mine[i]
+					c.run(b.res[c.spec().axis][:b.n], b.base)
+				}
+				if b.refs.Add(-1) == 0 {
+					pool.Put(b)
+				}
+			}
+		}(w)
+	}
+	for off := 0; off < len(reqs); off += cfg.BatchSize {
+		end := off + cfg.BatchSize
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		chunk := reqs[off:end]
+		b := pool.Get().(*batch)
+		b.base = int64(off)
+		b.n = len(chunk)
+		for k := axisKind(0); k < numAxes; k++ {
+			if needAxis[k] {
+				axes[k].resolve(chunk, b.res[k][:len(chunk)])
+			}
+		}
+		b.refs.Store(int32(workers))
+		for _, ch := range chans {
+			ch <- b
+		}
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+
+	res := newSweepResult(t, p, reqs, cfg, "single-pass", workers)
+	for _, c := range cells {
+		res.Cells = append(res.Cells, cellResultOf(c.spec(), c.metrics()))
+	}
+	res.WallSeconds = time.Since(start).Seconds()
+	return res, nil
+}
+
+// buildCell constructs one dense cell for a spec.
+func buildCell(sp cellSpec, ax *axisData, warmup int64, nextUse []int64, bKeys []int32, nBundles int32, bundleNextUse []int64) cell {
+	if sp.Granularity == "bundle" {
+		var base denseBase
+		switch sp.Policy {
+		case "lru":
+			base = newLRUState(nBundles)
+		case "arc":
+			base = newARCState(nBundles, sp.Capacity)
+		case "gds":
+			base = newGDSState(nBundles)
+		case "opt":
+			base = newOPTState(nBundles, bundleNextUse)
+		}
+		return newBundleCell(sp, ax, warmup, bKeys, nBundles, base)
+	}
+	cc := newCellCore(sp, ax, warmup)
+	switch sp.Policy {
+	case "lru":
+		return &lruCell{cellCore: cc, st: newLRUState(ax.nSlots)}
+	case "arc":
+		return &arcCell{cellCore: cc, st: newARCState(ax.nSlots, sp.Capacity)}
+	case "gds":
+		return &gdsCell{cellCore: cc, st: newGDSState(ax.nSlots)}
+	case "opt":
+		return &optCell{cellCore: cc, st: newOPTState(ax.nSlots, nextUse)}
+	}
+	panic("sim: unreachable policy " + sp.Policy)
+}
+
+// SweepSequential replays the identical grid cell by cell through the
+// cache package's map-and-interface simulator. It is the reference the
+// single-pass engine is differentially tested against, and the baseline the
+// speedup benchmark measures. Each cell honestly pays its own full cost:
+// granularity construction, next-use pre-pass, and a complete pass over the
+// request stream.
+func SweepSequential(t *trace.Trace, p *core.Partition, reqs []trace.Request, cfg SweepConfig) (*SweepResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	specs := cfg.grid()
+
+	res := newSweepResult(t, p, reqs, cfg, "sequential", 1)
+	for _, sp := range specs {
+		var g cache.Granularity
+		if sp.Granularity == "filecule" {
+			g = cache.NewFileculeGranularity(t, p)
+		} else {
+			g = cache.NewFileGranularity(t)
+		}
+		var pol cache.Policy
+		switch sp.Policy {
+		case "lru":
+			pol = cache.NewLRU()
+		case "arc":
+			pol = cache.NewARC(sp.Capacity)
+		case "gds":
+			pol = cache.NewGDS()
+		case "opt":
+			if sp.Granularity == "bundle" {
+				pol = cache.NewOPTPolicy(cache.NextUseBundles(p, reqs))
+			} else {
+				pol = cache.NewOPTPolicy(cache.NextUse(g, reqs))
+			}
+		}
+		if sp.Granularity == "bundle" {
+			pol = cache.NewBundlePolicy(pol, p)
+		}
+		s := cache.NewSim(t, g, pol, sp.Capacity)
+		s.Warmup = cfg.Warmup
+		m := s.Replay(reqs)
+		res.Cells = append(res.Cells, cellResultOf(sp, m))
+	}
+	res.WallSeconds = time.Since(start).Seconds()
+	return res, nil
+}
+
+func newSweepResult(t *trace.Trace, p *core.Partition, reqs []trace.Request, cfg SweepConfig, engine string, workers int) *SweepResult {
+	return &SweepResult{
+		Schema:    SweepSchema,
+		Engine:    engine,
+		Jobs:      len(t.Jobs),
+		Files:     len(t.Files),
+		Filecules: p.NumFilecules(),
+		Requests:  len(reqs),
+		Scale:     cfg.Scale,
+		Warmup:    cfg.Warmup,
+		Workers:   workers,
+	}
+}
+
+func cellResultOf(sp cellSpec, m cache.Metrics) CellResult {
+	return CellResult{
+		Policy:        sp.Policy,
+		Granularity:   sp.Granularity,
+		CacheTB:       sp.CacheTB,
+		CapacityBytes: sp.Capacity,
+		Metrics:       m,
+		MissRate:      m.MissRate(),
+		ByteMissRate:  m.ByteMissRate(),
+	}
+}
