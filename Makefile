@@ -7,9 +7,10 @@
 GO ?= go
 FUZZTIME ?= 10s
 BENCHDIR ?= .bench
-# Benchmarks the regression gate watches: the sweep engine pair plus the
-# serving hot path. The Large sweep variants are excluded by the $$ anchors.
-BENCHPAT ?= SweepEngine$$|SweepSequential$$|CacheReplay|Server
+# Benchmarks the regression gate watches: the sweep engine pair, the online
+# identification engine's observe/snapshot pairs, and the serving hot path.
+# The Large sweep variants are excluded by the $$ anchors.
+BENCHPAT ?= SweepEngine$$|SweepSequential$$|CacheReplay|Server|Observe|Snapshot
 BENCH_TOLERANCE ?= 0.15
 
 .PHONY: all build fmt-check vet test race fuzz-smoke bench selftest ci \
@@ -38,6 +39,7 @@ race:
 # invocation). Seeds alone run in `test`; this explores beyond them.
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzTraceCodec -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run=^$$ -fuzz=FuzzEnginePrefix -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzServerHandlers -fuzztime=$(FUZZTIME) ./internal/server
 	$(GO) test -run=^$$ -fuzz=FuzzAdviseConsistency -fuzztime=$(FUZZTIME) ./internal/server
 
@@ -56,7 +58,8 @@ bench-json:
 	@echo "bench-json: wrote BENCH_sweep.json"
 
 # Gate the fresh report against the committed baseline: fail on >15% ns/op
-# or B/op regression, a sub-3x sweep speedup, or any sweep miss-rate drift.
+# or B/op regression, a sub-3x sweep speedup, a sub-4x online-observe
+# speedup over the Refiner, or any sweep miss-rate drift.
 bench-gate: bench-json
 	$(GO) run ./cmd/filecule-benchgate -report BENCH_sweep.json \
 		-baseline BENCH_baseline.json -tolerance $(BENCH_TOLERANCE)

@@ -65,6 +65,7 @@ func run(args []string, stdout io.Writer) error {
 		basePath     = fs.String("baseline", "", "committed baseline report")
 		tolerance    = fs.Float64("tolerance", 0.15, "allowed fractional regression of ns/op and B/op")
 		speedupFloor = fs.Float64("speedup-floor", 3, "required SweepEngine over SweepSequential wall-clock ratio (0 disables)")
+		observeFloor = fs.Float64("observe-speedup-floor", 4, "required ObserveEngineParallel over ObserveRefiner wall-clock ratio (0 disables)")
 		update       = fs.Bool("update", false, "rewrite the baseline from the report instead of gating")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -113,7 +114,10 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	violations := gate(base, rep, *tolerance, *speedupFloor)
+	violations := gate(base, rep, *tolerance, []speedupPair{
+		{fast: "SweepEngine", slow: "SweepSequential", floor: *speedupFloor},
+		{fast: "ObserveEngineParallel", slow: "ObserveRefiner", floor: *observeFloor},
+	})
 	if len(violations) > 0 {
 		for _, v := range violations {
 			fmt.Fprintln(stdout, "FAIL:", v)
@@ -204,8 +208,16 @@ func parseBench(r io.Reader) ([]Benchmark, error) {
 	return out, nil
 }
 
+// speedupPair names a fast/slow benchmark pair whose within-run wall-clock
+// ratio must stay at or above floor. Comparing two benchmarks from the same
+// run makes the check immune to runner-to-runner speed differences.
+type speedupPair struct {
+	fast, slow string
+	floor      float64
+}
+
 // gate compares a report against the baseline and returns all violations.
-func gate(base, rep *Report, tolerance, speedupFloor float64) []string {
+func gate(base, rep *Report, tolerance float64, pairs []speedupPair) []string {
 	var out []string
 	byName := make(map[string]Benchmark, len(rep.Benchmarks))
 	for _, b := range rep.Benchmarks {
@@ -242,15 +254,17 @@ func gate(base, rep *Report, tolerance, speedupFloor float64) []string {
 		}
 	}
 
-	// The engine's reason to exist, checked within one machine and one run —
-	// immune to runner-to-runner speed differences.
-	if speedupFloor > 0 {
-		eng, eok := byName["SweepEngine"]
-		seq, sok := byName["SweepSequential"]
-		if eok && sok && eng.Metrics["ns/op"] > 0 {
-			if ratio := seq.Metrics["ns/op"] / eng.Metrics["ns/op"]; ratio < speedupFloor {
+	// The engines' reasons to exist, each checked within one run.
+	for _, p := range pairs {
+		if p.floor <= 0 {
+			continue
+		}
+		fast, fok := byName[p.fast]
+		slow, sok := byName[p.slow]
+		if fok && sok && fast.Metrics["ns/op"] > 0 {
+			if ratio := slow.Metrics["ns/op"] / fast.Metrics["ns/op"]; ratio < p.floor {
 				out = append(out, fmt.Sprintf(
-					"SweepEngine only %.2fx faster than SweepSequential, floor %gx", ratio, speedupFloor))
+					"%s only %.2fx faster than %s, floor %gx", p.fast, ratio, p.slow, p.floor))
 			}
 		}
 	}

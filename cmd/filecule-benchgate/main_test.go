@@ -57,10 +57,14 @@ func scaleBench(r *Report, name, unit string, factor float64) {
 	}
 }
 
+func sweepPairOnly(floor float64) []speedupPair {
+	return []speedupPair{{fast: "SweepEngine", slow: "SweepSequential", floor: floor}}
+}
+
 func TestGateWithinTolerance(t *testing.T) {
 	base, rep := report(t), report(t)
 	scaleBench(rep, "ServerAdvise", "ns/op", 1.10) // +10% < 15% band
-	if v := gate(base, rep, 0.15, 3); len(v) != 0 {
+	if v := gate(base, rep, 0.15, sweepPairOnly(3)); len(v) != 0 {
 		t.Errorf("unexpected violations: %v", v)
 	}
 }
@@ -68,7 +72,7 @@ func TestGateWithinTolerance(t *testing.T) {
 func TestGateNsOpRegression(t *testing.T) {
 	base, rep := report(t), report(t)
 	scaleBench(rep, "ServerAdvise", "ns/op", 1.30)
-	v := gate(base, rep, 0.15, 3)
+	v := gate(base, rep, 0.15, sweepPairOnly(3))
 	if len(v) != 1 || !strings.Contains(v[0], "ServerAdvise") || !strings.Contains(v[0], "ns/op") {
 		t.Errorf("want one ServerAdvise ns/op violation, got %v", v)
 	}
@@ -78,7 +82,7 @@ func TestGateBytesRegressionAndMissing(t *testing.T) {
 	base, rep := report(t), report(t)
 	scaleBench(rep, "SweepEngine", "B/op", 2)
 	rep.Benchmarks = rep.Benchmarks[:2] // drop ServerAdvise
-	v := gate(base, rep, 0.15, 0)
+	v := gate(base, rep, 0.15, nil)
 	if len(v) != 2 {
 		t.Fatalf("want B/op + missing-benchmark violations, got %v", v)
 	}
@@ -89,9 +93,26 @@ func TestGateSpeedupFloor(t *testing.T) {
 	// Slow the engine until the in-report ratio drops under the floor.
 	scaleBench(rep, "SweepEngine", "ns/op", 4) // ratio ~9.4/4 = 2.4 < 3
 	// Keep ns/op within band by relaxing tolerance; only the floor fires.
-	v := gate(base, rep, 10, 3)
+	v := gate(base, rep, 10, sweepPairOnly(3))
 	if len(v) != 1 || !strings.Contains(v[0], "faster than SweepSequential") {
 		t.Errorf("want speedup-floor violation, got %v", v)
+	}
+}
+
+func TestGateObserveSpeedupFloor(t *testing.T) {
+	mk := func(refiner, engine float64) *Report {
+		return &Report{Schema: BenchSchema, Benchmarks: []Benchmark{
+			{Name: "ObserveRefiner", Iterations: 1, Metrics: map[string]float64{"ns/op": refiner}},
+			{Name: "ObserveEngineParallel", Iterations: 1, Metrics: map[string]float64{"ns/op": engine}},
+		}}
+	}
+	pairs := []speedupPair{{fast: "ObserveEngineParallel", slow: "ObserveRefiner", floor: 4}}
+	if v := gate(mk(2400, 300), mk(2400, 300), 0.15, pairs); len(v) != 0 {
+		t.Errorf("8x observe speedup must pass a 4x floor, got %v", v)
+	}
+	v := gate(mk(2400, 300), mk(2400, 900), 10, pairs)
+	if len(v) != 1 || !strings.Contains(v[0], "faster than ObserveRefiner") {
+		t.Errorf("want observe speedup-floor violation, got %v", v)
 	}
 }
 
@@ -109,16 +130,16 @@ func TestGateSweepExactness(t *testing.T) {
 	base, rep := report(t), report(t)
 	base.Sweep = sweepFixture(40)
 	rep.Sweep = sweepFixture(41) // off by a single miss
-	v := gate(base, rep, 0.15, 0)
+	v := gate(base, rep, 0.15, nil)
 	if len(v) != 1 || !strings.Contains(v[0], "lru/file/1TB") {
 		t.Errorf("want exact sweep-cell violation, got %v", v)
 	}
 	rep.Sweep = sweepFixture(40)
-	if v := gate(base, rep, 0.15, 0); len(v) != 0 {
+	if v := gate(base, rep, 0.15, nil); len(v) != 0 {
 		t.Errorf("identical sweeps must pass, got %v", v)
 	}
 	rep.Sweep = nil
-	if v := gate(base, rep, 0.15, 0); len(v) != 1 {
+	if v := gate(base, rep, 0.15, nil); len(v) != 1 {
 		t.Errorf("missing sweep section must fail, got %v", v)
 	}
 }
@@ -128,7 +149,7 @@ func TestGateSweepWorkloadChange(t *testing.T) {
 	base.Sweep = sweepFixture(40)
 	rep.Sweep = sweepFixture(40)
 	rep.Sweep.Scale = 0.05
-	v := gate(base, rep, 0.15, 0)
+	v := gate(base, rep, 0.15, nil)
 	if len(v) != 1 || !strings.Contains(v[0], "workload changed") {
 		t.Errorf("want workload-change violation, got %v", v)
 	}

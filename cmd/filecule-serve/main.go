@@ -43,6 +43,7 @@ func main() {
 		clients  = flag.Int("clients", 8, "selftest: concurrent submitters")
 		batch    = flag.Int("batch", 1, "selftest: jobs per request (1 = unbatched)")
 		pprof    = flag.Bool("pprof", true, "mount /debug/pprof")
+		shards   = flag.Int("shards", 0, "engine lock stripes (<=0 = auto from GOMAXPROCS)")
 		grace    = flag.Duration("shutdown-grace", 10*time.Second, "request-draining bound on shutdown")
 		rdTO     = flag.Duration("read-timeout", 30*time.Second, "HTTP read timeout")
 		wrTO     = flag.Duration("write-timeout", 60*time.Second, "HTTP write timeout")
@@ -53,6 +54,7 @@ func main() {
 	cfg := server.Config{
 		Catalog:       t.Files,
 		EnablePprof:   *pprof,
+		EngineShards:  *shards,
 		ShutdownGrace: *grace,
 		ReadTimeout:   *rdTO,
 		WriteTimeout:  *wrTO,
@@ -151,6 +153,9 @@ func runSelftest(cfg server.Config, t *trace.Trace, clients, batch int) error {
 	for _, needle := range []string{
 		"filecule_server_requests_total",
 		"filecule_server_request_seconds_quantile",
+		"filecule_server_gomaxprocs",
+		"filecule_engine_shards",
+		"filecule_engine_blocks",
 		fmt.Sprintf("filecule_jobs_observed_total %d", len(t.Jobs)),
 	} {
 		if !strings.Contains(ms, needle) {

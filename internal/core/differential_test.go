@@ -123,6 +123,20 @@ func TestDifferentialIdentification(t *testing.T) {
 			t.Errorf("trace %d: Refiner differs from Identify", ti)
 		}
 
+		// Sharded engine, sequential feed, at several shard counts
+		// (1 shard degenerates to pure per-shard refinement; more
+		// shards exercise the cross-shard signature merge).
+		for _, shards := range []int{1, 2, 8, 32} {
+			e := NewEngine(shards)
+			e.ObserveTrace(tr)
+			if p := e.Snapshot(); !ref.Equal(p) {
+				t.Errorf("trace %d: Engine(%d shards) differs from Identify", ti, shards)
+			}
+			if got, want := e.NumFilecules(), ref.NumFilecules(); got != want {
+				t.Errorf("trace %d: Engine(%d shards) counts %d filecules, want %d", ti, shards, got, want)
+			}
+		}
+
 		// Monitor fed by concurrent submitters (order scrambled by the
 		// scheduler): filecules are equivalence classes, so the final
 		// partition must not depend on observation order. Run under
@@ -165,6 +179,47 @@ func TestDifferentialPrefixes(t *testing.T) {
 		want := IdentifyJobs(tr, ids)
 		if got := r.Partition(); !want.Equal(got) {
 			t.Fatalf("prefix %d: refiner differs from batch identification", i+1)
+		}
+	}
+}
+
+// TestDifferentialPrefixAllIdentifiers is the prefix-equivalence property
+// across every identifier in the package: after each sampled prefix of the
+// job stream, batch identification (Identify over a truncated trace,
+// IdentifyJobs over the prefix's job IDs, IdentifyParallel), the online
+// Refiner and the sharded Engine must all produce one bit-identical
+// canonical partition.
+func TestDifferentialPrefixAllIdentifiers(t *testing.T) {
+	for _, seed := range []int64{5, 99, 123} {
+		tr := adversarialTrace(seed)
+		r := NewRefiner()
+		e := NewEngine(4)
+		for i := range tr.Jobs {
+			r.Observe(tr.Jobs[i].Files)
+			e.Observe(tr.Jobs[i].Files)
+			if i%7 != 0 && i != len(tr.Jobs)-1 {
+				continue
+			}
+			ids := make([]trace.JobID, i+1)
+			for k := range ids {
+				ids[k] = trace.JobID(k)
+			}
+			want := IdentifyJobs(tr, ids)
+			prefix := *tr
+			prefix.Jobs = tr.Jobs[:i+1]
+			if got := Identify(&prefix); !want.Equal(got) {
+				t.Fatalf("seed %d prefix %d: Identify differs from IdentifyJobs", seed, i+1)
+			}
+			if got := IdentifyParallel(&prefix, 3); !want.Equal(got) {
+				t.Fatalf("seed %d prefix %d: IdentifyParallel differs from batch", seed, i+1)
+			}
+			if got := r.Partition(); !want.Equal(got) {
+				t.Fatalf("seed %d prefix %d: Refiner differs from batch", seed, i+1)
+			}
+			if got := e.Snapshot(); !want.Equal(got) {
+				t.Fatalf("seed %d prefix %d: Engine differs from batch", seed, i+1)
+			}
+			checkInvariants(t, &prefix, e.Snapshot())
 		}
 	}
 }

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"filecule/internal/trace"
+)
+
+func TestEngineMatchesBatchUnderConcurrency(t *testing.T) {
+	tr := randomTrace(t, 42, 50, 300)
+	for _, shards := range []int{1, 4, 16} {
+		e := NewEngine(shards)
+		var wg sync.WaitGroup
+		const workers = 8
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(tr.Jobs); i += workers {
+					e.Observe(tr.Jobs[i].Files)
+				}
+			}(w)
+		}
+		wg.Wait()
+		want := Identify(tr)
+		got := e.Snapshot()
+		if !want.Equal(got) {
+			t.Errorf("shards=%d: concurrent engine diverged from batch", shards)
+		}
+		if err := got.Validate(); err != nil {
+			t.Errorf("shards=%d: %v", shards, err)
+		}
+		if e.NumFilecules() != want.NumFilecules() {
+			t.Errorf("shards=%d: NumFilecules = %d, want %d", shards, e.NumFilecules(), want.NumFilecules())
+		}
+		if e.Observed() != int64(len(tr.Jobs)) {
+			t.Errorf("shards=%d: observed %d, want %d", shards, e.Observed(), len(tr.Jobs))
+		}
+		if e.Blocks() < int64(e.NumFilecules()) {
+			t.Errorf("shards=%d: blocks %d < filecules %d", shards, e.Blocks(), e.NumFilecules())
+		}
+	}
+}
+
+func TestEngineSnapshotCachingAndIsolation(t *testing.T) {
+	e := NewEngine(4)
+	e.Observe([]trace.FileID{1, 2, 3})
+	p1 := e.Snapshot()
+	if p2 := e.Snapshot(); p1 != p2 {
+		t.Error("unchanged engine did not return the identical snapshot pointer")
+	}
+	e.Observe([]trace.FileID{2})
+	p3 := e.Snapshot()
+	if p3 == p1 {
+		t.Error("observe did not invalidate the cached snapshot")
+	}
+	// The earlier snapshot is immutable: the split must not leak into it.
+	if p1.NumFilecules() != 1 || len(p1.Filecules[0].Files) != 3 {
+		t.Errorf("earlier snapshot mutated: %+v", p1.Filecules)
+	}
+	if p3.NumFilecules() != 2 {
+		t.Errorf("filecules after split = %d, want 2", p3.NumFilecules())
+	}
+	if got := p3.Of(2); got < 0 || len(p3.Filecules[got].Files) != 1 || p3.Filecules[got].Requests != 2 {
+		t.Errorf("split filecule wrong: Of(2)=%d %+v", got, p3.Filecules)
+	}
+	// ObserveBatch must also invalidate.
+	e.ObserveBatch([][]trace.FileID{{10}, {11}})
+	if p4 := e.Snapshot(); p4 == p3 || p4.NumFiles() != 5 {
+		t.Error("ObserveBatch did not invalidate the cached snapshot")
+	}
+	// An empty job changes nothing but still counts and invalidates.
+	before := e.Snapshot()
+	e.Observe(nil)
+	if e.Observed() != 5 {
+		t.Errorf("observed = %d, want 5", e.Observed())
+	}
+	after := e.Snapshot()
+	if after == before {
+		t.Error("empty observe did not invalidate the snapshot pointer")
+	}
+	if !after.Equal(before) {
+		t.Error("empty observe changed the partition")
+	}
+}
+
+// TestEngineCopyOnWriteReuse pins the COW contract: filecule groups
+// untouched between snapshots share their member slices with the previous
+// snapshot instead of being re-materialized.
+func TestEngineCopyOnWriteReuse(t *testing.T) {
+	e := NewEngine(4)
+	e.Observe([]trace.FileID{1, 2})
+	e.Observe([]trace.FileID{10, 11})
+	p1 := e.Snapshot()
+	// Touch only the {10, 11} group.
+	e.Observe([]trace.FileID{10, 11})
+	p2 := e.Snapshot()
+	if !sameSlice(fileculeFiles(p1, 1), fileculeFiles(p2, 1)) {
+		t.Error("untouched group was re-materialized (COW reuse failed)")
+	}
+	if p2.FileculeOf(10).Requests != 2 {
+		t.Errorf("touched group requests = %d, want 2", p2.FileculeOf(10).Requests)
+	}
+}
+
+// fileculeFiles returns the member slice of the filecule containing f.
+func fileculeFiles(p *Partition, f trace.FileID) []trace.FileID {
+	fc := p.FileculeOf(f)
+	if fc == nil {
+		return nil
+	}
+	return fc.Files
+}
+
+// sameSlice reports whether two slices share the same backing array cell 0.
+func sameSlice(a, b []trace.FileID) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
+// TestEngineSteadyStateAllocs pins the allocation-flat property: once the
+// partition has settled, re-observing jobs allocates (amortized) nothing —
+// no map churn, no block rebuilds, only swaps and counter updates.
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	tr := randomTrace(t, 7, 60, 400)
+	e := NewEngine(8)
+	e.ObserveTrace(tr)
+	e.ObserveTrace(tr) // second pass: partition fully settled
+	i := 0
+	avg := testing.AllocsPerRun(500, func() {
+		e.Observe(tr.Jobs[i%len(tr.Jobs)].Files)
+		i++
+	})
+	// The signature refcount table replaces one key per touched block per
+	// observe; Go maps amortize that to well under one bucket allocation
+	// per call.
+	if avg > 0.5 {
+		t.Errorf("steady-state Observe allocates %.2f allocs/op, want ~0", avg)
+	}
+}
+
+func TestEngineShardConfiguration(t *testing.T) {
+	if got := NewEngine(0).Shards(); got != DefaultEngineShards() {
+		t.Errorf("NewEngine(0).Shards() = %d, want %d", got, DefaultEngineShards())
+	}
+	if got := NewEngine(5).Shards(); got != 8 {
+		t.Errorf("NewEngine(5).Shards() = %d, want 8 (rounded to power of two)", got)
+	}
+	m := NewMonitorShards(16)
+	if m.Shards() != 16 {
+		t.Errorf("NewMonitorShards(16).Shards() = %d", m.Shards())
+	}
+	if m.Engine() == nil {
+		t.Error("Monitor.Engine() is nil")
+	}
+}
+
+// TestEngineLazyPartitionIndex checks that lazily-indexed partitions answer
+// lookups identically to eagerly-indexed ones, including concurrent first
+// lookups.
+func TestEngineLazyPartitionIndex(t *testing.T) {
+	tr := randomTrace(t, 11, 40, 150)
+	e := NewEngine(8)
+	e.ObserveTrace(tr)
+	lazy := e.Snapshot()
+	eager := Identify(tr)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for f := trace.FileID(0); int(f) < len(tr.Files); f++ {
+				li, ei := lazy.Of(f), eager.Of(f)
+				if (li < 0) != (ei < 0) {
+					t.Errorf("Of(%d): lazy %d, eager %d", f, li, ei)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if lazy.NumFiles() != eager.NumFiles() {
+		t.Errorf("NumFiles: lazy %d, eager %d", lazy.NumFiles(), eager.NumFiles())
+	}
+}

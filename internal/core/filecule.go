@@ -23,6 +23,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"filecule/internal/trace"
 )
@@ -46,16 +47,42 @@ func (f *Filecule) NumFiles() int { return len(f.Files) }
 // a trace. Files never requested by any job belong to no filecule.
 type Partition struct {
 	Filecules []Filecule
-	byFile    map[trace.FileID]int
+	// byFile is the eager file index filled by canonicalize. Partitions
+	// assembled by the Engine leave it nil and build lazyIdx on first
+	// lookup instead, so snapshots cost O(changed blocks), not O(files).
+	byFile map[trace.FileID]int
+	// nFiles is the covered-file count when byFile is nil.
+	nFiles  int
+	lazyIdx atomic.Pointer[map[trace.FileID]int]
 }
 
 // NumFilecules returns the number of filecules.
 func (p *Partition) NumFilecules() int { return len(p.Filecules) }
 
+// index returns the file→filecule map, building it on first use for
+// lazily-indexed partitions. Safe for concurrent use: racing builders
+// produce identical maps and one wins the CompareAndSwap.
+func (p *Partition) index() map[trace.FileID]int {
+	if p.byFile != nil {
+		return p.byFile
+	}
+	if m := p.lazyIdx.Load(); m != nil {
+		return *m
+	}
+	m := make(map[trace.FileID]int, p.nFiles)
+	for i := range p.Filecules {
+		for _, f := range p.Filecules[i].Files {
+			m[f] = i
+		}
+	}
+	p.lazyIdx.CompareAndSwap(nil, &m)
+	return *p.lazyIdx.Load()
+}
+
 // Of returns the filecule index containing file f, or -1 if f was never
 // requested.
 func (p *Partition) Of(f trace.FileID) int {
-	if i, ok := p.byFile[f]; ok {
+	if i, ok := p.index()[f]; ok {
 		return i
 	}
 	return -1
@@ -72,7 +99,12 @@ func (p *Partition) FileculeOf(f trace.FileID) *Filecule {
 }
 
 // NumFiles returns the total number of files covered by the partition.
-func (p *Partition) NumFiles() int { return len(p.byFile) }
+func (p *Partition) NumFiles() int {
+	if p.byFile != nil {
+		return len(p.byFile)
+	}
+	return p.nFiles
+}
 
 // Size returns the total byte size of filecule i given the trace's file
 // catalog.
@@ -85,9 +117,10 @@ func (p *Partition) Size(t *trace.Trace, i int) int64 {
 }
 
 // Validate checks the structural invariants of the partition: dense IDs,
-// sorted non-empty member lists, disjointness, and byFile consistency.
+// sorted non-empty member lists, disjointness, and file-index consistency.
 func (p *Partition) Validate() error {
-	seen := make(map[trace.FileID]int, len(p.byFile))
+	idx := p.index()
+	seen := make(map[trace.FileID]int, len(idx))
 	for i := range p.Filecules {
 		fc := &p.Filecules[i]
 		if fc.ID != i {
@@ -107,13 +140,16 @@ func (p *Partition) Validate() error {
 				return fmt.Errorf("core: file %d in filecules %d and %d", f, prev, i)
 			}
 			seen[f] = i
-			if got := p.byFile[f]; got != i {
-				return fmt.Errorf("core: byFile[%d] = %d, want %d", f, got, i)
+			if got := idx[f]; got != i {
+				return fmt.Errorf("core: index[%d] = %d, want %d", f, got, i)
 			}
 		}
 	}
-	if len(seen) != len(p.byFile) {
-		return fmt.Errorf("core: byFile has %d entries, filecules cover %d files", len(p.byFile), len(seen))
+	if len(seen) != len(idx) {
+		return fmt.Errorf("core: index has %d entries, filecules cover %d files", len(idx), len(seen))
+	}
+	if p.byFile == nil && p.nFiles != len(seen) {
+		return fmt.Errorf("core: nFiles = %d, filecules cover %d files", p.nFiles, len(seen))
 	}
 	return nil
 }

@@ -1,87 +1,68 @@
 package core
 
 import (
-	"sync"
-
 	"filecule/internal/trace"
 )
 
-// Monitor is a goroutine-safe wrapper around Refiner: the long-running
-// identification service Section 6 sketches, deployed at a "concentration
-// point" (a scheduler or meta-scheduler) where job submissions stream past.
-// Many submitter goroutines call Observe concurrently; readers take
-// consistent Partition snapshots at any time.
+// Monitor is the goroutine-safe identification service Section 6 sketches,
+// deployed at a "concentration point" (a scheduler or meta-scheduler) where
+// job submissions stream past. Many submitter goroutines call Observe
+// concurrently; readers take consistent Partition snapshots at any time.
 //
-// A single mutex serializes refinement — the partition-refinement state is
-// inherently sequential — but snapshots copy out under the same lock so
-// readers never see a half-applied job.
+// It is a thin wrapper around Engine, the sharded allocation-flat
+// partition-refinement engine: observes touching disjoint shards proceed in
+// parallel rather than serializing on one mutex, snapshots reuse unchanged
+// filecule groups copy-on-write, and the filecule count is maintained
+// incrementally so progress reporting costs O(1).
 type Monitor struct {
-	mu      sync.Mutex
-	refiner *Refiner
-	// observed counts jobs folded in, exposed for progress reporting.
-	observed int64
-	// snap caches the last canonical snapshot; it is invalidated by the
-	// next Observe. Serving layers issue many reads per write, so
-	// read-mostly periods pay the O(files) canonicalization once. The
-	// pointer doubles as a cheap change detector: two equal Snapshot
-	// results between observations are the identical *Partition.
-	snap *Partition
+	engine *Engine
 }
 
-// NewMonitor returns an empty identification service.
-func NewMonitor() *Monitor {
-	return &Monitor{refiner: NewRefiner()}
+// NewMonitor returns an empty identification service with the default
+// shard layout.
+func NewMonitor() *Monitor { return NewMonitorShards(0) }
+
+// NewMonitorShards returns an empty identification service with the given
+// engine shard count (<= 0 selects DefaultEngineShards).
+func NewMonitorShards(shards int) *Monitor {
+	return &Monitor{engine: NewEngine(shards)}
 }
+
+// Engine exposes the underlying identification engine.
+func (m *Monitor) Engine() *Engine { return m.engine }
 
 // Observe folds one job's input set into the partition. Safe for concurrent
 // use.
 func (m *Monitor) Observe(files []trace.FileID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.refiner.Observe(files)
-	m.observed++
-	m.snap = nil
+	m.engine.Observe(files)
 }
 
-// ObserveBatch folds several jobs' input sets under one lock acquisition —
-// the batched ingestion path for serving layers, where per-job locking
-// dominates at high request rates.
+// ObserveBatch folds several jobs' input sets — the batched ingestion path
+// for serving layers, where per-request overhead dominates at high request
+// rates.
 func (m *Monitor) ObserveBatch(jobs [][]trace.FileID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, files := range jobs {
-		m.refiner.Observe(files)
-		m.observed++
-	}
-	m.snap = nil
+	m.engine.ObserveBatch(jobs)
 }
 
 // ObserveJob folds a trace job.
 func (m *Monitor) ObserveJob(j *trace.Job) { m.Observe(j.Files) }
 
 // Observed returns the number of jobs folded in so far.
-func (m *Monitor) Observed() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.observed
-}
+func (m *Monitor) Observed() int64 { return m.engine.Observed() }
 
-// NumFilecules returns the current block count.
-func (m *Monitor) NumFilecules() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.refiner.NumFilecules()
-}
+// NumFilecules returns the current exact filecule count in O(1).
+func (m *Monitor) NumFilecules() int { return m.engine.NumFilecules() }
+
+// Shards returns the engine's shard count (a capacity diagnostic exposed by
+// serving layers).
+func (m *Monitor) Shards() int { return m.engine.Shards() }
+
+// Blocks returns the engine's raw per-shard block count (>= NumFilecules;
+// the gap measures cross-shard filecule spread).
+func (m *Monitor) Blocks() int64 { return m.engine.Blocks() }
 
 // Snapshot returns a consistent canonical Partition of everything observed
 // so far. Safe for concurrent use; the returned partition is immutable and
 // cached until the next Observe, so callers may compare successive results
 // by pointer to detect change.
-func (m *Monitor) Snapshot() *Partition {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.snap == nil {
-		m.snap = m.refiner.Partition()
-	}
-	return m.snap
-}
+func (m *Monitor) Snapshot() *Partition { return m.engine.Snapshot() }

@@ -92,12 +92,13 @@ func CompareToGlobal(global, partial *Partition) CoarsenessStats {
 		Filecules:    partial.NumFilecules(),
 	}
 	// Count exact matches: a partial filecule equal to a global one.
-	globalKey := make(map[string]struct{}, global.NumFilecules())
-	for i := range global.Filecules {
-		globalKey[fileKey(global.Filecules[i].Files)] = struct{}{}
-	}
+	// Filecules are disjoint, so a partial filecule can only equal the
+	// global filecule containing its first member — compare member lists
+	// directly instead of building per-filecule string keys (which
+	// allocated one key per filecule per call).
 	for i := range partial.Filecules {
-		if _, ok := globalKey[fileKey(partial.Filecules[i].Files)]; ok {
+		pf := &partial.Filecules[i]
+		if g := global.FileculeOf(pf.Files[0]); g != nil && sameFiles(g.Files, pf.Files) {
 			st.ExactFilecules++
 		}
 	}
@@ -130,12 +131,17 @@ func CompareToGlobal(global, partial *Partition) CoarsenessStats {
 	return st
 }
 
-func fileKey(files []trace.FileID) string {
-	b := make([]byte, 0, len(files)*4)
-	for _, f := range files {
-		b = append(b, byte(f), byte(f>>8), byte(f>>16), byte(f>>24))
+// sameFiles reports whether two sorted member lists are identical.
+func sameFiles(a, b []trace.FileID) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	return string(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Combine computes the common refinement of two partitions: files grouped

@@ -8,7 +8,7 @@
 // Endpoints:
 //
 //	POST /v1/jobs              observe one job's input set
-//	POST /v1/jobs/batch        observe many jobs under one lock
+//	POST /v1/jobs/batch        observe many jobs in one request
 //	GET  /v1/filecules/{file}  the filecule containing a file
 //	GET  /v1/partition         the full canonical partition
 //	GET  /v1/partition/summary partition shape statistics
@@ -29,6 +29,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
@@ -57,6 +58,11 @@ type Config struct {
 	ShutdownGrace time.Duration
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// EngineShards sets the identification engine's lock-stripe count;
+	// <= 0 selects core.DefaultEngineShards. Exposed as the
+	// filecule_engine_shards gauge so observe-path regressions can be
+	// correlated with the shard layout in production.
+	EngineShards int
 }
 
 func (c *Config) maxBody() int64 {
@@ -102,7 +108,7 @@ type Server struct {
 func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
-		monitor: core.NewMonitor(),
+		monitor: core.NewMonitorShards(cfg.EngineShards),
 		metrics: NewMetrics(),
 		mux:     http.NewServeMux(),
 	}
@@ -486,4 +492,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "filecule_partition_filecules %d\n", p.NumFilecules())
 	fmt.Fprintf(w, "# TYPE filecule_partition_files gauge\n")
 	fmt.Fprintf(w, "filecule_partition_files %d\n", p.NumFiles())
+	// Capacity gauges: how the observe path is laid out on this host, so
+	// throughput regressions are diagnosable from scrapes alone.
+	fmt.Fprintf(w, "# TYPE filecule_server_gomaxprocs gauge\n")
+	fmt.Fprintf(w, "filecule_server_gomaxprocs %d\n", runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "# TYPE filecule_engine_shards gauge\n")
+	fmt.Fprintf(w, "filecule_engine_shards %d\n", s.monitor.Shards())
+	fmt.Fprintf(w, "# TYPE filecule_engine_blocks gauge\n")
+	fmt.Fprintf(w, "filecule_engine_blocks %d\n", s.monitor.Blocks())
 }
