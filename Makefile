@@ -8,9 +8,10 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHDIR ?= .bench
 # Benchmarks the regression gate watches: the sweep engine pair, the online
-# identification engine's observe/snapshot pairs, and the serving hot path.
-# The Large sweep variants are excluded by the $$ anchors.
-BENCHPAT ?= SweepEngine$$|SweepSequential$$|CacheReplay|Server|Observe|Snapshot
+# identification engine's observe/snapshot pairs, the serving hot path, and
+# the trace-codec decode pair. The Large sweep variants are excluded by the
+# $$ anchors.
+BENCHPAT ?= SweepEngine$$|SweepSequential$$|CacheReplay|Server|Observe|Snapshot|DecodeText$$|DecodeBin$$
 BENCH_TOLERANCE ?= 0.15
 
 .PHONY: all build fmt-check vet test race fuzz-smoke bench selftest ci \
@@ -39,6 +40,7 @@ race:
 # invocation). Seeds alone run in `test`; this explores beyond them.
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzTraceCodec -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run=^$$ -fuzz=FuzzBinRoundTrip -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -run=^$$ -fuzz=FuzzEnginePrefix -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzServerHandlers -fuzztime=$(FUZZTIME) ./internal/server
 	$(GO) test -run=^$$ -fuzz=FuzzAdviseConsistency -fuzztime=$(FUZZTIME) ./internal/server
@@ -59,7 +61,8 @@ bench-json:
 
 # Gate the fresh report against the committed baseline: fail on >15% ns/op
 # or B/op regression, a sub-3x sweep speedup, a sub-4x online-observe
-# speedup over the Refiner, or any sweep miss-rate drift.
+# speedup over the Refiner, a sub-2x binary-over-text decode speedup, or
+# any sweep miss-rate drift.
 bench-gate: bench-json
 	$(GO) run ./cmd/filecule-benchgate -report BENCH_sweep.json \
 		-baseline BENCH_baseline.json -tolerance $(BENCH_TOLERANCE)

@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
@@ -202,6 +203,34 @@ func (w *writeCounter) Write(p []byte) (int, error) {
 	*w += writeCounter(len(p))
 	return len(p), nil
 }
+
+// benchDecode measures one full decode of the benchmark trace in the given
+// codec. The two benchmarks share an encoded buffer shape, so the benchgate
+// DecodeBin/DecodeText pair measures pure codec speed on identical content.
+func benchDecode(b *testing.B, encode func(io.Writer, *trace.Trace) error,
+	decode func(io.Reader) (*trace.Trace, error)) {
+	b.Helper()
+	t := benchRunner.Trace()
+	var buf bytes.Buffer
+	if err := encode(&buf, t); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := decode(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeText measures full-trace parsing of the v1 text codec.
+func BenchmarkDecodeText(b *testing.B) { benchDecode(b, trace.Write, trace.Read) }
+
+// BenchmarkDecodeBin measures the parallel chunk decode of filecule-bin/v1.
+// The benchgate enforces a floor on DecodeBin/DecodeText (bin must stay at
+// least 2x faster than text on the same trace).
+func BenchmarkDecodeBin(b *testing.B) { benchDecode(b, trace.WriteBin, trace.ReadBin) }
 
 // --- cache-grid sweep engine (internal/sim) ---
 

@@ -4,7 +4,8 @@
 // 1-9):
 //
 //	filecule-analyze -trace trace.txt
-//	filecule-analyze -scale 0.05 -seed 1       # synthesize instead
+//	filecule-analyze -trace trace.bin -format bin  # assert the codec
+//	filecule-analyze -scale 0.05 -seed 1           # synthesize instead
 //	filecule-analyze -trace trace.txt -exp fig4
 package main
 
@@ -13,9 +14,9 @@ import (
 	"fmt"
 	"os"
 
+	"filecule/internal/cli"
 	"filecule/internal/experiments"
 	"filecule/internal/synth"
-	"filecule/internal/trace"
 )
 
 var characterization = []string{
@@ -25,26 +26,27 @@ var characterization = []string{
 
 func main() {
 	var (
-		path  = flag.String("trace", "", "trace file to analyze (omit to synthesize)")
-		seed  = flag.Int64("seed", 1, "generator seed when synthesizing")
-		scale = flag.Float64("scale", 0.05, "workload scale when synthesizing")
-		exp   = flag.String("exp", "", "single characterization to print (default: all)")
+		path   = flag.String("trace", "", "trace file to analyze (omit to synthesize)")
+		seed   = flag.Int64("seed", 1, "generator seed when synthesizing")
+		scale  = flag.Float64("scale", 0.05, "workload scale when synthesizing")
+		format = flag.String("format", "", "assert the trace file's codec (text or bin; default auto-detect)")
+		exp    = flag.String("exp", "", "single characterization to print (default: all)")
 	)
 	flag.Parse()
 
 	var r *experiments.Runner
 	if *path != "" {
-		f, err := os.Open(*path)
-		if err != nil {
-			fatal(err)
-		}
-		t, err := trace.ReadAuto(f)
-		f.Close()
+		t, err := cli.Workload{Path: *path, Format: *format}.Load()
 		if err != nil {
 			fatal(err)
 		}
 		r = experiments.NewForTrace(t, *scale)
 	} else {
+		if *format != "" {
+			if err := cli.CheckFormat(*format); err != nil {
+				fatal(err)
+			}
+		}
 		if _, err := synth.Generate(synth.DZero(*seed, 0.001)); err != nil {
 			fatal(err) // fail fast on bad config before the big run
 		}

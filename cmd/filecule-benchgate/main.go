@@ -66,6 +66,7 @@ func run(args []string, stdout io.Writer) error {
 		tolerance    = fs.Float64("tolerance", 0.15, "allowed fractional regression of ns/op and B/op")
 		speedupFloor = fs.Float64("speedup-floor", 3, "required SweepEngine over SweepSequential wall-clock ratio (0 disables)")
 		observeFloor = fs.Float64("observe-speedup-floor", 4, "required ObserveEngineParallel over ObserveRefiner wall-clock ratio (0 disables)")
+		decodeFloor  = fs.Float64("decode-speedup-floor", 2, "required DecodeBin over DecodeText wall-clock ratio (0 disables)")
 		update       = fs.Bool("update", false, "rewrite the baseline from the report instead of gating")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -117,6 +118,7 @@ func run(args []string, stdout io.Writer) error {
 	violations := gate(base, rep, *tolerance, []speedupPair{
 		{fast: "SweepEngine", slow: "SweepSequential", floor: *speedupFloor},
 		{fast: "ObserveEngineParallel", slow: "ObserveRefiner", floor: *observeFloor},
+		{fast: "DecodeBin", slow: "DecodeText", floor: *decodeFloor},
 	})
 	if len(violations) > 0 {
 		for _, v := range violations {

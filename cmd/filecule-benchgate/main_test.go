@@ -116,6 +116,23 @@ func TestGateObserveSpeedupFloor(t *testing.T) {
 	}
 }
 
+func TestGateDecodeSpeedupFloor(t *testing.T) {
+	mk := func(text, bin float64) *Report {
+		return &Report{Schema: BenchSchema, Benchmarks: []Benchmark{
+			{Name: "DecodeText", Iterations: 1, Metrics: map[string]float64{"ns/op": text}},
+			{Name: "DecodeBin", Iterations: 1, Metrics: map[string]float64{"ns/op": bin}},
+		}}
+	}
+	pairs := []speedupPair{{fast: "DecodeBin", slow: "DecodeText", floor: 2}}
+	if v := gate(mk(1400, 600), mk(1400, 600), 0.15, pairs); len(v) != 0 {
+		t.Errorf("2.3x decode speedup must pass a 2x floor, got %v", v)
+	}
+	v := gate(mk(1400, 600), mk(1400, 800), 10, pairs)
+	if len(v) != 1 || !strings.Contains(v[0], "faster than DecodeText") {
+		t.Errorf("want decode speedup-floor violation, got %v", v)
+	}
+}
+
 func sweepFixture(misses int64) *sim.SweepResult {
 	return &sim.SweepResult{
 		Schema: sim.SweepSchema, Scale: 0.02, Requests: 100,

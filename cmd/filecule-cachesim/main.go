@@ -18,11 +18,11 @@ import (
 	"strings"
 
 	"filecule/internal/cache"
+	"filecule/internal/cli"
 	"filecule/internal/core"
 	"filecule/internal/experiments"
 	"filecule/internal/report"
 	"filecule/internal/sim"
-	"filecule/internal/synth"
 	"filecule/internal/trace"
 )
 
@@ -40,6 +40,7 @@ func run(args []string, stdout io.Writer) error {
 		path     = fs.String("trace", "", "trace file (omit to synthesize)")
 		seed     = fs.Int64("seed", 1, "generator seed when synthesizing")
 		scale    = fs.Float64("scale", 0.05, "workload scale; also scales cache sizes")
+		format   = fs.String("format", "", "assert the trace file's codec (text or bin; default auto-detect)")
 		sizes    = fs.String("sizes", "", "comma-separated cache sizes in full-scale TB (default: the paper's 7 sizes)")
 		policy   = fs.String("policy", "lru", "eviction policy: lru, fifo, lfu, size, gds, gdsf, landlord, bundle")
 		ablation = fs.Bool("ablation", false, "run the full policy-zoo ablation instead of a sweep")
@@ -55,13 +56,15 @@ func run(args []string, stdout io.Writer) error {
 		return err // unreachable with ExitOnError; kept for safety
 	}
 
-	t, err := loadOrGen(*path, *seed, *scale)
-	if err != nil {
-		return err
-	}
+	wl := cli.Workload{Path: *path, Seed: *seed, Scale: *scale, Format: *format}
 
 	if *sweep {
-		return runSweep(t, *scale, *sizes, *policies, *grans, *workers, *table, *out, stdout)
+		return runSweep(wl, *scale, *sizes, *policies, *grans, *workers, *table, *out, stdout)
+	}
+
+	t, err := wl.Load()
+	if err != nil {
+		return err
 	}
 
 	r := experiments.NewForTrace(t, *scale)
@@ -109,8 +112,12 @@ func run(args []string, stdout io.Writer) error {
 }
 
 // runSweep drives the single-pass engine and emits JSON (the
-// filecule-sweep/v1 schema) or rendered tables.
-func runSweep(t *trace.Trace, scale float64, sizes, policies, grans string, workers int, asTable bool, out string, stdout io.Writer) (err error) {
+// filecule-sweep/v1 schema) or rendered tables. File-backed traces stream
+// through SweepSource — the trace is never materialized, so peak memory is
+// the request stream, not the job history. The synthetic path materializes
+// first to keep jobs in start-time order (tie-order stability pins the
+// benchmark baseline) and streams from the in-memory adapter.
+func runSweep(wl cli.Workload, scale float64, sizes, policies, grans string, workers int, asTable bool, out string, stdout io.Writer) (err error) {
 	cfg := sim.SweepConfig{Scale: scale, Workers: workers}
 	if cfg.CapacitiesTB, err = parseSizes(sizes); err != nil {
 		return err
@@ -122,8 +129,20 @@ func runSweep(t *trace.Trace, scale float64, sizes, policies, grans string, work
 		cfg.Granularities = splitList(grans)
 	}
 
-	p := core.Identify(t)
-	res, err := sim.Sweep(t, p, t.Requests(), cfg)
+	var src trace.Source
+	if wl.Path == "" {
+		t, err := wl.Load()
+		if err != nil {
+			return err
+		}
+		src = trace.NewTraceSource(t)
+	} else {
+		if src, err = wl.Open(); err != nil {
+			return err
+		}
+	}
+	defer src.Close()
+	res, err := sim.SweepSource(src, cfg)
 	if err != nil {
 		return err
 	}
@@ -202,16 +221,4 @@ func mkPolicy(name string, p *core.Partition) (cache.Policy, error) {
 	default:
 		return nil, fmt.Errorf("unknown policy %q", name)
 	}
-}
-
-func loadOrGen(path string, seed int64, scale float64) (*trace.Trace, error) {
-	if path == "" {
-		return synth.Generate(synth.DZero(seed, scale))
-	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return trace.ReadAuto(f)
 }

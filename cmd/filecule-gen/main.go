@@ -1,60 +1,116 @@
 // Command filecule-gen generates a synthetic DZero-like trace calibrated to
-// the paper's published workload statistics and writes it in the v1 text
-// format:
+// the paper's published workload statistics, or converts an existing trace
+// between codecs. Output is the v1 text format or the filecule-bin/v1
+// binary columnar format:
 //
 //	filecule-gen -scale 0.05 -seed 7 -o trace.txt
+//	filecule-gen -scale 0.05 -format bin -o trace.bin
+//	filecule-gen -convert trace.txt -format bin -o trace.bin
+//	filecule-gen -scale 1 -stream -format bin -o full.bin   # bounded memory
+//
+// By default the synthetic trace is materialized and written sorted by job
+// start time (byte-identical across runs of the same seed). With -stream,
+// jobs are piped from the generator to the encoder one at a time in
+// generation order, so memory stays bounded by the catalog at any scale;
+// readers that need start-time order can sort after decoding.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
-	"filecule/internal/synth"
+	"filecule/internal/cli"
 	"filecule/internal/trace"
 )
 
 func main() {
-	var (
-		seed  = flag.Int64("seed", 1, "generator seed")
-		scale = flag.Float64("scale", 0.05, "workload scale (1 = full paper scale)")
-		out   = flag.String("o", "-", "output path ('-' for stdout)")
-		gz    = flag.Bool("gz", false, "gzip-compress the output")
-	)
-	flag.Parse()
-
-	t, err := synth.Generate(synth.DZero(*seed, *scale))
-	if err != nil {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
 
-	w := os.Stdout
+func run(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("filecule-gen", flag.ExitOnError)
+	var (
+		seed    = fs.Int64("seed", 1, "generator seed")
+		scale   = fs.Float64("scale", 0.05, "workload scale (1 = full paper scale)")
+		out     = fs.String("o", "-", "output path ('-' for stdout)")
+		gz      = fs.Bool("gz", false, "gzip-compress the output")
+		format  = fs.String("format", "text", "output codec: text or bin")
+		convert = fs.String("convert", "", "re-encode this trace instead of synthesizing")
+		stream  = fs.Bool("stream", false, "stream jobs straight to the encoder (bounded memory, generation order)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err // unreachable with ExitOnError; kept for safety
+	}
+	if err := cli.CheckFormat(*format); err != nil {
+		return err
+	}
+
+	w := io.Writer(os.Stdout)
 	var f *os.File
 	if *out != "-" {
+		var err error
 		f, err = os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		w = f
 	}
-	write := trace.Write
-	if *gz {
-		write = trace.WriteGzip
+
+	var jobs, files, users, sites int
+	var err error
+	switch {
+	case *convert != "":
+		jobs, files, users, sites, err = copyStream(w, cli.Workload{Path: *convert}, *format, *gz)
+	case *stream:
+		jobs, files, users, sites, err = copyStream(w, cli.Workload{Seed: *seed, Scale: *scale}, *format, *gz)
+	default:
+		var t *trace.Trace
+		t, err = cli.Workload{Seed: *seed, Scale: *scale}.Load()
+		if err == nil {
+			err = cli.WriteTrace(w, t, *format, *gz)
+		}
+		if err == nil {
+			jobs, files, users, sites = len(t.Jobs), len(t.Files), len(t.Users), len(t.Sites)
+		}
 	}
-	if err := write(w, t); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	if err != nil {
+		if f != nil {
+			f.Close()
+		}
+		return err
 	}
 	// Close errors surface buffered-write failures (full disk); a silent
 	// exit 0 here would report a truncated trace as success.
 	if f != nil {
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 	}
-	fmt.Fprintf(os.Stderr, "wrote %d jobs, %d files, %d users, %d sites (%d file requests)\n",
-		len(t.Jobs), len(t.Files), len(t.Users), len(t.Sites), t.NumRequests())
+	fmt.Fprintf(stderr, "wrote %d jobs, %d files, %d users, %d sites (%s)\n",
+		jobs, files, users, sites, *format)
+	return nil
+}
+
+// copyStream pipes a workload's job stream into a fresh encoder without
+// materializing the trace.
+func copyStream(w io.Writer, wl cli.Workload, format string, gz bool) (jobs, files, users, sites int, err error) {
+	src, err := wl.Open()
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	defer src.Close()
+	enc, err := cli.NewEncoder(w, format, gz, src.Files(), src.Users(), src.Sites())
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	n, err := trace.CopySource(enc, src)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	return int(n), len(src.Files()), len(src.Users()), len(src.Sites()), nil
 }

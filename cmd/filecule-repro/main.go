@@ -6,6 +6,7 @@
 //	filecule-repro -exp fig10      # one experiment
 //	filecule-repro -list           # list experiment IDs
 //	filecule-repro -scale 0.1      # bigger workload (slower, closer shapes)
+//	filecule-repro -trace t.bin    # run against a recorded trace
 package main
 
 import (
@@ -14,16 +15,19 @@ import (
 	"os"
 	"path/filepath"
 
+	"filecule/internal/cli"
 	"filecule/internal/experiments"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment ID to run (default: all)")
-		seed  = flag.Int64("seed", 1, "workload generator seed")
-		scale = flag.Float64("scale", experiments.DefaultConfig().Scale, "workload scale (1 = full paper scale)")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
-		csv   = flag.String("csv", "", "also dump every table as CSV into this directory")
+		exp    = flag.String("exp", "", "experiment ID to run (default: all)")
+		path   = flag.String("trace", "", "trace file to reproduce against (omit to synthesize)")
+		seed   = flag.Int64("seed", 1, "workload generator seed")
+		scale  = flag.Float64("scale", experiments.DefaultConfig().Scale, "workload scale (1 = full paper scale)")
+		format = flag.String("format", "", "assert the trace file's codec (text or bin; default auto-detect)")
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		csv    = flag.String("csv", "", "also dump every table as CSV into this directory")
 	)
 	flag.Parse()
 
@@ -35,7 +39,23 @@ func main() {
 		return
 	}
 
-	r := experiments.New(experiments.Config{Seed: *seed, Scale: *scale})
+	var r *experiments.Runner
+	if *path != "" {
+		t, err := cli.Workload{Path: *path, Format: *format}.Load()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		r = experiments.NewForTrace(t, *scale)
+	} else {
+		if *format != "" {
+			if err := cli.CheckFormat(*format); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		r = experiments.New(experiments.Config{Seed: *seed, Scale: *scale})
+	}
 	var results []*experiments.Result
 	if *exp != "" {
 		res, err := r.Run(*exp)

@@ -27,9 +27,9 @@ import (
 	"syscall"
 	"time"
 
+	"filecule/internal/cli"
 	"filecule/internal/core"
 	"filecule/internal/server"
-	"filecule/internal/synth"
 	"filecule/internal/trace"
 )
 
@@ -86,19 +86,7 @@ func main() {
 }
 
 func loadOrGen(path string, seed int64, scale float64) *trace.Trace {
-	if path == "" {
-		t, err := synth.Generate(synth.DZero(seed, scale))
-		if err != nil {
-			fatal(err)
-		}
-		return t
-	}
-	f, err := os.Open(path)
-	if err != nil {
-		fatal(err)
-	}
-	defer f.Close()
-	t, err := trace.Read(f)
+	t, err := cli.Workload{Path: path, Seed: seed, Scale: scale}.Load()
 	if err != nil {
 		fatal(err)
 	}

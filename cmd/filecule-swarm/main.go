@@ -11,38 +11,24 @@ import (
 	"fmt"
 	"os"
 
+	"filecule/internal/cli"
 	"filecule/internal/experiments"
-	"filecule/internal/synth"
-	"filecule/internal/trace"
 )
 
 func main() {
 	var (
-		path  = flag.String("trace", "", "trace file (omit to synthesize)")
-		seed  = flag.Int64("seed", 1, "generator seed when synthesizing")
-		scale = flag.Float64("scale", 0.05, "workload scale when synthesizing")
+		path   = flag.String("trace", "", "trace file (omit to synthesize)")
+		seed   = flag.Int64("seed", 1, "generator seed when synthesizing")
+		scale  = flag.Float64("scale", 0.05, "workload scale when synthesizing")
+		format = flag.String("format", "", "assert the trace file's codec (text or bin; default auto-detect)")
 	)
 	flag.Parse()
 
-	var r *experiments.Runner
-	if *path != "" {
-		f, err := os.Open(*path)
-		if err != nil {
-			fatal(err)
-		}
-		t, err := trace.ReadAuto(f)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
-		r = experiments.NewForTrace(t, *scale)
-	} else {
-		t, err := synth.Generate(synth.DZero(*seed, *scale))
-		if err != nil {
-			fatal(err)
-		}
-		r = experiments.NewForTrace(t, *scale)
+	t, err := cli.Workload{Path: *path, Seed: *seed, Scale: *scale, Format: *format}.Load()
+	if err != nil {
+		fatal(err)
 	}
+	r := experiments.NewForTrace(t, *scale)
 
 	for _, id := range []string{"fig11", "fig12", "swarm"} {
 		res, err := r.Run(id)

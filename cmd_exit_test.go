@@ -101,3 +101,82 @@ func TestCommandExitCodes(t *testing.T) {
 		t.Fatalf("gen produced no trace: %v", err)
 	}
 }
+
+// TestFormatFlagExitCodes pins the -format / -convert / -stream contract:
+// binary traces round through the tools, asserted formats are enforced, and
+// corrupt binary input fails loudly.
+func TestFormatFlagExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds commands; skipped in -short mode")
+	}
+	bins := buildCmds(t, "filecule-gen", "filecule-cachesim", "filecule-analyze")
+
+	dir := t.TempDir()
+	textTrace := filepath.Join(dir, "t.trace")
+	binTrace := filepath.Join(dir, "t.bin")
+	tiny := []string{"-scale", "0.001", "-seed", "1"}
+
+	if got, out := exitCode(t, bins["filecule-gen"], append([]string{"-o", textTrace}, tiny...)...); got != 0 {
+		t.Fatalf("gen text: exit %d\n%s", got, out)
+	}
+	if got, out := exitCode(t, bins["filecule-gen"],
+		"-convert", textTrace, "-format", "bin", "-o", binTrace); got != 0 {
+		t.Fatalf("gen convert: exit %d\n%s", got, out)
+	}
+	binBytes, err := os.ReadFile(binTrace)
+	if err != nil || len(binBytes) == 0 {
+		t.Fatalf("conversion produced no binary trace: %v", err)
+	}
+	txt, err := os.ReadFile(textTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(binBytes) >= len(txt) {
+		t.Errorf("binary trace (%d bytes) not smaller than text (%d bytes)", len(binBytes), len(txt))
+	}
+
+	// A streamed binary generation must also load.
+	streamBin := filepath.Join(dir, "stream.bin")
+	if got, out := exitCode(t, bins["filecule-gen"],
+		append([]string{"-stream", "-format", "bin", "-o", streamBin}, tiny...)...); got != 0 {
+		t.Fatalf("gen -stream: exit %d\n%s", got, out)
+	}
+
+	// Corrupt binary: flip a byte in the middle so a chunk CRC fails.
+	corrupt := filepath.Join(dir, "corrupt.bin")
+	cb := append([]byte(nil), binBytes...)
+	cb[len(cb)/2] ^= 0x40
+	if err := os.WriteFile(corrupt, cb, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sweepArgs := []string{"-sweep", "-policies", "lru", "-grans", "file", "-sizes", "1", "-scale", "0.001"}
+	cases := []struct {
+		name string
+		bin  string
+		args []string
+		want int
+	}{
+		{"sweep reads bin", "filecule-cachesim", append([]string{"-trace", binTrace}, sweepArgs...), 0},
+		{"sweep reads streamed bin", "filecule-cachesim", append([]string{"-trace", streamBin}, sweepArgs...), 0},
+		{"sweep rejects corrupt bin", "filecule-cachesim", append([]string{"-trace", corrupt}, sweepArgs...), 1},
+		{"cachesim format mismatch", "filecule-cachesim",
+			append([]string{"-trace", textTrace, "-format", "bin"}, sweepArgs...), 1},
+		{"cachesim bad format", "filecule-cachesim",
+			append([]string{"-trace", binTrace, "-format", "xml"}, sweepArgs...), 1},
+		{"gen bad format", "filecule-gen", []string{"-format", "xml", "-scale", "0.001"}, 1},
+		{"gen convert missing input", "filecule-gen",
+			[]string{"-convert", filepath.Join(dir, "missing.trace"), "-o", filepath.Join(dir, "x.bin")}, 1},
+		{"analyze format mismatch", "filecule-analyze",
+			[]string{"-trace", binTrace, "-format", "text", "-exp", "table1"}, 1},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			got, out := exitCode(t, bins[tc.bin], tc.args...)
+			if got != tc.want {
+				t.Errorf("%s %v: exit %d, want %d\noutput:\n%s", tc.bin, tc.args, got, tc.want, out)
+			}
+		})
+	}
+}

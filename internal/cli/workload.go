@@ -1,0 +1,188 @@
+// Package cli holds the workload plumbing shared by the filecule command
+// line tools: every tool accepts the same -trace/-seed/-scale triple meaning
+// "replay this file, or synthesize", and the same -format vocabulary for
+// writing traces. Centralizing the resolution keeps the tools' behavior —
+// codec auto-detection, gzip handling, error wording — identical.
+package cli
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+
+	"filecule/internal/synth"
+	"filecule/internal/trace"
+)
+
+// Workload is the shared "load a trace or synthesize one" flag triple.
+type Workload struct {
+	// Path is the trace file; empty means synthesize.
+	Path string
+	// Seed and Scale parameterize the synthetic generator when Path is
+	// empty.
+	Seed  int64
+	Scale float64
+	// Format, when non-empty, asserts the codec of Path ("text" or
+	// "bin"): a mismatch with the file's detected codec is an error
+	// rather than silently auto-detected. Ignored when synthesizing.
+	Format string
+}
+
+// checkFormat enforces the Format assertion against the file's detected
+// codec.
+func (w Workload) checkFormat() error {
+	if w.Format == "" {
+		return nil
+	}
+	if err := CheckFormat(w.Format); err != nil {
+		return err
+	}
+	if w.Path == "" {
+		return nil
+	}
+	f, err := os.Open(w.Path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	got, err := trace.DetectFormat(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", w.Path, err)
+	}
+	if got != w.Format {
+		return fmt.Errorf("%s: trace is %s, not %s as -format asserts", w.Path, got, w.Format)
+	}
+	return nil
+}
+
+// Open returns a streaming Source over the workload: a codec-auto-detected
+// file source (v1 text, filecule-bin/v1, or gzip framing of either) when
+// Path is set, else the streaming synthetic generator. Closing the source
+// closes the file. Memory stays bounded by the catalog regardless of how
+// many jobs the stream carries.
+func (w Workload) Open() (trace.Source, error) {
+	if err := w.checkFormat(); err != nil {
+		return nil, err
+	}
+	if w.Path == "" {
+		return synth.NewSource(synth.DZero(w.Seed, w.Scale))
+	}
+	f, err := os.Open(w.Path)
+	if err != nil {
+		return nil, err
+	}
+	src, err := trace.NewSource(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &fileSource{Source: src, f: f}, nil
+}
+
+// Load materializes the workload: codec-auto-detected parsing when Path is
+// set, else synth.Generate (jobs sorted by start time). Tools whose
+// analyses need the whole trace (splits, request streams, experiments) use
+// this; single-pass consumers should prefer Open.
+func (w Workload) Load() (*trace.Trace, error) {
+	if err := w.checkFormat(); err != nil {
+		return nil, err
+	}
+	if w.Path == "" {
+		return synth.Generate(synth.DZero(w.Seed, w.Scale))
+	}
+	f, err := os.Open(w.Path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadAuto(f)
+}
+
+// fileSource couples a Source with the file backing it.
+type fileSource struct {
+	trace.Source
+	f *os.File
+}
+
+func (s *fileSource) Close() error {
+	err := s.Source.Close()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Formats lists the trace codecs tools accept for -format.
+var Formats = []string{"text", "bin"}
+
+// CheckFormat validates a -format flag value.
+func CheckFormat(format string) error {
+	for _, f := range Formats {
+		if format == f {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown format %q (have %v)", format, Formats)
+}
+
+// NewEncoder returns a streaming encoder writing the chosen codec to w,
+// optionally gzip-framed. Closing the encoder flushes the codec and the
+// gzip layer but leaves w open.
+func NewEncoder(w io.Writer, format string, gz bool, files []trace.File, users []trace.User, sites []trace.Site) (trace.JobWriter, error) {
+	if err := CheckFormat(format); err != nil {
+		return nil, err
+	}
+	var zw *gzip.Writer
+	if gz {
+		zw = gzip.NewWriter(w)
+		w = zw
+	}
+	var enc trace.JobWriter
+	var err error
+	switch format {
+	case "bin":
+		enc, err = trace.NewBinWriter(w, files, users, sites)
+	default:
+		enc, err = trace.NewTextWriter(w, files, users, sites)
+	}
+	if err != nil {
+		if zw != nil {
+			zw.Close()
+		}
+		return nil, err
+	}
+	if zw != nil {
+		return &gzipEncoder{JobWriter: enc, zw: zw}, nil
+	}
+	return enc, nil
+}
+
+// WriteTrace writes a materialized trace in the chosen codec, optionally
+// gzip-framed.
+func WriteTrace(w io.Writer, t *trace.Trace, format string, gz bool) error {
+	enc, err := NewEncoder(w, format, gz, t.Files, t.Users, t.Sites)
+	if err != nil {
+		return err
+	}
+	for i := range t.Jobs {
+		if err := enc.WriteJob(&t.Jobs[i]); err != nil {
+			return err
+		}
+	}
+	return enc.Close()
+}
+
+// gzipEncoder closes the gzip frame after the codec's own Close.
+type gzipEncoder struct {
+	trace.JobWriter
+	zw *gzip.Writer
+}
+
+func (e *gzipEncoder) Close() error {
+	err := e.JobWriter.Close()
+	if cerr := e.zw.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"io"
 	"runtime"
 	"sort"
 	"sync"
@@ -541,6 +542,28 @@ func (e *Engine) ObserveBatch(jobs [][]trace.FileID) {
 func (e *Engine) ObserveTrace(t *trace.Trace) {
 	for i := range t.Jobs {
 		e.Observe(t.Jobs[i].Files)
+	}
+}
+
+// ObserveSource drains src, folding every job's input set into the engine,
+// and returns the number of jobs observed. Identification is commutative,
+// so the resulting partition is independent of stream order; peak memory is
+// the source's chunk buffer, not the trace. The error is nil on a clean
+// drain (io.EOF is not reported).
+func (e *Engine) ObserveSource(src trace.Source) (int64, error) {
+	var n int64
+	for {
+		j, err := src.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		// Observe, not ObserveBatch: the job's Files slice is only
+		// valid until the next Next call.
+		e.Observe(j.Files)
+		n++
 	}
 }
 

@@ -202,6 +202,20 @@ func Identify(t *trace.Trace) *Partition {
 	return IdentifyJobs(t, jobs)
 }
 
+// IdentifySource drains a job stream through the online engine and returns
+// the resulting canonical partition together with the job count. It is the
+// streaming counterpart of Identify: equal to Identify on the materialized
+// trace (identification is commutative over jobs), but with peak memory
+// bounded by the source's chunk size plus the partition itself.
+func IdentifySource(src trace.Source) (*Partition, int64, error) {
+	e := NewEngine(0)
+	n, err := e.ObserveSource(src)
+	if err != nil {
+		return nil, n, err
+	}
+	return e.Snapshot(), n, nil
+}
+
 // IdentifyJobs computes the filecule partition induced by only the given
 // jobs — the partial-knowledge identification of Section 6. Files requested
 // by none of the jobs are not covered. The result is canonical.

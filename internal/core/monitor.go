@@ -47,6 +47,13 @@ func (m *Monitor) ObserveBatch(jobs [][]trace.FileID) {
 // ObserveJob folds a trace job.
 func (m *Monitor) ObserveJob(j *trace.Job) { m.Observe(j.Files) }
 
+// ObserveSource drains a job stream into the monitor, returning the number
+// of jobs folded in. Streaming ingestion for serving layers: memory stays
+// bounded by the source's chunk size regardless of trace length.
+func (m *Monitor) ObserveSource(src trace.Source) (int64, error) {
+	return m.engine.ObserveSource(src)
+}
+
 // Observed returns the number of jobs folded in so far.
 func (m *Monitor) Observed() int64 { return m.engine.Observed() }
 

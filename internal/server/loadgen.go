@@ -60,6 +60,15 @@ func (r *LoadReport) String() string {
 // are acknowledged. It is safe to call on a live server; jobs interleave
 // with other traffic.
 func (g *LoadGen) Replay(t *trace.Trace) (*LoadReport, error) {
+	return g.ReplaySource(trace.NewTraceSource(t))
+}
+
+// ReplaySource drains a job stream against the server: clients claim batches
+// from the source under a mutex (copying each job out of the source's reused
+// buffers), then post them concurrently. Memory stays bounded by clients ×
+// batch jobs however long the stream is, so arbitrarily large binary traces
+// replay without ever being materialized.
+func (g *LoadGen) ReplaySource(src trace.Source) (*LoadReport, error) {
 	clients := g.Clients
 	if clients <= 0 {
 		clients = 8
@@ -80,7 +89,28 @@ func (g *LoadGen) Replay(t *trace.Trace) (*LoadReport, error) {
 		},
 	}
 
-	var next int64 // next unclaimed job index
+	var mu sync.Mutex // guards src and claimed
+	var srcErr error
+	var claimed int64
+	// pull claims up to batch jobs, returning the copies and the stream
+	// offset of the first one.
+	pull := func(buf []trace.Job) ([]trace.Job, int64) {
+		mu.Lock()
+		defer mu.Unlock()
+		buf = buf[:0]
+		lo := claimed
+		for len(buf) < batch && srcErr == nil {
+			j, err := src.Next()
+			if err != nil {
+				srcErr = err
+				break
+			}
+			buf = append(buf, trace.CloneJob(j))
+		}
+		claimed += int64(len(buf))
+		return buf, lo
+	}
+
 	var requests, errs int64
 	latencies := make([][]float64, clients)
 	var firstErr error
@@ -92,16 +122,15 @@ func (g *LoadGen) Replay(t *trace.Trace) (*LoadReport, error) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			buf := make([]trace.Job, 0, batch)
 			for {
-				lo := atomic.AddInt64(&next, int64(batch)) - int64(batch)
-				if lo >= int64(len(t.Jobs)) {
+				var lo int64
+				buf, lo = pull(buf)
+				if len(buf) == 0 {
 					return
 				}
-				hi := lo + int64(batch)
-				if hi > int64(len(t.Jobs)) {
-					hi = int64(len(t.Jobs))
-				}
-				url, body, err := g.encodeJobs(t.Jobs[lo:hi])
+				hi := lo + int64(len(buf))
+				url, body, err := g.encodeJobs(buf)
 				if err != nil {
 					atomic.AddInt64(&errs, 1)
 					errOnce.Do(func() { firstErr = err })
@@ -135,11 +164,14 @@ func (g *LoadGen) Replay(t *trace.Trace) (*LoadReport, error) {
 		all = append(all, l...)
 	}
 	rep := &LoadReport{
-		Jobs:     len(t.Jobs),
+		Jobs:     int(claimed),
 		Requests: requests,
 		Errors:   errs,
 		Duration: time.Since(start),
 		Latency:  stats.Summarize(all),
+	}
+	if srcErr != nil && srcErr != io.EOF {
+		return rep, fmt.Errorf("loadgen: reading job stream: %w", srcErr)
 	}
 	if errs > 0 {
 		return rep, fmt.Errorf("loadgen: %d of %d requests failed (first: %v)", errs, requests, firstErr)

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"io"
+	"sort"
+
+	"filecule/internal/core"
+	"filecule/internal/trace"
+)
+
+// SweepSource replays the full grid from a job stream instead of a
+// materialized trace: one pass drains src, folding each job into an online
+// identification engine and expanding it into requests, then hands the
+// snapshot partition and the time-sorted request stream to Sweep. Peak
+// memory is the request stream plus the partition — job records themselves
+// are never retained, so traces read from a chunked Source (text Scanner or
+// binary BinSource) stream through without ever existing in full.
+//
+// For any trace t, SweepSource(trace.NewTraceSource(t), cfg) is cell-for-cell
+// identical to Sweep(t, core.Identify(t), t.Requests(), cfg): identification
+// is commutative over job order, and requests accumulated in stream order
+// stable-sort into exactly the Requests ordering.
+func SweepSource(src trace.Source, cfg SweepConfig) (*SweepResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e := core.NewEngine(0)
+	var reqs []trace.Request
+	jobs := 0
+	for {
+		j, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		e.Observe(j.Files)
+		reqs = trace.AppendRequests(reqs, j)
+		jobs++
+	}
+	sort.SliceStable(reqs, func(a, b int) bool {
+		return reqs[a].Time.Before(reqs[b].Time)
+	})
+	p := e.Snapshot()
+
+	// The grid only needs the file catalog (sizes for capacity accounting,
+	// length for slot layout) and the partition; a catalog-only shell
+	// stands in for the trace.
+	shell := &trace.Trace{Files: src.Files()}
+	res, err := Sweep(shell, p, reqs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Jobs = jobs
+	return res, nil
+}

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"filecule/internal/core"
+	"filecule/internal/trace"
+)
+
+// TestSweepSourceMatchesSweep is the streaming sweep's contract: replaying
+// from a Source must be cell-for-cell identical to the materialized Sweep
+// over Identify + Requests of the same trace.
+func TestSweepSourceMatchesSweep(t *testing.T) {
+	tr, p, reqs := workload(t)
+	cfg := SweepConfig{
+		Scale:        diffScale,
+		CapacitiesTB: []float64{1, 10, 100},
+	}
+
+	want, err := Sweep(tr, p, reqs, cfg)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	got, err := SweepSource(trace.NewTraceSource(tr), cfg)
+	if err != nil {
+		t.Fatalf("SweepSource: %v", err)
+	}
+	if got.Jobs != len(tr.Jobs) || got.Files != len(tr.Files) ||
+		got.Requests != len(reqs) || got.Filecules != p.NumFilecules() {
+		t.Errorf("header (jobs %d files %d reqs %d fc %d) != (%d %d %d %d)",
+			got.Jobs, got.Files, got.Requests, got.Filecules,
+			len(tr.Jobs), len(tr.Files), len(reqs), p.NumFilecules())
+	}
+	diffCells(t, "memory", got, want)
+
+	// The binary codec stores Unix-second timestamps, so the streamed bin
+	// sweep is compared against a materialized sweep of the bin-decoded
+	// trace (identical job stream, second-truncated times).
+	var buf bytes.Buffer
+	if err := trace.WriteBin(&buf, tr); err != nil {
+		t.Fatalf("WriteBin: %v", err)
+	}
+	btr, err := trace.ReadBin(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadBin: %v", err)
+	}
+	bwant, err := Sweep(btr, core.Identify(btr), btr.Requests(), cfg)
+	if err != nil {
+		t.Fatalf("Sweep(bin): %v", err)
+	}
+	src, err := trace.NewBinSource(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("NewBinSource: %v", err)
+	}
+	bgot, err := SweepSource(src, cfg)
+	if err != nil {
+		t.Fatalf("SweepSource(bin): %v", err)
+	}
+	diffCells(t, "binary", bgot, bwant)
+}
+
+func diffCells(t *testing.T, name string, got, want *SweepResult) {
+	t.Helper()
+	if len(got.Cells) != len(want.Cells) {
+		t.Fatalf("%s: cell count %d != %d", name, len(got.Cells), len(want.Cells))
+	}
+	for i := range got.Cells {
+		if got.Cells[i] != want.Cells[i] {
+			t.Errorf("%s cell %s/%s/%gTB: streamed %+v != materialized %+v",
+				name, got.Cells[i].Policy, got.Cells[i].Granularity,
+				got.Cells[i].CacheTB, got.Cells[i], want.Cells[i])
+		}
+	}
+}
+
+// TestSweepSourceValidates pins that config validation fires before the
+// stream is consumed.
+func TestSweepSourceValidates(t *testing.T) {
+	tr, _, _ := workload(t)
+	if _, err := SweepSource(trace.NewTraceSource(tr), SweepConfig{Policies: []string{"nope"}}); err == nil {
+		t.Fatal("SweepSource accepted unknown policy")
+	}
+	if _, err := SweepSource(trace.NewTraceSource(tr), SweepConfig{Scale: -1}); err == nil {
+		t.Fatal("SweepSource accepted negative scale")
+	}
+}

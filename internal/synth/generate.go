@@ -14,6 +14,29 @@ import (
 // Generate produces a synthetic trace from the configuration. The same
 // Config always yields the identical trace.
 func Generate(cfg Config) (*trace.Trace, error) {
+	g, err := newGenerator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, ph := range g.jobPhases() {
+		for k := 0; k < ph.n; k++ {
+			g.b.Job(ph.make())
+		}
+	}
+	t := g.b.Build()
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: generated invalid trace: %w", err)
+	}
+	return t, nil
+}
+
+// newGenerator validates the config and runs every setup phase: catalogs,
+// datasets, interest lists and arrival profile. After it returns, the file,
+// user and site catalogs are complete (the hot case-study files included) and
+// only job emission — via jobPhases — remains. None of the phase constructors
+// draw from the RNG, so jobs pulled lazily see exactly the draw sequence
+// Generate's eager loops see.
+func newGenerator(cfg Config) (*generator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -25,16 +48,32 @@ func Generate(cfg Config) (*trace.Trace, error) {
 	g.buildSites()
 	g.buildUsers()
 	g.buildDatasets()
+	// Hot files are created directly after the datasets: the job loops
+	// between here and plantHotFilecule's original position create no
+	// files and the creation draws no randomness, so IDs and RNG state
+	// are unchanged — but the catalog is complete before any job exists.
+	g.plantHotFiles()
 	g.buildInterests()
 	g.buildDayChooser()
-	g.generateTierJobs()
-	g.generateOtherJobs()
-	g.plantHotFilecule()
-	t := g.b.Build()
-	if err := t.Validate(); err != nil {
-		return nil, fmt.Errorf("synth: generated invalid trace: %w", err)
+	return g, nil
+}
+
+// jobPhase is one deterministic run of jobs: make must be called exactly n
+// times, in phase order, because each call advances the shared RNG.
+type jobPhase struct {
+	n    int
+	make func() trace.Job
+}
+
+// jobPhases returns the job runs in generation order: per-tier analysis
+// jobs, non-analysis background jobs, then the hot case-study jobs.
+func (g *generator) jobPhases() []jobPhase {
+	var phases []jobPhase
+	for t := range g.cfg.Tiers {
+		phases = append(phases, g.tierPhase(t))
 	}
-	return t, nil
+	phases = append(phases, g.otherPhase(), g.hotPhase())
+	return phases
 }
 
 // dataset is a group of files created together (a SAM dataset); whole- or
@@ -85,6 +124,9 @@ type generator struct {
 	homeRegions [][]int // per domain
 
 	fileCount int
+	// hotFiles are the planted case-study files (empty when the hot
+	// filecule is disabled).
+	hotFiles []trace.FileID
 }
 
 type regionPick struct {
@@ -318,35 +360,35 @@ var tierApps = map[trace.Tier]string{
 	trace.TierThumbnail:     "d0_analyze_tmb",
 }
 
-func (g *generator) generateTierJobs() {
+// tierPhase builds tier t's analysis-job run. Construction draws no
+// randomness; every RNG draw happens inside make.
+func (g *generator) tierPhase(t int) jobPhase {
 	c := g.cfg
-	for t := range c.Tiers {
-		tp := &c.Tiers[t]
-		nJobs := scaleCount(tp.Jobs, c.Scale, 1)
-		duration := dist.LognormalFromMean(tp.MeanJobHours, 0.8)
-		nDatasets := dist.LognormalFromMean(tp.MeanDatasetsPerJob, 0.9)
-		app := tierApps[tp.Tier]
-		if app == "" {
-			app = "d0_analyze"
-		}
-		for k := 0; k < nJobs; k++ {
-			u := g.pickUser(t)
-			interest := u.interests[t]
-			files := g.jobFiles(t, u.domain, interest, dist.ClampInt(nDatasets.Sample(g.rng), 1, 80))
-			start := g.jobStart()
-			hours := duration.Sample(g.rng)
-			end := start.Add(time.Duration(dist.ClampInt64(hours*float64(time.Hour), int64(3*time.Minute), int64(200*time.Hour))))
-			g.b.Job(trace.Job{
-				User: u.id, Site: u.site,
-				Node:   g.pickNode(u.site),
-				Tier:   tp.Tier,
-				Family: trace.FamilyAnalysis,
-				App:    app, Version: fmt.Sprintf("v%d", 1+g.rng.Intn(5)),
-				Start: start, End: end,
-				Files: files,
-			})
-		}
+	tp := &c.Tiers[t]
+	nJobs := scaleCount(tp.Jobs, c.Scale, 1)
+	duration := dist.LognormalFromMean(tp.MeanJobHours, 0.8)
+	nDatasets := dist.LognormalFromMean(tp.MeanDatasetsPerJob, 0.9)
+	app := tierApps[tp.Tier]
+	if app == "" {
+		app = "d0_analyze"
 	}
+	return jobPhase{n: nJobs, make: func() trace.Job {
+		u := g.pickUser(t)
+		interest := u.interests[t]
+		files := g.jobFiles(t, u.domain, interest, dist.ClampInt(nDatasets.Sample(g.rng), 1, 80))
+		start := g.jobStart()
+		hours := duration.Sample(g.rng)
+		end := start.Add(time.Duration(dist.ClampInt64(hours*float64(time.Hour), int64(3*time.Minute), int64(200*time.Hour))))
+		return trace.Job{
+			User: u.id, Site: u.site,
+			Node:   g.pickNode(u.site),
+			Tier:   tp.Tier,
+			Family: trace.FamilyAnalysis,
+			App:    app, Version: fmt.Sprintf("v%d", 1+g.rng.Intn(5)),
+			Start: start, End: end,
+			Files: files,
+		}
+	}}
 }
 
 // jobFiles assembles the input set: nDS datasets drawn from the user's
@@ -397,16 +439,14 @@ func (g *generator) pickNode(site trace.SiteID) string {
 	return nodes[g.rng.Intn(len(nodes))]
 }
 
-func (g *generator) generateOtherJobs() {
+// otherPhase builds the non-analysis background run (n may be zero).
+func (g *generator) otherPhase() jobPhase {
 	c := g.cfg
 	n := scaleCount(c.OtherJobs, c.Scale, 0)
-	if n == 0 {
-		return
-	}
 	duration := dist.LognormalFromMean(c.OtherJobHours, 0.8)
 	families := []trace.AppFamily{trace.FamilyReconstruction, trace.FamilyMonteCarlo, trace.FamilyAnalysis}
 	apps := []string{"d0reco", "mc_runjob", "d0_merge"}
-	for k := 0; k < n; k++ {
+	return jobPhase{n: n, make: func() trace.Job {
 		d := g.domainChooser.Choose(g.rng)
 		pool := g.domainUsers[d]
 		u := &g.users[pool[g.rng.Intn(len(pool))]]
@@ -414,30 +454,39 @@ func (g *generator) generateOtherJobs() {
 		hours := duration.Sample(g.rng)
 		end := start.Add(time.Duration(dist.ClampInt64(hours*float64(time.Hour), int64(3*time.Minute), int64(200*time.Hour))))
 		fi := g.rng.Intn(len(families))
-		g.b.Job(trace.Job{
+		return trace.Job{
 			User: u.id, Site: u.site,
 			Node:   g.pickNode(u.site),
 			Tier:   trace.TierOther,
 			Family: families[fi],
 			App:    apps[fi], Version: fmt.Sprintf("v%d", 1+g.rng.Intn(5)),
 			Start: start, End: end,
-		})
-	}
+		}
+	}}
 }
 
-// plantHotFilecule creates the Section 5 case-study filecule: two ~1.1 GB
-// thumbnail files always requested together by a pool of users concentrated
-// at FermiLab (.gov) plus a handful of remote domains. Because no other job
-// ever touches these files and every hot job reads both, they form exactly
-// one 2-file filecule.
-func (g *generator) plantHotFilecule() {
-	c := g.cfg
-	if !c.PlantHotFilecule {
+// plantHotFiles creates the Section 5 case-study files: two ~1.1 GB
+// thumbnail files always requested together. The job run that requests them
+// is hotPhase; splitting creation from use keeps the file catalog complete
+// before any job is emitted.
+func (g *generator) plantHotFiles() {
+	if !g.cfg.PlantHotFilecule {
 		return
 	}
 	f1 := g.b.File("hot-tmb-0", int64(11)*(1<<30)/10, trace.TierThumbnail)
 	f2 := g.b.File("hot-tmb-1", int64(11)*(1<<30)/10, trace.TierThumbnail)
-	hotFiles := []trace.FileID{f1, f2}
+	g.hotFiles = []trace.FileID{f1, f2}
+}
+
+// hotPhase builds the case-study job run: a pool of users concentrated at
+// FermiLab (.gov) plus a handful of remote domains repeatedly requests both
+// hot files. Because no other job ever touches these files and every hot job
+// reads both, they form exactly one 2-file filecule.
+func (g *generator) hotPhase() jobPhase {
+	c := g.cfg
+	if len(g.hotFiles) == 0 {
+		return jobPhase{}
+	}
 
 	// User pool: the paper observes 42 users from 6 sites, 38 of them at
 	// FermiLab. Scale the pool with the user population.
@@ -458,7 +507,7 @@ func (g *generator) plantHotFilecule() {
 		added++
 	}
 	if len(pool) == 0 {
-		return
+		return jobPhase{}
 	}
 
 	nJobs := scaleCount(c.HotJobs, c.Scale, 3*len(pool))
@@ -473,19 +522,19 @@ func (g *generator) plantHotFilecule() {
 	}
 	choose := dist.NewWeightedChoice(weights)
 	duration := dist.LognormalFromMean(2.0, 0.6)
-	for k := 0; k < nJobs; k++ {
+	return jobPhase{n: nJobs, make: func() trace.Job {
 		u := &g.users[pool[choose.Choose(g.rng)]]
 		start := g.jobStart()
 		hours := duration.Sample(g.rng)
 		end := start.Add(time.Duration(dist.ClampInt64(hours*float64(time.Hour), int64(3*time.Minute), int64(24*time.Hour))))
-		g.b.Job(trace.Job{
+		return trace.Job{
 			User: u.id, Site: u.site,
 			Node:   g.pickNode(u.site),
 			Tier:   trace.TierThumbnail,
 			Family: trace.FamilyAnalysis,
 			App:    "d0_analyze_tmb", Version: "v1",
 			Start: start, End: end,
-			Files: hotFiles,
-		})
-	}
+			Files: g.hotFiles,
+		}
+	}}
 }

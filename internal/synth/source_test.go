@@ -1,0 +1,87 @@
+package synth
+
+import (
+	"io"
+	"reflect"
+	"testing"
+
+	"filecule/internal/trace"
+)
+
+// TestSourceMatchesGenerate is the streaming generator's contract: the
+// materialized stream, once sorted by start time, must be byte-identical to
+// Generate on the same config — same catalogs, same file IDs, same jobs.
+func TestSourceMatchesGenerate(t *testing.T) {
+	for _, cfg := range []Config{DZero(1, 0.01), DZero(7, 0.005), DZero(42, 0.02)} {
+		want, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		src, err := NewSource(cfg)
+		if err != nil {
+			t.Fatalf("NewSource: %v", err)
+		}
+		got, err := trace.Materialize(src)
+		if err != nil {
+			t.Fatalf("Materialize: %v", err)
+		}
+		if len(got.Jobs) != len(want.Jobs) {
+			t.Fatalf("seed %d: streamed %d jobs, Generate made %d", cfg.Seed, len(got.Jobs), len(want.Jobs))
+		}
+		got.SortJobsByStart()
+		if !reflect.DeepEqual(got.Files, want.Files) {
+			t.Errorf("seed %d: file catalogs differ", cfg.Seed)
+		}
+		if !reflect.DeepEqual(got.Users, want.Users) || !reflect.DeepEqual(got.Sites, want.Sites) {
+			t.Errorf("seed %d: user/site catalogs differ", cfg.Seed)
+		}
+		for i := range got.Jobs {
+			if !reflect.DeepEqual(got.Jobs[i], want.Jobs[i]) {
+				t.Fatalf("seed %d: job %d differs:\nstreamed  %+v\ngenerated %+v",
+					cfg.Seed, i, got.Jobs[i], want.Jobs[i])
+			}
+		}
+	}
+}
+
+// TestSourceStreamBasics pins Source mechanics: dense stream IDs, EOF
+// stability, closed-source errors, and config validation.
+func TestSourceStreamBasics(t *testing.T) {
+	cfg := DZero(3, 0.005)
+	src, err := NewSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	for {
+		j, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if j.ID != trace.JobID(n) {
+			t.Fatalf("job %d has stream ID %d", n, j.ID)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("source yielded no jobs")
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("Next after EOF = %v, want io.EOF", err)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Next(); err == nil {
+		t.Fatal("Next on closed source succeeded")
+	}
+
+	bad := DZero(1, 0.01)
+	bad.Scale = -1
+	if _, err := NewSource(bad); err == nil {
+		t.Fatal("NewSource accepted invalid config")
+	}
+}

@@ -1,0 +1,1538 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// filecule-bin/v1 is the binary columnar trace format: the streaming,
+// machine-efficient counterpart of the v1 text format. The stream is a
+// printable magic line followed by length-prefixed, CRC-protected chunks:
+//
+//	stream := magic chunk*
+//	magic  := "#filecule-bin v1\n"
+//	chunk  := uvarint(len(payload)) payload crc32c(payload, 4 bytes LE)
+//
+// The first chunk is the catalog ('C'), then job chunks ('J'), then exactly
+// one end chunk ('E') carrying the total job count so truncation is always
+// detected. All integers are unsigned varints; signed quantities use zigzag
+// encoding ("z" below); strings are uvarint length + bytes.
+//
+//	catalog := 'C' nSites {str name; str domain; z nodes}
+//	           nUsers {str name; site}
+//	           nFiles {str name; size; byte tier}
+//	end     := 'E' totalJobs
+//
+// Job chunks are independently decodable (self-contained string and
+// file-list tables, absolute first job ID) — that is what makes the
+// parallel chunk-decode path possible:
+//
+//	jobs    := 'J' nJobs firstJobID
+//	           nStrings {str}                       // node/app/version table
+//	           nLists {nRuns {z startDelta; runLen}} // file-ID run lists
+//	           columns                               // column-major, nJobs each
+//	columns := user* site* tierByte* familyByte*
+//	           nodeIdx* appIdx* versionIdx*
+//	           zStartDelta* durSeconds* filesListIdx* outputsListIdx*
+//
+// File lists are run-length encoded over consecutive ascending IDs and
+// interned per chunk (index 0 is the empty list), so the many jobs that
+// read the same dataset — the filecule signature of the workload — store
+// their input set once per chunk. Job IDs are implicit (firstJobID + row),
+// start times are zigzag deltas from the previous row's start, and end
+// times are non-negative second durations.
+const binMagic = "#filecule-bin v1\n"
+
+const (
+	binChunkKindCatalog = 'C'
+	binChunkKindJobs    = 'J'
+	binChunkKindEnd     = 'E'
+
+	// binChunkJobs is the encoder's rows-per-chunk target. It is a fixed
+	// constant so that re-encoding a decoded stream is byte-identical
+	// (the FuzzBinRoundTrip invariant) regardless of the input chunking.
+	binChunkJobs = 1024
+
+	// maxBinChunkPayload bounds a single chunk so corrupt length prefixes
+	// cannot force huge allocations.
+	maxBinChunkPayload = 1 << 26
+	// maxBinChunkListEntries bounds the expanded file-ID entries per
+	// chunk (runs expand cheaply, so the cap is enforced on both sides:
+	// the encoder flushes early, the decoder rejects).
+	maxBinChunkListEntries = 1 << 22
+	// maxBinDurSeconds / maxBinAbsStart keep start+duration arithmetic
+	// far from int64 overflow.
+	maxBinDurSeconds = int64(1) << 40
+	maxBinAbsStart   = int64(1) << 50
+)
+
+var binCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// zigzag maps signed to unsigned so small-magnitude values stay short.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// BinWriter streams a trace into the filecule-bin/v1 format: catalogs up
+// front, then jobs in WriteJob order, buffered into columnar chunks of
+// binChunkJobs rows. The writer holds O(chunk) memory regardless of trace
+// size, which is what lets filecule-gen convert or synthesize traces of any
+// length without materializing them.
+type BinWriter struct {
+	w     *bufio.Writer
+	files []File
+	users []User
+	sites []Site
+
+	count int64 // jobs written across all chunks
+
+	// Pending chunk, column-major.
+	n        int
+	firstID  int64
+	jUser    []int32
+	jSite    []int32
+	jTier    []byte
+	jFam     []byte
+	jNode    []uint32
+	jApp     []uint32
+	jVer     []uint32
+	jStart   []int64
+	jDur     []int64
+	jFiles   []uint32
+	jOutputs []uint32
+
+	strIdx map[string]uint32
+	strs   []string
+
+	listIdx     map[string]uint32
+	listBuf     []byte // concatenated per-list run encodings
+	listOffs    []int  // len = nLists+1, offsets into listBuf
+	listEntries int    // expanded entries in this chunk's lists
+
+	scratch []byte
+	payload []byte
+
+	closed bool
+	err    error
+}
+
+// NewBinWriter validates the catalogs, writes the magic and catalog chunk,
+// and returns a writer ready for WriteJob. The catalog slices are read, not
+// retained beyond reference checks.
+func NewBinWriter(w io.Writer, files []File, users []User, sites []Site) (*BinWriter, error) {
+	for i := range sites {
+		if sites[i].ID != SiteID(i) {
+			return nil, fmt.Errorf("trace: bin: site at index %d has ID %d (want dense IDs)", i, sites[i].ID)
+		}
+	}
+	for i := range users {
+		if users[i].ID != UserID(i) {
+			return nil, fmt.Errorf("trace: bin: user at index %d has ID %d (want dense IDs)", i, users[i].ID)
+		}
+		if int(users[i].Site) < 0 || int(users[i].Site) >= len(sites) {
+			return nil, fmt.Errorf("trace: bin: user %d references unknown site %d", i, users[i].Site)
+		}
+	}
+	for i := range files {
+		if files[i].ID != FileID(i) {
+			return nil, fmt.Errorf("trace: bin: file at index %d has ID %d (want dense IDs)", i, files[i].ID)
+		}
+		if files[i].Size < 0 {
+			return nil, fmt.Errorf("trace: bin: file %d has negative size %d", i, files[i].Size)
+		}
+	}
+	bw := &BinWriter{
+		w:       bufio.NewWriterSize(w, 1<<20),
+		files:   files,
+		users:   users,
+		sites:   sites,
+		strIdx:  make(map[string]uint32),
+		listIdx: make(map[string]uint32),
+	}
+	if _, err := bw.w.WriteString(binMagic); err != nil {
+		return nil, err
+	}
+	if err := bw.writeCatalog(); err != nil {
+		return nil, err
+	}
+	return bw, nil
+}
+
+func (bw *BinWriter) writeCatalog() error {
+	p := bw.payload[:0]
+	p = append(p, binChunkKindCatalog)
+	p = binary.AppendUvarint(p, uint64(len(bw.sites)))
+	for i := range bw.sites {
+		s := &bw.sites[i]
+		p = appendBinString(p, s.Name)
+		p = appendBinString(p, s.Domain)
+		p = binary.AppendUvarint(p, zigzag(int64(s.Nodes)))
+	}
+	p = binary.AppendUvarint(p, uint64(len(bw.users)))
+	for i := range bw.users {
+		u := &bw.users[i]
+		p = appendBinString(p, u.Name)
+		p = binary.AppendUvarint(p, uint64(u.Site))
+	}
+	p = binary.AppendUvarint(p, uint64(len(bw.files)))
+	for i := range bw.files {
+		f := &bw.files[i]
+		p = appendBinString(p, f.Name)
+		p = binary.AppendUvarint(p, uint64(f.Size))
+		p = append(p, byte(f.Tier))
+	}
+	bw.payload = p
+	return bw.writeChunk(p)
+}
+
+func appendBinString(p []byte, s string) []byte {
+	p = binary.AppendUvarint(p, uint64(len(s)))
+	return append(p, s...)
+}
+
+func (bw *BinWriter) writeChunk(payload []byte) error {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	if _, err := bw.w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := bw.w.Write(payload); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, binCRC))
+	_, err := bw.w.Write(crc[:])
+	return err
+}
+
+// WriteJob appends one job to the stream. Jobs must arrive with dense,
+// in-order IDs; references are validated against the catalogs so a bin
+// stream never contains a dangling ID. The job is copied — callers may
+// reuse it (Source.Next results can be fed in directly).
+func (bw *BinWriter) WriteJob(j *Job) error {
+	if bw.err != nil {
+		return bw.err
+	}
+	if bw.closed {
+		return fmt.Errorf("trace: bin: writer is closed")
+	}
+	if err := bw.writeJob(j); err != nil {
+		bw.err = err
+		return err
+	}
+	return nil
+}
+
+func (bw *BinWriter) writeJob(j *Job) error {
+	id := bw.count + int64(bw.n)
+	if int64(j.ID) != id {
+		return fmt.Errorf("trace: bin: job ID %d out of order (want %d)", j.ID, id)
+	}
+	if int(j.User) < 0 || int(j.User) >= len(bw.users) {
+		return fmt.Errorf("trace: bin: job %d references unknown user %d", id, j.User)
+	}
+	if int(j.Site) < 0 || int(j.Site) >= len(bw.sites) {
+		return fmt.Errorf("trace: bin: job %d references unknown site %d", id, j.Site)
+	}
+	start, end := j.Start.Unix(), j.End.Unix()
+	if end < start {
+		return fmt.Errorf("trace: bin: job %d ends before it starts", id)
+	}
+	if start < -maxBinAbsStart || start > maxBinAbsStart {
+		return fmt.Errorf("trace: bin: job %d start time %d out of encodable range", id, start)
+	}
+	if end-start > maxBinDurSeconds {
+		return fmt.Errorf("trace: bin: job %d duration %ds out of encodable range", id, end-start)
+	}
+	for _, f := range j.Files {
+		if int(f) < 0 || int(f) >= len(bw.files) {
+			return fmt.Errorf("trace: bin: job %d references unknown file %d", id, f)
+		}
+	}
+	for _, f := range j.Outputs {
+		if int(f) < 0 || int(f) >= len(bw.files) {
+			return fmt.Errorf("trace: bin: job %d produces unknown file %d", id, f)
+		}
+	}
+	newEntries := 0
+	if _, ok := bw.internListLookup(j.Files); !ok {
+		newEntries += len(j.Files)
+	}
+	if _, ok := bw.internListLookup(j.Outputs); !ok {
+		newEntries += len(j.Outputs)
+	}
+	if newEntries > maxBinChunkListEntries {
+		return fmt.Errorf("trace: bin: job %d has %d file-list entries (chunk limit %d)", id, newEntries, maxBinChunkListEntries)
+	}
+	if bw.n > 0 && (bw.n >= binChunkJobs || bw.listEntries+newEntries > maxBinChunkListEntries) {
+		if err := bw.flushJobs(); err != nil {
+			return err
+		}
+	}
+	if bw.n == 0 {
+		bw.firstID = bw.count
+	}
+	bw.jUser = append(bw.jUser, int32(j.User))
+	bw.jSite = append(bw.jSite, int32(j.Site))
+	bw.jTier = append(bw.jTier, byte(j.Tier))
+	bw.jFam = append(bw.jFam, byte(j.Family))
+	bw.jNode = append(bw.jNode, bw.internString(j.Node))
+	bw.jApp = append(bw.jApp, bw.internString(j.App))
+	bw.jVer = append(bw.jVer, bw.internString(j.Version))
+	bw.jStart = append(bw.jStart, start)
+	bw.jDur = append(bw.jDur, end-start)
+	bw.jFiles = append(bw.jFiles, bw.internList(j.Files))
+	bw.jOutputs = append(bw.jOutputs, bw.internList(j.Outputs))
+	bw.n++
+	return nil
+}
+
+func (bw *BinWriter) internString(s string) uint32 {
+	if idx, ok := bw.strIdx[s]; ok {
+		return idx
+	}
+	idx := uint32(len(bw.strs))
+	bw.strs = append(bw.strs, s)
+	bw.strIdx[s] = idx
+	return idx
+}
+
+// appendListRuns encodes ids as (zigzag start delta, run length) pairs over
+// maximal runs of consecutive ascending IDs, preceded by the run count.
+func appendListRuns(dst []byte, ids []FileID) []byte {
+	runs := 0
+	for i := 0; i < len(ids); {
+		j := i + 1
+		for j < len(ids) && ids[j] == ids[j-1]+1 {
+			j++
+		}
+		runs++
+		i = j
+	}
+	dst = binary.AppendUvarint(dst, uint64(runs))
+	prev := int64(0)
+	for i := 0; i < len(ids); {
+		j := i + 1
+		for j < len(ids) && ids[j] == ids[j-1]+1 {
+			j++
+		}
+		start := int64(ids[i])
+		dst = binary.AppendUvarint(dst, zigzag(start-prev))
+		dst = binary.AppendUvarint(dst, uint64(j-i))
+		prev = start + int64(j-i)
+		i = j
+	}
+	return dst
+}
+
+// internListLookup reports whether ids is already in the chunk list table.
+func (bw *BinWriter) internListLookup(ids []FileID) (uint32, bool) {
+	if len(ids) == 0 {
+		return 0, true
+	}
+	bw.scratch = appendListRuns(bw.scratch[:0], ids)
+	idx, ok := bw.listIdx[string(bw.scratch)]
+	return idx, ok
+}
+
+// internList returns the 1-based chunk table index for ids (0 = empty),
+// adding it on first sight.
+func (bw *BinWriter) internList(ids []FileID) uint32 {
+	if len(ids) == 0 {
+		return 0
+	}
+	bw.scratch = appendListRuns(bw.scratch[:0], ids)
+	if idx, ok := bw.listIdx[string(bw.scratch)]; ok {
+		return idx
+	}
+	if len(bw.listOffs) == 0 {
+		bw.listOffs = append(bw.listOffs, 0)
+	}
+	bw.listBuf = append(bw.listBuf, bw.scratch...)
+	bw.listOffs = append(bw.listOffs, len(bw.listBuf))
+	idx := uint32(len(bw.listOffs) - 1) // 1-based
+	bw.listIdx[string(bw.scratch)] = idx
+	bw.listEntries += len(ids)
+	return idx
+}
+
+func (bw *BinWriter) flushJobs() error {
+	if bw.n == 0 {
+		return nil
+	}
+	p := bw.payload[:0]
+	p = append(p, binChunkKindJobs)
+	p = binary.AppendUvarint(p, uint64(bw.n))
+	p = binary.AppendUvarint(p, uint64(bw.firstID))
+	p = binary.AppendUvarint(p, uint64(len(bw.strs)))
+	for _, s := range bw.strs {
+		p = appendBinString(p, s)
+	}
+	nLists := 0
+	if len(bw.listOffs) > 0 {
+		nLists = len(bw.listOffs) - 1
+	}
+	p = binary.AppendUvarint(p, uint64(nLists))
+	p = append(p, bw.listBuf...)
+	for _, v := range bw.jUser {
+		p = binary.AppendUvarint(p, uint64(v))
+	}
+	for _, v := range bw.jSite {
+		p = binary.AppendUvarint(p, uint64(v))
+	}
+	p = append(p, bw.jTier...)
+	p = append(p, bw.jFam...)
+	for _, v := range bw.jNode {
+		p = binary.AppendUvarint(p, uint64(v))
+	}
+	for _, v := range bw.jApp {
+		p = binary.AppendUvarint(p, uint64(v))
+	}
+	for _, v := range bw.jVer {
+		p = binary.AppendUvarint(p, uint64(v))
+	}
+	prev := int64(0)
+	for _, v := range bw.jStart {
+		p = binary.AppendUvarint(p, zigzag(v-prev))
+		prev = v
+	}
+	for _, v := range bw.jDur {
+		p = binary.AppendUvarint(p, uint64(v))
+	}
+	for _, v := range bw.jFiles {
+		p = binary.AppendUvarint(p, uint64(v))
+	}
+	for _, v := range bw.jOutputs {
+		p = binary.AppendUvarint(p, uint64(v))
+	}
+	bw.payload = p
+	if err := bw.writeChunk(p); err != nil {
+		return err
+	}
+	bw.count += int64(bw.n)
+	bw.n = 0
+	bw.jUser = bw.jUser[:0]
+	bw.jSite = bw.jSite[:0]
+	bw.jTier = bw.jTier[:0]
+	bw.jFam = bw.jFam[:0]
+	bw.jNode = bw.jNode[:0]
+	bw.jApp = bw.jApp[:0]
+	bw.jVer = bw.jVer[:0]
+	bw.jStart = bw.jStart[:0]
+	bw.jDur = bw.jDur[:0]
+	bw.jFiles = bw.jFiles[:0]
+	bw.jOutputs = bw.jOutputs[:0]
+	clear(bw.strIdx)
+	bw.strs = bw.strs[:0]
+	clear(bw.listIdx)
+	bw.listBuf = bw.listBuf[:0]
+	bw.listOffs = bw.listOffs[:0]
+	bw.listEntries = 0
+	return nil
+}
+
+// Close flushes pending jobs, writes the end chunk, and flushes the
+// underlying buffer. The stream is invalid without it.
+func (bw *BinWriter) Close() error {
+	if bw.closed {
+		return nil
+	}
+	bw.closed = true
+	if bw.err != nil {
+		return bw.err
+	}
+	if err := bw.flushJobs(); err != nil {
+		return err
+	}
+	p := bw.payload[:0]
+	p = append(p, binChunkKindEnd)
+	p = binary.AppendUvarint(p, uint64(bw.count))
+	bw.payload = p
+	if err := bw.writeChunk(p); err != nil {
+		return err
+	}
+	return bw.w.Flush()
+}
+
+// WriteBin serializes t in the filecule-bin/v1 format.
+func WriteBin(w io.Writer, t *Trace) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	bw, err := NewBinWriter(w, t.Files, t.Users, t.Sites)
+	if err != nil {
+		return err
+	}
+	for i := range t.Jobs {
+		if err := bw.WriteJob(&t.Jobs[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Close()
+}
+
+// binBuf is a bounds-checked varint reader over one chunk payload. Errors
+// are sticky: after the first malformed read every getter returns zero, and
+// the caller checks err once.
+type binBuf struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (b *binBuf) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (b *binBuf) rem() int { return len(b.b) - b.pos }
+
+// uvarint keeps the single-byte case small enough to inline: interned
+// indexes, deltas and durations are almost always < 0x80, and this read
+// dominates the decode profile. The fast path skips the sticky-error check
+// — after a fail() the value read is garbage, but every caller re-checks
+// b.err before acting on it, so advancing pos past an error is harmless.
+func (b *binBuf) uvarint() uint64 {
+	if b.pos < len(b.b) {
+		if v := b.b[b.pos]; v < 0x80 {
+			b.pos++
+			return uint64(v)
+		}
+	}
+	return b.uvarintSlow()
+}
+
+func (b *binBuf) uvarintSlow() uint64 {
+	if b.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(b.b[b.pos:])
+	if n <= 0 {
+		b.fail("bad varint")
+		return 0
+	}
+	b.pos += n
+	return v
+}
+
+func (b *binBuf) zvarint() int64 { return unzigzag(b.uvarint()) }
+
+func (b *binBuf) byte() byte {
+	if b.err != nil {
+		return 0
+	}
+	if b.pos >= len(b.b) {
+		b.fail("truncated chunk")
+		return 0
+	}
+	v := b.b[b.pos]
+	b.pos++
+	return v
+}
+
+func (b *binBuf) bytes(n int) []byte {
+	if b.err != nil {
+		return nil
+	}
+	if n < 0 || n > b.rem() {
+		b.fail("truncated chunk")
+		return nil
+	}
+	v := b.b[b.pos : b.pos+n]
+	b.pos += n
+	return v
+}
+
+// count reads an element count and rejects values that could not fit in the
+// remaining payload (each element is at least one byte), so corrupt counts
+// never drive huge allocations.
+func (b *binBuf) count(what string) int {
+	v := b.uvarint()
+	if b.err != nil {
+		return 0
+	}
+	if v > uint64(b.rem()) {
+		b.fail("%s count %d exceeds chunk payload", what, v)
+		return 0
+	}
+	return int(v)
+}
+
+func (b *binBuf) str(intern func([]byte) string) string {
+	n := b.count("string length")
+	raw := b.bytes(n)
+	if b.err != nil {
+		return ""
+	}
+	return intern(raw)
+}
+
+// binChunkReader reads length-prefixed CRC-checked chunks, reusing one
+// payload buffer.
+type binChunkReader struct {
+	br      *bufio.Reader
+	payload []byte
+}
+
+// readChunk returns the next chunk's kind and payload (aliasing the reused
+// buffer; valid until the next call). io.EOF means a clean end of input at
+// a chunk boundary — callers decide whether that is legal there.
+func (cr *binChunkReader) readChunk() (byte, []byte, error) {
+	n, err := binary.ReadUvarint(cr.br)
+	if err == io.EOF {
+		return 0, nil, io.EOF
+	}
+	if err != nil {
+		return 0, nil, fmt.Errorf("trace: bin: bad chunk length: %w", err)
+	}
+	if n == 0 || n > maxBinChunkPayload {
+		return 0, nil, fmt.Errorf("trace: bin: chunk payload length %d out of range", n)
+	}
+	if uint64(cap(cr.payload)) < n {
+		cr.payload = make([]byte, n)
+	}
+	payload := cr.payload[:n]
+	if _, err := io.ReadFull(cr.br, payload); err != nil {
+		return 0, nil, fmt.Errorf("trace: bin: truncated chunk payload: %w", err)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(cr.br, crc[:]); err != nil {
+		return 0, nil, fmt.Errorf("trace: bin: truncated chunk CRC: %w", err)
+	}
+	if got, want := crc32.Checksum(payload, binCRC), binary.LittleEndian.Uint32(crc[:]); got != want {
+		return 0, nil, fmt.Errorf("trace: bin: chunk CRC mismatch (got %08x, want %08x)", got, want)
+	}
+	return payload[0], payload, nil
+}
+
+// binPreallocCap bounds pre-sized catalog allocations: a corrupt count can
+// claim at most this many entries up front, and genuinely larger catalogs
+// just fall back to append growth once real records have covered the cap.
+const binPreallocCap = 1 << 16
+
+func binPrealloc(n int) int {
+	if n > binPreallocCap {
+		return binPreallocCap
+	}
+	return n
+}
+
+func decodeBinCatalog(payload []byte) (files []File, users []User, sites []Site, err error) {
+	b := &binBuf{b: payload, pos: 1}
+	// Catalogs are a fifth of decode time at trace scale, so the record
+	// loops use the same manual cursor as the job columns: the one-byte
+	// varint case inline, binary.Uvarint (inlined) for the rest, b.pos
+	// synced at every exit. Names are unique, so no interner — each string
+	// is allocated straight off the payload.
+	p := payload
+	nSites := b.count("site")
+	sites = make([]Site, 0, binPrealloc(nSites))
+	pos := b.pos
+	for i := 0; i < nSites && b.err == nil; i++ {
+		var name, domain string
+		var n uint64
+		if pos < len(p) && p[pos] < 0x80 {
+			n = uint64(p[pos])
+			pos++
+		} else if v, w := binary.Uvarint(p[pos:]); w > 0 {
+			n = v
+			pos += w
+		} else {
+			b.pos = pos
+			b.fail("bad varint")
+			break
+		}
+		if n > uint64(len(p)-pos) {
+			b.pos = pos
+			b.fail("string length count %d exceeds chunk payload", n)
+			break
+		}
+		name = string(p[pos : pos+int(n)])
+		pos += int(n)
+		if pos < len(p) && p[pos] < 0x80 {
+			n = uint64(p[pos])
+			pos++
+		} else if v, w := binary.Uvarint(p[pos:]); w > 0 {
+			n = v
+			pos += w
+		} else {
+			b.pos = pos
+			b.fail("bad varint")
+			break
+		}
+		if n > uint64(len(p)-pos) {
+			b.pos = pos
+			b.fail("string length count %d exceeds chunk payload", n)
+			break
+		}
+		domain = string(p[pos : pos+int(n)])
+		pos += int(n)
+		if pos < len(p) && p[pos] < 0x80 {
+			n = uint64(p[pos])
+			pos++
+		} else if v, w := binary.Uvarint(p[pos:]); w > 0 {
+			n = v
+			pos += w
+		} else {
+			b.pos = pos
+			b.fail("bad varint")
+			break
+		}
+		nodes := int64(n>>1) ^ -int64(n&1)
+		sites = append(sites, Site{ID: SiteID(i), Name: name, Domain: domain, Nodes: int(nodes)})
+	}
+	b.pos = pos
+	nUsers := b.count("user")
+	users = make([]User, 0, binPrealloc(nUsers))
+	pos = b.pos
+	for i := 0; i < nUsers && b.err == nil; i++ {
+		var n uint64
+		if pos < len(p) && p[pos] < 0x80 {
+			n = uint64(p[pos])
+			pos++
+		} else if v, w := binary.Uvarint(p[pos:]); w > 0 {
+			n = v
+			pos += w
+		} else {
+			b.pos = pos
+			b.fail("bad varint")
+			break
+		}
+		if n > uint64(len(p)-pos) {
+			b.pos = pos
+			b.fail("string length count %d exceeds chunk payload", n)
+			break
+		}
+		name := string(p[pos : pos+int(n)])
+		pos += int(n)
+		var site uint64
+		if pos < len(p) && p[pos] < 0x80 {
+			site = uint64(p[pos])
+			pos++
+		} else if v, w := binary.Uvarint(p[pos:]); w > 0 {
+			site = v
+			pos += w
+		} else {
+			b.pos = pos
+			b.fail("bad varint")
+			break
+		}
+		if site >= uint64(nSites) {
+			b.pos = pos
+			b.fail("user %d references unknown site %d", i, site)
+			break
+		}
+		users = append(users, User{ID: UserID(i), Name: name, Site: SiteID(site)})
+	}
+	b.pos = pos
+	nFiles := b.count("file")
+	files = make([]File, 0, binPrealloc(nFiles))
+	pos = b.pos
+	for i := 0; i < nFiles && b.err == nil; i++ {
+		var n uint64
+		if pos < len(p) && p[pos] < 0x80 {
+			n = uint64(p[pos])
+			pos++
+		} else if v, w := binary.Uvarint(p[pos:]); w > 0 {
+			n = v
+			pos += w
+		} else {
+			b.pos = pos
+			b.fail("bad varint")
+			break
+		}
+		if n > uint64(len(p)-pos) {
+			b.pos = pos
+			b.fail("string length count %d exceeds chunk payload", n)
+			break
+		}
+		name := string(p[pos : pos+int(n)])
+		pos += int(n)
+		var size uint64
+		if pos < len(p) && p[pos] < 0x80 {
+			size = uint64(p[pos])
+			pos++
+		} else if v, w := binary.Uvarint(p[pos:]); w > 0 {
+			size = v
+			pos += w
+		} else {
+			b.pos = pos
+			b.fail("bad varint")
+			break
+		}
+		if size > 1<<62 {
+			b.pos = pos
+			b.fail("file %d size %d out of range", i, size)
+			break
+		}
+		if pos >= len(p) {
+			b.pos = pos
+			b.fail("truncated chunk")
+			break
+		}
+		tier := p[pos]
+		pos++
+		if int(tier) >= NumTiers {
+			b.pos = pos
+			b.fail("file %d has bad tier %d", i, tier)
+			break
+		}
+		files = append(files, File{ID: FileID(i), Name: name, Size: int64(size), Tier: Tier(tier)})
+	}
+	b.pos = pos
+	if b.err == nil && b.rem() != 0 {
+		b.fail("%d trailing bytes", b.rem())
+	}
+	if b.err != nil {
+		return nil, nil, nil, fmt.Errorf("trace: bin: catalog chunk: %w", b.err)
+	}
+	return files, users, sites, nil
+}
+
+func binOwnString(b []byte) string { return string(b) }
+
+// decodeBinEnd parses an 'E' payload and returns the declared job total.
+func decodeBinEnd(payload []byte) (uint64, error) {
+	b := &binBuf{b: payload, pos: 1}
+	total := b.uvarint()
+	if b.err == nil && b.rem() != 0 {
+		b.fail("%d trailing bytes", b.rem())
+	}
+	if b.err != nil {
+		return 0, fmt.Errorf("trace: bin: end chunk: %w", b.err)
+	}
+	return total, nil
+}
+
+// binJobChunk holds one decoded job chunk in columnar form. All backing
+// arrays are reused across chunks by the streaming decoder, so steady-state
+// decoding allocates only for strings never seen before.
+type binJobChunk struct {
+	n       int
+	firstID int64
+
+	users    []int32
+	sites    []int32
+	tiers    []byte
+	families []byte
+	nodes    []string
+	apps     []string
+	versions []string
+	starts   []int64
+	durs     []int64
+	files    [][]FileID
+	outputs  [][]FileID
+
+	strs      []string
+	listArena []FileID
+	lists     [][]FileID
+}
+
+// decode parses a 'J' payload. intern maps raw string bytes to a (possibly
+// shared) string — the streaming decoder passes a cross-chunk interner so
+// repeated node/app/version names are allocated once per stream.
+func (c *binJobChunk) decode(payload []byte, nFiles, nUsers, nSites int, intern func([]byte) string) error {
+	b := &binBuf{b: payload, pos: 1}
+	c.n = b.count("job")
+	c.firstID = int64(b.uvarint())
+	if b.err == nil && c.firstID > maxBinAbsStart {
+		b.fail("first job ID %d out of range", c.firstID)
+	}
+	nStrs := b.count("string")
+	c.strs = c.strs[:0]
+	for i := 0; i < nStrs && b.err == nil; i++ {
+		c.strs = append(c.strs, b.str(intern))
+	}
+	nLists := b.count("list")
+	c.listArena = c.listArena[:0]
+	c.lists = c.lists[:0]
+	if b.err != nil {
+		return binChunkErr(b)
+	}
+
+	// The list table and the job columns are the decode hot path: hundreds
+	// of thousands of varints per trace. They are decoded with a manual
+	// cursor — the one-byte case inline, multi-byte through binary.Uvarint
+	// (which the compiler inlines) — so the loops make no function calls
+	// per value. b.pos is synced at every exit, keeping error positions and
+	// the trailing-bytes check exact.
+	p := b.b
+	pos := b.pos
+	for i := 0; i < nLists; i++ {
+		var nRuns uint64
+		if pos < len(p) && p[pos] < 0x80 {
+			nRuns = uint64(p[pos])
+			pos++
+		} else if v, w := binary.Uvarint(p[pos:]); w > 0 {
+			nRuns = v
+			pos += w
+		} else {
+			b.pos = pos
+			b.fail("bad varint")
+			return binChunkErr(b)
+		}
+		if nRuns > uint64(len(p)-pos) {
+			b.pos = pos
+			b.fail("run count %d exceeds chunk payload", nRuns)
+			return binChunkErr(b)
+		}
+		prev := int64(0)
+		from := len(c.listArena)
+		for r := uint64(0); r < nRuns; r++ {
+			var u uint64
+			if pos < len(p) && p[pos] < 0x80 {
+				u = uint64(p[pos])
+				pos++
+			} else if v, w := binary.Uvarint(p[pos:]); w > 0 {
+				u = v
+				pos += w
+			} else {
+				b.pos = pos
+				b.fail("bad varint")
+				return binChunkErr(b)
+			}
+			start := prev + (int64(u>>1) ^ -int64(u&1))
+			var length uint64
+			if pos < len(p) && p[pos] < 0x80 {
+				length = uint64(p[pos])
+				pos++
+			} else if v, w := binary.Uvarint(p[pos:]); w > 0 {
+				length = v
+				pos += w
+			} else {
+				b.pos = pos
+				b.fail("bad varint")
+				return binChunkErr(b)
+			}
+			if length == 0 || length > uint64(maxBinChunkListEntries) {
+				b.pos = pos
+				b.fail("list %d run length %d out of range", i, length)
+				return binChunkErr(b)
+			}
+			if start < 0 || start+int64(length) > int64(nFiles) {
+				b.pos = pos
+				b.fail("list %d references file IDs %d..%d outside catalog of %d", i, start, start+int64(length)-1, nFiles)
+				return binChunkErr(b)
+			}
+			if len(c.listArena)-from+int(length) > maxBinChunkListEntries ||
+				len(c.listArena)+int(length) > maxBinChunkListEntries {
+				b.pos = pos
+				b.fail("chunk file-list entries exceed limit %d", maxBinChunkListEntries)
+				return binChunkErr(b)
+			}
+			// Extend the arena without zeroing when capacity allows (the
+			// reused buffer makes that the steady state), then fill by
+			// index — no per-element append, no memclr.
+			at := len(c.listArena)
+			if cap(c.listArena)-at >= int(length) {
+				c.listArena = c.listArena[:at+int(length)]
+			} else {
+				c.listArena = append(c.listArena, make([]FileID, length)...)
+			}
+			seg := c.listArena[at : at+int(length)]
+			for k := range seg {
+				seg[k] = FileID(start) + FileID(k)
+			}
+			prev = start + int64(length)
+		}
+		c.lists = append(c.lists, c.listArena[from:len(c.listArena):len(c.listArena)])
+	}
+	b.pos = pos
+
+	c.users = b.u32col(c.users[:0], c.n, nUsers, "user ID")
+	c.sites = b.u32col(c.sites[:0], c.n, nSites, "site ID")
+	c.tiers = append(c.tiers[:0], b.bytes(c.n)...)
+	c.families = append(c.families[:0], b.bytes(c.n)...)
+	for i := 0; i < c.n && b.err == nil; i++ {
+		if int(c.tiers[i]) >= NumTiers {
+			b.fail("job %d has bad tier %d", i, c.tiers[i])
+		}
+		if int(c.families[i]) >= NumFamilies {
+			b.fail("job %d has bad family %d", i, c.families[i])
+		}
+	}
+	c.nodes = b.strcol(c.nodes[:0], c.n, c.strs, "node")
+	c.apps = b.strcol(c.apps[:0], c.n, c.strs, "app")
+	c.versions = b.strcol(c.versions[:0], c.n, c.strs, "version")
+	c.starts = b.startcol(c.starts[:0], c.n)
+	c.durs = b.durcol(c.durs[:0], c.n)
+	c.files = b.listcol(c.files[:0], c.n, c.lists, "input")
+	c.outputs = b.listcol(c.outputs[:0], c.n, c.lists, "output")
+	if b.err == nil && b.rem() != 0 {
+		b.fail("%d trailing bytes", b.rem())
+	}
+	if b.err != nil {
+		return binChunkErr(b)
+	}
+	return nil
+}
+
+func binChunkErr(b *binBuf) error {
+	return fmt.Errorf("trace: bin: job chunk: %w", b.err)
+}
+
+// u32col decodes n uvarints < max — a manual-cursor column loop (see the
+// comment in binJobChunk.decode).
+func (b *binBuf) u32col(dst []int32, n, max int, what string) []int32 {
+	if b.err != nil {
+		return dst
+	}
+	p := b.b
+	pos := b.pos
+	for i := 0; i < n; i++ {
+		var u uint64
+		if pos < len(p) && p[pos] < 0x80 {
+			u = uint64(p[pos])
+			pos++
+		} else if v, w := binary.Uvarint(p[pos:]); w > 0 {
+			u = v
+			pos += w
+		} else {
+			b.pos = pos
+			b.fail("bad varint")
+			return dst
+		}
+		if u >= uint64(max) {
+			b.pos = pos
+			b.fail("job %d: %s %d out of range", i, what, u)
+			return dst
+		}
+		dst = append(dst, int32(u))
+	}
+	b.pos = pos
+	return dst
+}
+
+// strcol decodes n string-table indexes into their (interned) strings.
+func (b *binBuf) strcol(dst []string, n int, tab []string, what string) []string {
+	if b.err != nil {
+		return dst
+	}
+	p := b.b
+	pos := b.pos
+	for i := 0; i < n; i++ {
+		var u uint64
+		if pos < len(p) && p[pos] < 0x80 {
+			u = uint64(p[pos])
+			pos++
+		} else if v, w := binary.Uvarint(p[pos:]); w > 0 {
+			u = v
+			pos += w
+		} else {
+			b.pos = pos
+			b.fail("bad varint")
+			return dst
+		}
+		if u >= uint64(len(tab)) {
+			b.pos = pos
+			b.fail("job %d: %s string index %d out of range", i, what, u)
+			return dst
+		}
+		dst = append(dst, tab[u])
+	}
+	b.pos = pos
+	return dst
+}
+
+// startcol decodes n zigzag start-time deltas into absolute seconds.
+func (b *binBuf) startcol(dst []int64, n int) []int64 {
+	if b.err != nil {
+		return dst
+	}
+	p := b.b
+	pos := b.pos
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		var u uint64
+		if pos < len(p) && p[pos] < 0x80 {
+			u = uint64(p[pos])
+			pos++
+		} else if v, w := binary.Uvarint(p[pos:]); w > 0 {
+			u = v
+			pos += w
+		} else {
+			b.pos = pos
+			b.fail("bad varint")
+			return dst
+		}
+		v := prev + (int64(u>>1) ^ -int64(u&1))
+		if v < -maxBinAbsStart || v > maxBinAbsStart {
+			b.pos = pos
+			b.fail("job %d start time %d out of range", i, v)
+			return dst
+		}
+		dst = append(dst, v)
+		prev = v
+	}
+	b.pos = pos
+	return dst
+}
+
+// durcol decodes n duration-seconds values.
+func (b *binBuf) durcol(dst []int64, n int) []int64 {
+	if b.err != nil {
+		return dst
+	}
+	p := b.b
+	pos := b.pos
+	for i := 0; i < n; i++ {
+		var u uint64
+		if pos < len(p) && p[pos] < 0x80 {
+			u = uint64(p[pos])
+			pos++
+		} else if v, w := binary.Uvarint(p[pos:]); w > 0 {
+			u = v
+			pos += w
+		} else {
+			b.pos = pos
+			b.fail("bad varint")
+			return dst
+		}
+		if u > uint64(maxBinDurSeconds) {
+			b.pos = pos
+			b.fail("job %d duration %d out of range", i, u)
+			return dst
+		}
+		dst = append(dst, int64(u))
+	}
+	b.pos = pos
+	return dst
+}
+
+// listcol decodes n list-table indexes into their file-ID slices (0 = nil).
+func (b *binBuf) listcol(dst [][]FileID, n int, lists [][]FileID, what string) [][]FileID {
+	if b.err != nil {
+		return dst
+	}
+	p := b.b
+	pos := b.pos
+	for i := 0; i < n; i++ {
+		var u uint64
+		if pos < len(p) && p[pos] < 0x80 {
+			u = uint64(p[pos])
+			pos++
+		} else if v, w := binary.Uvarint(p[pos:]); w > 0 {
+			u = v
+			pos += w
+		} else {
+			b.pos = pos
+			b.fail("bad varint")
+			return dst
+		}
+		if u > uint64(len(lists)) {
+			b.pos = pos
+			b.fail("job %d: %s list index %d out of range", i, what, u)
+			return dst
+		}
+		if u == 0 {
+			dst = append(dst, nil)
+		} else {
+			dst = append(dst, lists[u-1])
+		}
+	}
+	b.pos = pos
+	return dst
+}
+
+// fill writes row i into j.
+func (c *binJobChunk) fill(j *Job, i int) {
+	j.ID = JobID(c.firstID + int64(i))
+	j.User = UserID(c.users[i])
+	j.Site = SiteID(c.sites[i])
+	j.Node = c.nodes[i]
+	j.Tier = Tier(c.tiers[i])
+	j.Family = AppFamily(c.families[i])
+	j.App = c.apps[i]
+	j.Version = c.versions[i]
+	j.Start = time.Unix(c.starts[i], 0).UTC()
+	j.End = time.Unix(c.starts[i]+c.durs[i], 0).UTC()
+	j.Files = c.files[i]
+	j.Outputs = c.outputs[i]
+}
+
+// BinSource streams jobs out of a filecule-bin/v1 stream one chunk at a
+// time, reusing all decode buffers: draining an N-job trace allocates
+// O(catalog + distinct strings + chunk high-water mark), not O(N).
+type BinSource struct {
+	cr    binChunkReader
+	files []File
+	users []User
+	sites []Site
+
+	chunk binJobChunk
+	idx   int
+	job   Job
+	names map[string]string
+
+	seen   int64
+	err    error
+	closed bool
+}
+
+// NewBinSource reads the magic and catalog chunk from r and returns a
+// Source positioned before the first job.
+func NewBinSource(r io.Reader) (*BinSource, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 1<<20)
+	}
+	var magic [len(binMagic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: bin: bad magic: %w", err)
+	}
+	if string(magic[:]) != binMagic {
+		return nil, fmt.Errorf("trace: bin: bad magic %q (want %q)", magic[:], binMagic)
+	}
+	s := &BinSource{
+		cr:    binChunkReader{br: br},
+		names: make(map[string]string),
+	}
+	kind, payload, err := s.cr.readChunk()
+	if err == io.EOF {
+		return nil, fmt.Errorf("trace: bin: missing catalog chunk")
+	}
+	if err != nil {
+		return nil, err
+	}
+	if kind != binChunkKindCatalog {
+		return nil, fmt.Errorf("trace: bin: first chunk kind %q, want catalog", kind)
+	}
+	s.files, s.users, s.sites, err = decodeBinCatalog(payload)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Files returns the file catalog.
+func (s *BinSource) Files() []File { return s.files }
+
+// Users returns the user catalog.
+func (s *BinSource) Users() []User { return s.users }
+
+// Sites returns the site catalog.
+func (s *BinSource) Sites() []Site { return s.sites }
+
+// intern shares strings across chunks, so node/app/version names allocate
+// once per stream rather than once per chunk.
+func (s *BinSource) intern(b []byte) string {
+	if v, ok := s.names[string(b)]; ok {
+		return v
+	}
+	v := string(b)
+	s.names[v] = v
+	return v
+}
+
+// Next returns the next job. The job and its slices are invalidated by the
+// Next call that crosses into the following chunk.
+func (s *BinSource) Next() (*Job, error) {
+	if s.closed {
+		return nil, fmt.Errorf("trace: source is closed")
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	for s.idx >= s.chunk.n {
+		kind, payload, err := s.cr.readChunk()
+		if err == io.EOF {
+			err = fmt.Errorf("trace: bin: truncated stream (missing end chunk)")
+		}
+		if err != nil {
+			s.err = err
+			return nil, err
+		}
+		switch kind {
+		case binChunkKindJobs:
+			if err := s.chunk.decode(payload, len(s.files), len(s.users), len(s.sites), s.intern); err != nil {
+				s.err = err
+				return nil, err
+			}
+			if s.chunk.firstID != s.seen {
+				s.err = fmt.Errorf("trace: bin: job chunk starts at ID %d, want %d", s.chunk.firstID, s.seen)
+				return nil, s.err
+			}
+			s.idx = 0
+		case binChunkKindEnd:
+			total, err := decodeBinEnd(payload)
+			if err != nil {
+				s.err = err
+				return nil, s.err
+			}
+			if total != uint64(s.seen) {
+				s.err = fmt.Errorf("trace: bin: end chunk declares %d jobs, stream had %d", total, s.seen)
+				return nil, s.err
+			}
+			if _, _, err := s.cr.readChunk(); err != io.EOF {
+				s.err = fmt.Errorf("trace: bin: data after end chunk")
+				return nil, s.err
+			}
+			s.err = io.EOF
+			return nil, io.EOF
+		case binChunkKindCatalog:
+			s.err = fmt.Errorf("trace: bin: duplicate catalog chunk")
+			return nil, s.err
+		default:
+			s.err = fmt.Errorf("trace: bin: unknown chunk kind %q", kind)
+			return nil, s.err
+		}
+	}
+	s.chunk.fill(&s.job, s.idx)
+	s.idx++
+	s.seen++
+	return &s.job, nil
+}
+
+// Close marks the source closed. The underlying reader is owned by the
+// caller.
+func (s *BinSource) Close() error {
+	s.closed = true
+	return nil
+}
+
+// ReadBin materializes a filecule-bin/v1 stream into a validated Trace.
+// With more than one CPU it decodes job chunks in parallel: one goroutine
+// reads and CRC-checks chunks, a worker pool decodes payloads, and the
+// chunks are reassembled in firstID order. On a single CPU the worker pool
+// is pure overhead (payload copies, channel and map traffic, no string
+// sharing), so chunks are decoded in line with buffers reused across the
+// stream. This is the fast cold-replay path the decode benchmarks measure.
+func ReadBin(r io.Reader) (*Trace, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 1<<20)
+	}
+	var magic [len(binMagic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: bin: bad magic: %w", err)
+	}
+	if string(magic[:]) != binMagic {
+		return nil, fmt.Errorf("trace: bin: bad magic %q (want %q)", magic[:], binMagic)
+	}
+	cr := binChunkReader{br: br}
+	kind, payload, err := cr.readChunk()
+	if err == io.EOF {
+		return nil, fmt.Errorf("trace: bin: missing catalog chunk")
+	}
+	if err != nil {
+		return nil, err
+	}
+	if kind != binChunkKindCatalog {
+		return nil, fmt.Errorf("trace: bin: first chunk kind %q, want catalog", kind)
+	}
+	files, users, sites, err := decodeBinCatalog(payload)
+	if err != nil {
+		return nil, err
+	}
+
+	var t *Trace
+	if runtime.GOMAXPROCS(0) > 1 {
+		t, err = readBinParallel(&cr, files, users, sites)
+	} else {
+		t, err = readBinSerial(&cr, files, users, sites)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// readBinSerial drains job chunks on the calling goroutine, reusing one
+// chunk struct and interning strings across the whole stream. Decoded jobs
+// append straight into the trace — no per-chunk job slices or payload
+// copies.
+func readBinSerial(cr *binChunkReader, files []File, users []User, sites []Site) (*Trace, error) {
+	t := &Trace{Files: files, Users: users, Sites: sites}
+	names := make(map[string]string)
+	intern := func(b []byte) string {
+		if v, ok := names[string(b)]; ok {
+			return v
+		}
+		v := string(b)
+		names[v] = v
+		return v
+	}
+	var c binJobChunk
+	for {
+		kind, payload, err := cr.readChunk()
+		if err == io.EOF {
+			return nil, fmt.Errorf("trace: bin: truncated stream (missing end chunk)")
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case binChunkKindJobs:
+			// Jobs keep aliases into the chunk's file-ID arena, so each
+			// chunk gets a fresh arena, pre-sized to the previous chunk's
+			// (chunks are homogeneous, so the hint kills growth copies);
+			// every other buffer is reused.
+			c.listArena = make([]FileID, 0, len(c.listArena))
+			if err := c.decode(payload, len(files), len(users), len(sites), intern); err != nil {
+				return nil, err
+			}
+			if c.firstID != int64(len(t.Jobs)) {
+				return nil, fmt.Errorf("trace: bin: job chunk starts at ID %d, want %d", c.firstID, len(t.Jobs))
+			}
+			// fill writes every Job field, so extend without the append
+			// zeroing pass when capacity allows. len only ever grows, so
+			// the region past it is still zeroed from allocation.
+			base := len(t.Jobs)
+			if cap(t.Jobs)-base >= c.n {
+				t.Jobs = t.Jobs[:base+c.n]
+			} else {
+				t.Jobs = append(t.Jobs, make([]Job, c.n)...)
+			}
+			for i := 0; i < c.n; i++ {
+				c.fill(&t.Jobs[base+i], i)
+			}
+		case binChunkKindEnd:
+			total, err := decodeBinEnd(payload)
+			if err != nil {
+				return nil, err
+			}
+			if total != uint64(len(t.Jobs)) {
+				return nil, fmt.Errorf("trace: bin: end chunk declares %d jobs, stream had %d", total, len(t.Jobs))
+			}
+			if _, _, err := cr.readChunk(); err != io.EOF {
+				return nil, fmt.Errorf("trace: bin: data after end chunk")
+			}
+			return t, nil
+		case binChunkKindCatalog:
+			return nil, fmt.Errorf("trace: bin: duplicate catalog chunk")
+		default:
+			return nil, fmt.Errorf("trace: bin: unknown chunk kind %q", kind)
+		}
+	}
+}
+
+// readBinParallel fans job-chunk payloads out to a decode worker pool and
+// reassembles the results in firstID order.
+func readBinParallel(cr *binChunkReader, files []File, users []User, sites []Site) (*Trace, error) {
+	type task struct {
+		idx     int
+		payload []byte
+	}
+	type result struct {
+		firstID int64
+		jobs    []Job
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	tasks := make(chan task, workers)
+	var (
+		mu      sync.Mutex
+		results = make(map[int]result)
+		decErr  error
+	)
+	setErr := func(err error) {
+		mu.Lock()
+		if decErr == nil {
+			decErr = err
+		}
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range tasks {
+				var c binJobChunk
+				if err := c.decode(t.payload, len(files), len(users), len(sites), binOwnString); err != nil {
+					setErr(err)
+					continue
+				}
+				jobs := make([]Job, c.n)
+				for i := range jobs {
+					c.fill(&jobs[i], i)
+				}
+				mu.Lock()
+				results[t.idx] = result{firstID: c.firstID, jobs: jobs}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	var (
+		total   uint64
+		sawEnd  bool
+		readErr error
+		nChunks int
+	)
+	for {
+		kind, payload, err := cr.readChunk()
+		if err == io.EOF {
+			if !sawEnd {
+				readErr = fmt.Errorf("trace: bin: truncated stream (missing end chunk)")
+			}
+			break
+		}
+		if err != nil {
+			readErr = err
+			break
+		}
+		if sawEnd {
+			readErr = fmt.Errorf("trace: bin: data after end chunk")
+			break
+		}
+		switch kind {
+		case binChunkKindJobs:
+			tasks <- task{idx: nChunks, payload: append([]byte(nil), payload...)}
+			nChunks++
+		case binChunkKindEnd:
+			if total, err = decodeBinEnd(payload); err != nil {
+				readErr = err
+			}
+			sawEnd = true
+		case binChunkKindCatalog:
+			readErr = fmt.Errorf("trace: bin: duplicate catalog chunk")
+		default:
+			readErr = fmt.Errorf("trace: bin: unknown chunk kind %q", kind)
+		}
+		if readErr != nil {
+			break
+		}
+	}
+	close(tasks)
+	wg.Wait()
+	if readErr != nil {
+		return nil, readErr
+	}
+	if decErr != nil {
+		return nil, decErr
+	}
+
+	ordered := make([]result, 0, len(results))
+	for i := 0; i < nChunks; i++ {
+		ordered = append(ordered, results[i])
+	}
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a].firstID < ordered[b].firstID })
+	t := &Trace{Files: files, Users: users, Sites: sites}
+	for _, res := range ordered {
+		if res.firstID != int64(len(t.Jobs)) {
+			return nil, fmt.Errorf("trace: bin: job chunk starts at ID %d, want %d", res.firstID, len(t.Jobs))
+		}
+		t.Jobs = append(t.Jobs, res.jobs...)
+	}
+	if uint64(len(t.Jobs)) != total {
+		return nil, fmt.Errorf("trace: bin: end chunk declares %d jobs, stream had %d", total, len(t.Jobs))
+	}
+	return t, nil
+}

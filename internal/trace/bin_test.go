@@ -1,0 +1,352 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBinRoundTrip(t *testing.T) {
+	tr := smallTrace(t)
+	var buf bytes.Buffer
+	if err := WriteBin(&buf, tr); err != nil {
+		t.Fatalf("WriteBin: %v", err)
+	}
+	got, err := ReadBin(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadBin: %v", err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+}
+
+func TestBinRoundTripFuzzSeed(t *testing.T) {
+	tr := fuzzSeedTrace()
+	var buf bytes.Buffer
+	if err := WriteBin(&buf, tr); err != nil {
+		t.Fatalf("WriteBin: %v", err)
+	}
+	got, err := ReadBin(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadBin: %v", err)
+	}
+	// The seed has a job with duplicate input files (two runs) and a job
+	// with a nil input set; both must survive the run-length lists.
+	if !reflect.DeepEqual(got.Jobs[0].Files, []FileID{0, 0, 1}) {
+		t.Errorf("job 0 files = %v", got.Jobs[0].Files)
+	}
+	if got.Jobs[1].Files != nil {
+		t.Errorf("job 1 files = %v, want nil", got.Jobs[1].Files)
+	}
+	if !reflect.DeepEqual(got.Jobs[0].Outputs, []FileID{2}) {
+		t.Errorf("job 0 outputs = %v", got.Jobs[0].Outputs)
+	}
+}
+
+// buildManyJobs returns a trace with enough jobs to span several bin
+// chunks, with heavy file-list sharing (the filecule access pattern).
+func buildManyJobs(tb testing.TB, nJobs int) *Trace {
+	tb.Helper()
+	b := NewBuilder()
+	s := b.Site("s", ".gov", 4)
+	u := b.User("u", s)
+	files := make([]FileID, 60)
+	for i := range files {
+		files[i] = b.File(fileNameN(i), int64(1000+i), Tier(i%NumTiers))
+	}
+	for i := 0; i < nJobs; i++ {
+		set := files[(i*7)%40 : (i*7)%40+1+(i%12)]
+		b.Job(Job{
+			User: u, Site: s, Node: "n" + fileNameN(i%17), Tier: TierThumbnail,
+			Family: FamilyAnalysis, App: "ana", Version: "v" + fileNameN(i%3),
+			Start: t0.Add(time.Duration(i) * time.Minute),
+			End:   t0.Add(time.Duration(i)*time.Minute + time.Hour),
+			Files: set,
+		})
+	}
+	tr := b.Build()
+	if err := tr.Validate(); err != nil {
+		tb.Fatal(err)
+	}
+	return tr
+}
+
+func TestBinMultiChunk(t *testing.T) {
+	tr := buildManyJobs(t, 3*binChunkJobs+77)
+	var buf bytes.Buffer
+	if err := WriteBin(&buf, tr); err != nil {
+		t.Fatalf("WriteBin: %v", err)
+	}
+	got, err := ReadBin(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadBin: %v", err)
+	}
+	if len(got.Jobs) != len(tr.Jobs) {
+		t.Fatalf("got %d jobs, want %d", len(got.Jobs), len(tr.Jobs))
+	}
+	for i := range tr.Jobs {
+		g, w := got.Jobs[i], tr.Jobs[i]
+		if g.ID != w.ID || g.User != w.User || g.Node != w.Node ||
+			!g.Start.Equal(w.Start) || !g.End.Equal(w.End) ||
+			!reflect.DeepEqual(g.Files, w.Files) {
+			t.Fatalf("job %d mismatch:\n got %+v\nwant %+v", i, g, w)
+		}
+	}
+	// Re-encoding a decoded trace must be byte-identical (stable
+	// chunking, interning, and deltas).
+	var buf2 bytes.Buffer
+	if err := WriteBin(&buf2, got); err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("re-encode of decoded trace is not byte-identical")
+	}
+}
+
+// TestReadBinSerialParallelEqual pins ReadBin's two decode paths to the
+// same result: GOMAXPROCS selects between the in-line serial decoder and
+// the worker-pool parallel decoder, so both are forced explicitly — on a
+// single-CPU machine the parallel path would otherwise go untested, and
+// vice versa.
+func TestReadBinSerialParallelEqual(t *testing.T) {
+	tr := buildManyJobs(t, 3*binChunkJobs+77)
+	var buf bytes.Buffer
+	if err := WriteBin(&buf, tr); err != nil {
+		t.Fatalf("WriteBin: %v", err)
+	}
+	decodeAt := func(procs int) (*Trace, error) {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+		return ReadBin(bytes.NewReader(buf.Bytes()))
+	}
+	serial, err := decodeAt(1)
+	if err != nil {
+		t.Fatalf("serial ReadBin: %v", err)
+	}
+	parallel, err := decodeAt(4)
+	if err != nil {
+		t.Fatalf("parallel ReadBin: %v", err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("serial and parallel ReadBin decode differently")
+	}
+	if !reflect.DeepEqual(serial, tr) {
+		t.Error("serial ReadBin does not round-trip the trace")
+	}
+
+	// Both paths must reject the same corruption.
+	corrupt := append([]byte(nil), buf.Bytes()...)
+	corrupt[len(corrupt)/2] ^= 0x20
+	for _, procs := range []int{1, 4} {
+		func() {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+			if _, err := ReadBin(bytes.NewReader(corrupt)); err == nil {
+				t.Errorf("GOMAXPROCS=%d: corrupt stream decoded without error", procs)
+			}
+		}()
+	}
+}
+
+func TestBinSourceStreamsSameJobs(t *testing.T) {
+	tr := buildManyJobs(t, binChunkJobs+50)
+	var buf bytes.Buffer
+	if err := WriteBin(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewBinSource(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("NewBinSource: %v", err)
+	}
+	defer src.Close()
+	if !reflect.DeepEqual(src.Files(), tr.Files) {
+		t.Error("file catalog mismatch")
+	}
+	got, err := Materialize(src)
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Error("streamed trace differs from original")
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Errorf("Next after EOF = %v, want io.EOF", err)
+	}
+}
+
+func TestBinSmallerThanText(t *testing.T) {
+	tr := buildManyJobs(t, 2000)
+	var text, bin bytes.Buffer
+	if err := Write(&text, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBin(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= text.Len() {
+		t.Errorf("bin encoding (%d bytes) not smaller than text (%d bytes)", bin.Len(), text.Len())
+	}
+}
+
+func TestBinRejectsCorruption(t *testing.T) {
+	tr := buildManyJobs(t, 300)
+	var buf bytes.Buffer
+	if err := WriteBin(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	t.Run("bit flip fails CRC", func(t *testing.T) {
+		for _, off := range []int{len(binMagic) + 10, len(valid) / 2, len(valid) - 3} {
+			bad := append([]byte(nil), valid...)
+			bad[off] ^= 0x40
+			if _, err := ReadBin(bytes.NewReader(bad)); err == nil {
+				t.Errorf("corruption at offset %d accepted", off)
+			}
+		}
+	})
+	t.Run("truncation detected", func(t *testing.T) {
+		for _, keep := range []int{len(valid) / 4, len(valid) / 2, len(valid) - 1} {
+			bad := valid[:keep]
+			if _, err := ReadBin(bytes.NewReader(bad)); err == nil {
+				t.Errorf("truncation to %d bytes accepted", len(bad))
+			}
+		}
+	})
+	t.Run("missing end chunk", func(t *testing.T) {
+		// Strip the final chunk: payload = 'E' + uvarint(300) = 3
+		// bytes; framing = 1 length byte + payload + 4 CRC bytes.
+		bad := valid[:len(valid)-8]
+		if _, err := ReadBin(bytes.NewReader(bad)); err == nil ||
+			!strings.Contains(err.Error(), "missing end chunk") {
+			t.Errorf("missing end chunk: err = %v", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), valid...)
+		bad[2] ^= 0xff
+		if _, err := ReadBin(bytes.NewReader(bad)); err == nil ||
+			!strings.Contains(err.Error(), "magic") {
+			t.Errorf("bad magic: err = %v", err)
+		}
+	})
+	t.Run("streaming decoder rejects too", func(t *testing.T) {
+		bad := append([]byte(nil), valid...)
+		bad[len(bad)/2] ^= 0x20
+		src, err := NewBinSource(bytes.NewReader(bad))
+		if err != nil {
+			return // corrupted catalog: rejected at open, fine
+		}
+		for {
+			_, err := src.Next()
+			if err == io.EOF {
+				t.Error("streaming decoder drained corrupted stream cleanly")
+				return
+			}
+			if err != nil {
+				return // rejected, as it must be
+			}
+		}
+	})
+}
+
+func TestBinWriterRejectsBadJobs(t *testing.T) {
+	tr := smallTrace(t)
+	check := func(name string, j Job) {
+		t.Helper()
+		var buf bytes.Buffer
+		bw, err := NewBinWriter(&buf, tr.Files, tr.Users, tr.Sites)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bw.WriteJob(&j); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	check("out of order ID", Job{ID: 5, Start: t0, End: t0})
+	check("unknown user", Job{ID: 0, User: 99, Start: t0, End: t0})
+	check("unknown file", Job{ID: 0, Start: t0, End: t0, Files: []FileID{99}})
+	check("ends before start", Job{ID: 0, Start: t0, End: t0.Add(-time.Hour)})
+}
+
+// TestBinSourceAllocsBounded is the acceptance-criterion check that peak
+// allocation no longer scales with job count when streaming from a binary
+// Source: draining thousands of jobs must cost a bounded number of
+// allocations (catalog + chunk buffers + interned strings), far below one
+// per job.
+func TestBinSourceAllocsBounded(t *testing.T) {
+	drainAllocs := func(nJobs int) float64 {
+		tr := buildManyJobs(t, nJobs)
+		var buf bytes.Buffer
+		if err := WriteBin(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		data := buf.Bytes()
+		return testing.AllocsPerRun(3, func() {
+			src, err := NewBinSource(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 0
+			for {
+				j, err := src.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				n += len(j.Files)
+			}
+			src.Close()
+		})
+	}
+	small := drainAllocs(binChunkJobs)
+	large := drainAllocs(8 * binChunkJobs)
+	// The allocations are the catalog, the interned strings, and the
+	// chunk-buffer high-water mark — all independent of job count, so an
+	// 8x larger trace must not cost meaningfully more (2x slack covers
+	// buffer-growth noise), and the absolute count must sit far below
+	// one allocation per job.
+	if large > 2*small+64 {
+		t.Errorf("allocations scale with job count: %d jobs -> %.0f, %d jobs -> %.0f",
+			binChunkJobs, small, 8*binChunkJobs, large)
+	}
+	if perJob := large / float64(8*binChunkJobs); perJob > 0.25 {
+		t.Errorf("draining allocates %.2f per job (want amortized ~0)", perJob)
+	}
+}
+
+func TestReadAutoDetectsBinAndGzip(t *testing.T) {
+	tr := smallTrace(t)
+	var bin bytes.Buffer
+	if err := WriteBin(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAuto(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAuto(bin): %v", err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Error("ReadAuto(bin) mismatch")
+	}
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	if _, err := zw.Write(bin.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadAuto(bytes.NewReader(gz.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAuto(gzip bin): %v", err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Error("ReadAuto(gzip bin) mismatch")
+	}
+}

@@ -79,6 +79,16 @@ func (b *Builder) SimpleJob(user UserID, site SiteID, start time.Time, files []F
 	})
 }
 
+// Files returns the file catalog built so far. The slice is shared with the
+// builder; callers must not mutate it.
+func (b *Builder) Files() []File { return b.t.Files }
+
+// Users returns the user catalog built so far (shared, read-only).
+func (b *Builder) Users() []User { return b.t.Users }
+
+// Sites returns the site catalog built so far (shared, read-only).
+func (b *Builder) Sites() []Site { return b.t.Sites }
+
 // Build finalizes and returns the trace, sorting jobs by start time. The
 // Builder must not be reused afterwards.
 func (b *Builder) Build() *Trace {

@@ -4,9 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"strconv"
 	"strings"
-	"time"
 )
 
 // The on-disk trace format is a line-oriented text format, one record per
@@ -28,55 +26,98 @@ const formatHeader = "#filecule-trace v1"
 
 // Write serializes t in the v1 text format.
 func Write(w io.Writer, t *Trace) error {
+	tw, err := NewTextWriter(w, t.Files, t.Users, t.Sites)
+	if err != nil {
+		return err
+	}
+	for i := range t.Jobs {
+		if err := tw.WriteJob(&t.Jobs[i]); err != nil {
+			return err
+		}
+	}
+	return tw.Close()
+}
+
+// TextWriter incrementally emits the v1 text format: the catalogs are
+// written at construction, then one J record per WriteJob call. It is the
+// text counterpart of BinWriter, so job streams encode in either codec
+// through the same JobWriter interface without ever materializing a Trace.
+type TextWriter struct {
+	bw  *bufio.Writer
+	n   int64 // jobs written, for error positions
+	err error // sticky
+}
+
+// NewTextWriter writes the header and catalog records and returns a writer
+// ready to accept jobs.
+func NewTextWriter(w io.Writer, files []File, users []User, sites []Site) (*TextWriter, error) {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	fmt.Fprintln(bw, formatHeader)
-	for i := range t.Sites {
-		s := &t.Sites[i]
+	for i := range sites {
+		s := &sites[i]
 		if err := checkName(s.Name); err != nil {
-			return fmt.Errorf("trace: site %d: %w", i, err)
+			return nil, fmt.Errorf("trace: site %d: %w", i, err)
 		}
 		fmt.Fprintf(bw, "S %d %s %s %d\n", s.ID, s.Name, s.Domain, s.Nodes)
 	}
-	for i := range t.Users {
-		u := &t.Users[i]
+	for i := range users {
+		u := &users[i]
 		if err := checkName(u.Name); err != nil {
-			return fmt.Errorf("trace: user %d: %w", i, err)
+			return nil, fmt.Errorf("trace: user %d: %w", i, err)
 		}
 		fmt.Fprintf(bw, "U %d %s %d\n", u.ID, u.Name, u.Site)
 	}
-	for i := range t.Files {
-		f := &t.Files[i]
+	for i := range files {
+		f := &files[i]
 		if err := checkName(f.Name); err != nil {
-			return fmt.Errorf("trace: file %d: %w", i, err)
+			return nil, fmt.Errorf("trace: file %d: %w", i, err)
 		}
 		fmt.Fprintf(bw, "F %d %s %d %s\n", f.ID, f.Name, f.Size, f.Tier)
 	}
-	for i := range t.Jobs {
-		j := &t.Jobs[i]
-		if err := checkName(j.Node); err != nil {
-			return fmt.Errorf("trace: job %d node: %w", i, err)
-		}
-		if err := checkName(j.App); err != nil {
-			return fmt.Errorf("trace: job %d app: %w", i, err)
-		}
-		if err := checkName(j.Version); err != nil {
-			return fmt.Errorf("trace: job %d version: %w", i, err)
-		}
-		fmt.Fprintf(bw, "J %d %d %d %s %s %s %s %s %d %d %d",
-			j.ID, j.User, j.Site, j.Node, j.Tier, j.Family, j.App, j.Version,
-			j.Start.Unix(), j.End.Unix(), len(j.Files))
-		for _, f := range j.Files {
-			fmt.Fprintf(bw, " %d", f)
-		}
-		if len(j.Outputs) > 0 {
-			fmt.Fprintf(bw, " %d", len(j.Outputs))
-			for _, f := range j.Outputs {
-				fmt.Fprintf(bw, " %d", f)
-			}
-		}
-		fmt.Fprintln(bw)
+	return &TextWriter{bw: bw}, nil
+}
+
+// WriteJob appends one J record. Errors are sticky.
+func (tw *TextWriter) WriteJob(j *Job) error {
+	if tw.err != nil {
+		return tw.err
 	}
-	return bw.Flush()
+	i := tw.n
+	if err := checkName(j.Node); err != nil {
+		tw.err = fmt.Errorf("trace: job %d node: %w", i, err)
+		return tw.err
+	}
+	if err := checkName(j.App); err != nil {
+		tw.err = fmt.Errorf("trace: job %d app: %w", i, err)
+		return tw.err
+	}
+	if err := checkName(j.Version); err != nil {
+		tw.err = fmt.Errorf("trace: job %d version: %w", i, err)
+		return tw.err
+	}
+	fmt.Fprintf(tw.bw, "J %d %d %d %s %s %s %s %s %d %d %d",
+		j.ID, j.User, j.Site, j.Node, j.Tier, j.Family, j.App, j.Version,
+		j.Start.Unix(), j.End.Unix(), len(j.Files))
+	for _, f := range j.Files {
+		fmt.Fprintf(tw.bw, " %d", f)
+	}
+	if len(j.Outputs) > 0 {
+		fmt.Fprintf(tw.bw, " %d", len(j.Outputs))
+		for _, f := range j.Outputs {
+			fmt.Fprintf(tw.bw, " %d", f)
+		}
+	}
+	fmt.Fprintln(tw.bw)
+	tw.n++
+	return nil
+}
+
+// Close flushes buffered records. The underlying writer is not closed.
+func (tw *TextWriter) Close() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	return tw.bw.Flush()
 }
 
 func checkName(s string) error {
@@ -89,174 +130,13 @@ func checkName(s string) error {
 	return nil
 }
 
-// Read parses a trace in the v1 text format and validates it.
+// Read parses a trace in the v1 text format and validates it. It is the
+// materializing convenience over NewScanner; streaming consumers should use
+// NewScanner (or NewSource for format auto-detection) directly.
 func Read(r io.Reader) (*Trace, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<26)
-	if !sc.Scan() {
-		if err := sc.Err(); err != nil {
-			return nil, err
-		}
-		return nil, fmt.Errorf("trace: empty input")
-	}
-	if strings.TrimSpace(sc.Text()) != formatHeader {
-		return nil, fmt.Errorf("trace: bad header %q (want %q)", sc.Text(), formatHeader)
-	}
-	t := &Trace{}
-	line := 1
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		fields := strings.Fields(text)
-		var err error
-		switch fields[0] {
-		case "S":
-			err = parseSite(t, fields[1:])
-		case "U":
-			err = parseUser(t, fields[1:])
-		case "F":
-			err = parseFile(t, fields[1:])
-		case "J":
-			err = parseJob(t, fields[1:])
-		default:
-			err = fmt.Errorf("unknown record kind %q", fields[0])
-		}
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", line, err)
-		}
-	}
-	if err := sc.Err(); err != nil {
+	s, err := NewScanner(r)
+	if err != nil {
 		return nil, err
 	}
-	if err := t.Validate(); err != nil {
-		return nil, err
-	}
-	return t, nil
-}
-
-func parseSite(t *Trace, f []string) error {
-	if len(f) != 4 {
-		return fmt.Errorf("site record needs 4 fields, got %d", len(f))
-	}
-	id, err := strconv.Atoi(f[0])
-	if err != nil || id != len(t.Sites) {
-		return fmt.Errorf("bad or out-of-order site ID %q", f[0])
-	}
-	nodes, err := strconv.Atoi(f[3])
-	if err != nil {
-		return fmt.Errorf("bad node count %q", f[3])
-	}
-	t.Sites = append(t.Sites, Site{ID: SiteID(id), Name: f[1], Domain: f[2], Nodes: nodes})
-	return nil
-}
-
-func parseUser(t *Trace, f []string) error {
-	if len(f) != 3 {
-		return fmt.Errorf("user record needs 3 fields, got %d", len(f))
-	}
-	id, err := strconv.Atoi(f[0])
-	if err != nil || id != len(t.Users) {
-		return fmt.Errorf("bad or out-of-order user ID %q", f[0])
-	}
-	site, err := strconv.Atoi(f[2])
-	if err != nil {
-		return fmt.Errorf("bad site ID %q", f[2])
-	}
-	t.Users = append(t.Users, User{ID: UserID(id), Name: f[1], Site: SiteID(site)})
-	return nil
-}
-
-func parseFile(t *Trace, f []string) error {
-	if len(f) != 4 {
-		return fmt.Errorf("file record needs 4 fields, got %d", len(f))
-	}
-	id, err := strconv.Atoi(f[0])
-	if err != nil || id != len(t.Files) {
-		return fmt.Errorf("bad or out-of-order file ID %q", f[0])
-	}
-	size, err := strconv.ParseInt(f[2], 10, 64)
-	if err != nil {
-		return fmt.Errorf("bad size %q", f[2])
-	}
-	tier, ok := ParseTier(f[3])
-	if !ok {
-		return fmt.Errorf("bad tier %q", f[3])
-	}
-	t.Files = append(t.Files, File{ID: FileID(id), Name: f[1], Size: size, Tier: tier})
-	return nil
-}
-
-func parseJob(t *Trace, f []string) error {
-	if len(f) < 11 {
-		return fmt.Errorf("job record needs at least 11 fields, got %d", len(f))
-	}
-	id, err := strconv.Atoi(f[0])
-	if err != nil || id != len(t.Jobs) {
-		return fmt.Errorf("bad or out-of-order job ID %q", f[0])
-	}
-	user, err := strconv.Atoi(f[1])
-	if err != nil {
-		return fmt.Errorf("bad user ID %q", f[1])
-	}
-	site, err := strconv.Atoi(f[2])
-	if err != nil {
-		return fmt.Errorf("bad site ID %q", f[2])
-	}
-	tier, ok := ParseTier(f[4])
-	if !ok {
-		return fmt.Errorf("bad tier %q", f[4])
-	}
-	family, ok := ParseAppFamily(f[5])
-	if !ok {
-		return fmt.Errorf("bad family %q", f[5])
-	}
-	start, err := strconv.ParseInt(f[8], 10, 64)
-	if err != nil {
-		return fmt.Errorf("bad start time %q", f[8])
-	}
-	end, err := strconv.ParseInt(f[9], 10, 64)
-	if err != nil {
-		return fmt.Errorf("bad end time %q", f[9])
-	}
-	n, err := strconv.Atoi(f[10])
-	if err != nil || n < 0 {
-		return fmt.Errorf("bad file count %q", f[10])
-	}
-	if len(f) < 11+n {
-		return fmt.Errorf("job declares %d files but has %d file fields", n, len(f)-11)
-	}
-	files := make([]FileID, n)
-	for i := 0; i < n; i++ {
-		fid, err := strconv.Atoi(f[11+i])
-		if err != nil {
-			return fmt.Errorf("bad file ID %q", f[11+i])
-		}
-		files[i] = FileID(fid)
-	}
-	var outputs []FileID
-	rest := f[11+n:]
-	if len(rest) > 0 {
-		nout, err := strconv.Atoi(rest[0])
-		if err != nil || nout < 0 || len(rest) != 1+nout {
-			return fmt.Errorf("bad output block %v", rest)
-		}
-		outputs = make([]FileID, nout)
-		for i := 0; i < nout; i++ {
-			fid, err := strconv.Atoi(rest[1+i])
-			if err != nil {
-				return fmt.Errorf("bad output file ID %q", rest[1+i])
-			}
-			outputs[i] = FileID(fid)
-		}
-	}
-	t.Jobs = append(t.Jobs, Job{
-		ID: JobID(id), User: UserID(user), Site: SiteID(site), Node: f[3],
-		Tier: tier, Family: family, App: f[6], Version: f[7],
-		Start: time.Unix(start, 0).UTC(), End: time.Unix(end, 0).UTC(),
-		Files: files, Outputs: outputs,
-	})
-	return nil
+	return Materialize(s)
 }

@@ -6,9 +6,10 @@ import (
 	"io"
 )
 
-// Gzip framing for the v1 text format: WriteGzip compresses, ReadAuto
-// transparently handles both plain and gzip-compressed inputs (detected by
-// the gzip magic bytes), so tools accept either without flags.
+// Format auto-detection: tools accept v1 text, filecule-bin/v1, and gzip
+// framing of either, without flags. Gzip is detected by its magic bytes,
+// the binary format by its magic line; everything else is treated as text
+// (whose own header check produces the error message).
 
 // WriteGzip serializes t in the v1 text format, gzip-compressed.
 func WriteGzip(w io.Writer, t *Trace) error {
@@ -20,7 +21,9 @@ func WriteGzip(w io.Writer, t *Trace) error {
 	return zw.Close()
 }
 
-// ReadAuto parses a trace from plain or gzip-compressed v1 input.
+// ReadAuto parses a trace from v1 text, filecule-bin/v1, or a
+// gzip-compressed stream of either. Binary input takes the parallel
+// chunk-decode path (ReadBin).
 func ReadAuto(r io.Reader) (*Trace, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	magic, err := br.Peek(2)
@@ -30,7 +33,82 @@ func ReadAuto(r io.Reader) (*Trace, error) {
 			return nil, err
 		}
 		defer zr.Close()
-		return Read(zr)
+		return readPlain(bufio.NewReaderSize(zr, 1<<16))
+	}
+	return readPlain(br)
+}
+
+func readPlain(br *bufio.Reader) (*Trace, error) {
+	if isBinMagic(br) {
+		return ReadBin(br)
 	}
 	return Read(br)
+}
+
+func isBinMagic(br *bufio.Reader) bool {
+	head, _ := br.Peek(len(binMagic))
+	return string(head) == binMagic
+}
+
+// DetectFormat reports which codec the stream holds — "bin" if it starts
+// with the filecule-bin magic, "text" otherwise — transparently looking
+// through gzip framing. It consumes r; reopen the stream to parse it.
+func DetectFormat(r io.Reader) (string, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic, err := br.Peek(2)
+	if err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return "", err
+		}
+		defer zr.Close()
+		br = bufio.NewReaderSize(zr, 1<<16)
+	}
+	if isBinMagic(br) {
+		return "bin", nil
+	}
+	return "text", nil
+}
+
+// NewSource opens a streaming Source over r with the same auto-detection
+// as ReadAuto: text input yields a Scanner, binary input a BinSource, and
+// gzip framing of either is unwrapped transparently. Closing the returned
+// source also closes the gzip reader when one was opened.
+func NewSource(r io.Reader) (Source, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic, err := br.Peek(2)
+	if err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, err
+		}
+		src, err := newPlainSource(bufio.NewReaderSize(zr, 1<<16))
+		if err != nil {
+			zr.Close()
+			return nil, err
+		}
+		return &closerSource{Source: src, c: zr}, nil
+	}
+	return newPlainSource(br)
+}
+
+func newPlainSource(br *bufio.Reader) (Source, error) {
+	if isBinMagic(br) {
+		return NewBinSource(br)
+	}
+	return NewScanner(br)
+}
+
+// closerSource couples a Source with an auxiliary closer (a gzip reader).
+type closerSource struct {
+	Source
+	c io.Closer
+}
+
+func (s *closerSource) Close() error {
+	err := s.Source.Close()
+	if cerr := s.c.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -33,17 +33,27 @@ func (t *Trace) Requests() []Request {
 // appendJobRequests emits one Request per input file of j, spaced uniformly
 // over [Start, End).
 func appendJobRequests(out *[]Request, j *Job) {
+	*out = AppendRequests(*out, j)
+}
+
+// AppendRequests appends one Request per input file of j to dst, spaced
+// uniformly over [Start, End) exactly as Requests does. Streaming consumers
+// use it to expand a job stream into a request stream without materializing
+// a Trace; stable-sorting the accumulated requests by time then reproduces
+// Requests byte for byte when jobs arrive in Jobs order.
+func AppendRequests(dst []Request, j *Job) []Request {
 	n := len(j.Files)
 	if n == 0 {
-		return
+		return dst
 	}
 	dur := j.End.Sub(j.Start)
 	step := dur / time.Duration(n)
 	at := j.Start
 	for _, f := range j.Files {
-		*out = append(*out, Request{Time: at, Job: j.ID, File: f})
+		dst = append(dst, Request{Time: at, Job: j.ID, File: f})
 		at = at.Add(step)
 	}
+	return dst
 }
 
 // RequestsOf returns the time-ordered request stream restricted to the given
