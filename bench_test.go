@@ -20,6 +20,7 @@ import (
 
 	"filecule/internal/cache"
 	"filecule/internal/core"
+	"filecule/internal/durable"
 	"filecule/internal/experiments"
 	"filecule/internal/server"
 	"filecule/internal/sim"
@@ -350,6 +351,29 @@ func BenchmarkObserveEngineBatch(b *testing.B) {
 		e.ObserveBatch(batches[i%len(batches)])
 	}
 	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchmarkObserveWAL is BenchmarkObserveEngine with the durability layer
+// in front: each observe run-encodes its file list into the in-memory
+// group-commit batch before touching the engine; the fsync happens on the
+// committer goroutine's cadence, off the hot path. ObserveWAL over
+// ObserveEngine is bounded by the benchgate's -wal-overhead-ceiling.
+func BenchmarkObserveWAL(b *testing.B) {
+	t := benchRunner.Trace()
+	d, err := durable.Open(durable.Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	d.Core().ObserveTrace(t)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Observe(t.Jobs[i%len(t.Jobs)].Files); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 }
 
 // The Snapshot pair measures the observe-then-snapshot cycle: one job in,

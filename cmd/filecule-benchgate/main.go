@@ -67,6 +67,7 @@ func run(args []string, stdout io.Writer) error {
 		speedupFloor = fs.Float64("speedup-floor", 3, "required SweepEngine over SweepSequential wall-clock ratio (0 disables)")
 		observeFloor = fs.Float64("observe-speedup-floor", 4, "required ObserveEngineParallel over ObserveRefiner wall-clock ratio (0 disables)")
 		decodeFloor  = fs.Float64("decode-speedup-floor", 2, "required DecodeBin over DecodeText wall-clock ratio (0 disables)")
+		walCeiling   = fs.Float64("wal-overhead-ceiling", 10, "allowed ObserveWAL over ObserveEngine slowdown ratio (0 disables)")
 		update       = fs.Bool("update", false, "rewrite the baseline from the report instead of gating")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -119,6 +120,8 @@ func run(args []string, stdout io.Writer) error {
 		{fast: "SweepEngine", slow: "SweepSequential", floor: *speedupFloor},
 		{fast: "ObserveEngineParallel", slow: "ObserveRefiner", floor: *observeFloor},
 		{fast: "DecodeBin", slow: "DecodeText", floor: *decodeFloor},
+	}, []overheadPair{
+		{wrapped: "ObserveWAL", bare: "ObserveEngine", ceiling: *walCeiling},
 	})
 	if len(violations) > 0 {
 		for _, v := range violations {
@@ -218,8 +221,21 @@ type speedupPair struct {
 	floor      float64
 }
 
+// overheadPair names a wrapped/bare benchmark pair whose within-run
+// wall-clock ratio must stay at or below ceiling — the inverse of a
+// speedupPair, for features that add cost (durability) rather than remove
+// it. The default ObserveWAL ceiling is sized for a single-core CI runner,
+// where the WAL committer's encode and write() serialize with the observe
+// path instead of overlapping on another core: measured ~4.5x on a quiet
+// 1-vCPU host and ~6.7x under full-suite load, so 10x flags a real
+// regression without tripping on runner noise.
+type overheadPair struct {
+	wrapped, bare string
+	ceiling       float64
+}
+
 // gate compares a report against the baseline and returns all violations.
-func gate(base, rep *Report, tolerance float64, pairs []speedupPair) []string {
+func gate(base, rep *Report, tolerance float64, pairs []speedupPair, ceilings []overheadPair) []string {
 	var out []string
 	byName := make(map[string]Benchmark, len(rep.Benchmarks))
 	for _, b := range rep.Benchmarks {
@@ -267,6 +283,22 @@ func gate(base, rep *Report, tolerance float64, pairs []speedupPair) []string {
 			if ratio := slow.Metrics["ns/op"] / fast.Metrics["ns/op"]; ratio < p.floor {
 				out = append(out, fmt.Sprintf(
 					"%s only %.2fx faster than %s, floor %gx", p.fast, ratio, p.slow, p.floor))
+			}
+		}
+	}
+
+	// Features that tax a hot path must keep the tax bounded, again within
+	// one run.
+	for _, p := range ceilings {
+		if p.ceiling <= 0 {
+			continue
+		}
+		wrapped, wok := byName[p.wrapped]
+		bare, bok := byName[p.bare]
+		if wok && bok && bare.Metrics["ns/op"] > 0 {
+			if ratio := wrapped.Metrics["ns/op"] / bare.Metrics["ns/op"]; ratio > p.ceiling {
+				out = append(out, fmt.Sprintf(
+					"%s is %.2fx slower than %s, ceiling %gx", p.wrapped, ratio, p.bare, p.ceiling))
 			}
 		}
 	}

@@ -64,7 +64,7 @@ func sweepPairOnly(floor float64) []speedupPair {
 func TestGateWithinTolerance(t *testing.T) {
 	base, rep := report(t), report(t)
 	scaleBench(rep, "ServerAdvise", "ns/op", 1.10) // +10% < 15% band
-	if v := gate(base, rep, 0.15, sweepPairOnly(3)); len(v) != 0 {
+	if v := gate(base, rep, 0.15, sweepPairOnly(3), nil); len(v) != 0 {
 		t.Errorf("unexpected violations: %v", v)
 	}
 }
@@ -72,7 +72,7 @@ func TestGateWithinTolerance(t *testing.T) {
 func TestGateNsOpRegression(t *testing.T) {
 	base, rep := report(t), report(t)
 	scaleBench(rep, "ServerAdvise", "ns/op", 1.30)
-	v := gate(base, rep, 0.15, sweepPairOnly(3))
+	v := gate(base, rep, 0.15, sweepPairOnly(3), nil)
 	if len(v) != 1 || !strings.Contains(v[0], "ServerAdvise") || !strings.Contains(v[0], "ns/op") {
 		t.Errorf("want one ServerAdvise ns/op violation, got %v", v)
 	}
@@ -82,7 +82,7 @@ func TestGateBytesRegressionAndMissing(t *testing.T) {
 	base, rep := report(t), report(t)
 	scaleBench(rep, "SweepEngine", "B/op", 2)
 	rep.Benchmarks = rep.Benchmarks[:2] // drop ServerAdvise
-	v := gate(base, rep, 0.15, nil)
+	v := gate(base, rep, 0.15, nil, nil)
 	if len(v) != 2 {
 		t.Fatalf("want B/op + missing-benchmark violations, got %v", v)
 	}
@@ -93,7 +93,7 @@ func TestGateSpeedupFloor(t *testing.T) {
 	// Slow the engine until the in-report ratio drops under the floor.
 	scaleBench(rep, "SweepEngine", "ns/op", 4) // ratio ~9.4/4 = 2.4 < 3
 	// Keep ns/op within band by relaxing tolerance; only the floor fires.
-	v := gate(base, rep, 10, sweepPairOnly(3))
+	v := gate(base, rep, 10, sweepPairOnly(3), nil)
 	if len(v) != 1 || !strings.Contains(v[0], "faster than SweepSequential") {
 		t.Errorf("want speedup-floor violation, got %v", v)
 	}
@@ -107,10 +107,10 @@ func TestGateObserveSpeedupFloor(t *testing.T) {
 		}}
 	}
 	pairs := []speedupPair{{fast: "ObserveEngineParallel", slow: "ObserveRefiner", floor: 4}}
-	if v := gate(mk(2400, 300), mk(2400, 300), 0.15, pairs); len(v) != 0 {
+	if v := gate(mk(2400, 300), mk(2400, 300), 0.15, pairs, nil); len(v) != 0 {
 		t.Errorf("8x observe speedup must pass a 4x floor, got %v", v)
 	}
-	v := gate(mk(2400, 300), mk(2400, 900), 10, pairs)
+	v := gate(mk(2400, 300), mk(2400, 900), 10, pairs, nil)
 	if len(v) != 1 || !strings.Contains(v[0], "faster than ObserveRefiner") {
 		t.Errorf("want observe speedup-floor violation, got %v", v)
 	}
@@ -124,12 +124,42 @@ func TestGateDecodeSpeedupFloor(t *testing.T) {
 		}}
 	}
 	pairs := []speedupPair{{fast: "DecodeBin", slow: "DecodeText", floor: 2}}
-	if v := gate(mk(1400, 600), mk(1400, 600), 0.15, pairs); len(v) != 0 {
+	if v := gate(mk(1400, 600), mk(1400, 600), 0.15, pairs, nil); len(v) != 0 {
 		t.Errorf("2.3x decode speedup must pass a 2x floor, got %v", v)
 	}
-	v := gate(mk(1400, 600), mk(1400, 800), 10, pairs)
+	v := gate(mk(1400, 600), mk(1400, 800), 10, pairs, nil)
 	if len(v) != 1 || !strings.Contains(v[0], "faster than DecodeText") {
 		t.Errorf("want decode speedup-floor violation, got %v", v)
+	}
+}
+
+func TestGateWalOverheadCeiling(t *testing.T) {
+	mk := func(bare, wrapped float64) *Report {
+		return &Report{Schema: BenchSchema, Benchmarks: []Benchmark{
+			{Name: "ObserveEngine", Iterations: 1, Metrics: map[string]float64{"ns/op": bare}},
+			{Name: "ObserveWAL", Iterations: 1, Metrics: map[string]float64{"ns/op": wrapped}},
+		}}
+	}
+	ceilings := []overheadPair{{wrapped: "ObserveWAL", bare: "ObserveEngine", ceiling: 8}}
+	if v := gate(mk(220, 1200), mk(220, 1200), 0.15, nil, ceilings); len(v) != 0 {
+		t.Errorf("5.5x WAL overhead must pass an 8x ceiling, got %v", v)
+	}
+	v := gate(mk(220, 1200), mk(220, 2000), 10, nil, ceilings)
+	if len(v) != 1 || !strings.Contains(v[0], "slower than ObserveEngine") {
+		t.Errorf("want wal-overhead-ceiling violation, got %v", v)
+	}
+	// ceiling 0 disables the check entirely.
+	off := []overheadPair{{wrapped: "ObserveWAL", bare: "ObserveEngine", ceiling: 0}}
+	if v := gate(mk(220, 9000), mk(220, 9000), 10, nil, off); len(v) != 0 {
+		t.Errorf("disabled ceiling must not fire, got %v", v)
+	}
+	// A report missing either side of the pair is gated only by the
+	// baseline-presence checks, not the ratio.
+	half := &Report{Schema: BenchSchema, Benchmarks: []Benchmark{
+		{Name: "ObserveEngine", Iterations: 1, Metrics: map[string]float64{"ns/op": 220}},
+	}}
+	if v := gate(half, half, 0.15, nil, ceilings); len(v) != 0 {
+		t.Errorf("absent pair must not fire the ceiling, got %v", v)
 	}
 }
 
@@ -147,16 +177,16 @@ func TestGateSweepExactness(t *testing.T) {
 	base, rep := report(t), report(t)
 	base.Sweep = sweepFixture(40)
 	rep.Sweep = sweepFixture(41) // off by a single miss
-	v := gate(base, rep, 0.15, nil)
+	v := gate(base, rep, 0.15, nil, nil)
 	if len(v) != 1 || !strings.Contains(v[0], "lru/file/1TB") {
 		t.Errorf("want exact sweep-cell violation, got %v", v)
 	}
 	rep.Sweep = sweepFixture(40)
-	if v := gate(base, rep, 0.15, nil); len(v) != 0 {
+	if v := gate(base, rep, 0.15, nil, nil); len(v) != 0 {
 		t.Errorf("identical sweeps must pass, got %v", v)
 	}
 	rep.Sweep = nil
-	if v := gate(base, rep, 0.15, nil); len(v) != 1 {
+	if v := gate(base, rep, 0.15, nil, nil); len(v) != 1 {
 		t.Errorf("missing sweep section must fail, got %v", v)
 	}
 }
@@ -166,7 +196,7 @@ func TestGateSweepWorkloadChange(t *testing.T) {
 	base.Sweep = sweepFixture(40)
 	rep.Sweep = sweepFixture(40)
 	rep.Sweep.Scale = 0.05
-	v := gate(base, rep, 0.15, nil)
+	v := gate(base, rep, 0.15, nil, nil)
 	if len(v) != 1 || !strings.Contains(v[0], "workload changed") {
 		t.Errorf("want workload-change violation, got %v", v)
 	}

@@ -161,9 +161,11 @@ func runSweep(wl cli.Workload, scale float64, sizes, policies, grans string, wor
 
 	w := stdout
 	if out != "-" && out != "" {
-		f, err := os.Create(out)
-		if err != nil {
-			return err
+		// Don't shadow the named return: the deferred Close must be able to
+		// surface buffered-write failures (full disk) as the sweep's error.
+		f, cerr := os.Create(out)
+		if cerr != nil {
+			return cerr
 		}
 		defer func() {
 			if cerr := f.Close(); cerr != nil && err == nil {

@@ -29,6 +29,7 @@ import (
 
 	"filecule/internal/cli"
 	"filecule/internal/core"
+	"filecule/internal/durable"
 	"filecule/internal/server"
 	"filecule/internal/trace"
 )
@@ -47,8 +48,16 @@ func main() {
 		grace    = flag.Duration("shutdown-grace", 10*time.Second, "request-draining bound on shutdown")
 		rdTO     = flag.Duration("read-timeout", 30*time.Second, "HTTP read timeout")
 		wrTO     = flag.Duration("write-timeout", 60*time.Second, "HTTP write timeout")
+		stateDir = flag.String("state-dir", "", "durable state directory (checkpoints + write-ahead log; empty = in-memory only)")
+		ckptInt  = flag.Duration("checkpoint-interval", 0, "background checkpoint cadence (requires -state-dir; 0 = 30s with a state dir)")
+		walSync  = flag.String("wal-sync", "50ms", "WAL group-commit cadence, or \"commit\" to fsync before acknowledging every observe")
 	)
 	flag.Parse()
+
+	dopts, err := durableOptions(*stateDir, *ckptInt, *walSync, *shards)
+	if err != nil {
+		fatal(err)
+	}
 
 	t := loadOrGen(*path, *seed, *scale)
 	cfg := server.Config{
@@ -61,12 +70,36 @@ func main() {
 	}
 
 	if *selftest {
-		if err := runSelftest(cfg, t, *clients, *batch); err != nil {
+		err := error(nil)
+		if dopts != nil {
+			err = runSelftestDurable(cfg, t, *clients, *batch, *dopts)
+		} else {
+			err = runSelftest(cfg, t, *clients, *batch)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "selftest FAILED:", err)
 			os.Exit(1)
 		}
 		fmt.Println("selftest PASSED")
 		return
+	}
+
+	if dopts != nil {
+		d, err := durable.Open(*dopts)
+		if err != nil {
+			fatal(err)
+		}
+		printRecovery(*stateDir, d.Recovery())
+		cfg.Durable = d
+		defer func() {
+			if err := d.Checkpoint(); err != nil {
+				fmt.Fprintln(os.Stderr, "filecule-serve: shutdown checkpoint:", err)
+			}
+			if err := d.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "filecule-serve: closing state:", err)
+				os.Exit(1)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -83,6 +116,56 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("filecule-serve: drained and stopped")
+}
+
+// durableOptions validates the durability flag set. A nil result means the
+// server runs in-memory only.
+func durableOptions(dir string, ckptInt time.Duration, walSync string, shards int) (*durable.Options, error) {
+	if dir == "" {
+		if ckptInt != 0 {
+			return nil, fmt.Errorf("filecule-serve: -checkpoint-interval requires -state-dir")
+		}
+		return nil, nil
+	}
+	if ckptInt < 0 {
+		return nil, fmt.Errorf("filecule-serve: negative -checkpoint-interval %v", ckptInt)
+	}
+	if ckptInt == 0 {
+		ckptInt = 30 * time.Second
+	}
+	opts := &durable.Options{
+		Dir:                dir,
+		Shards:             shards,
+		CheckpointInterval: ckptInt,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "filecule-serve: "+format+"\n", args...)
+		},
+	}
+	if walSync == "commit" {
+		opts.SyncCommit = true
+	} else {
+		d, err := time.ParseDuration(walSync)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("filecule-serve: -wal-sync must be a positive duration or \"commit\" (got %q)", walSync)
+		}
+		opts.SyncInterval = d
+	}
+	return opts, nil
+}
+
+func printRecovery(dir string, rec durable.Recovery) {
+	if rec.Fresh {
+		fmt.Printf("filecule-serve: initialized fresh state in %s\n", dir)
+		return
+	}
+	fmt.Printf("filecule-serve: recovered %d jobs from %s (checkpoint epoch %d at %d jobs + %d WAL jobs replayed)\n",
+		rec.Observed, dir, rec.CheckpointEpoch, rec.CheckpointObserved, rec.ReplayedJobs)
+	if rec.TruncatedBytes > 0 {
+		fmt.Fprintf(os.Stderr, "filecule-serve: dropped %d bytes of torn WAL tail\n", rec.TruncatedBytes)
+	}
+	if rec.SkippedCheckpoints > 0 {
+		fmt.Fprintf(os.Stderr, "filecule-serve: skipped %d corrupt checkpoint(s)\n", rec.SkippedCheckpoints)
+	}
 }
 
 func loadOrGen(path string, seed int64, scale float64) *trace.Trace {
@@ -158,6 +241,137 @@ func runSelftest(cfg server.Config, t *trace.Trace, clients, batch int) error {
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	return nil
+}
+
+// runSelftestDurable verifies the crash-safety wiring end to end: it serves
+// the first half of the trace with durability on, checkpoints through the
+// admin endpoint, tears the whole stack down, then recovers from the state
+// directory and checks the reconstructed partition is byte-identical to
+// batch identification over the first half before replaying the rest.
+func runSelftestDurable(cfg server.Config, t *trace.Trace, clients, batch int, opts durable.Options) error {
+	half := len(t.Jobs) / 2
+	firstHalf := &trace.Trace{Files: t.Files, Jobs: t.Jobs[:half]}
+	secondHalf := &trace.Trace{Files: t.Files, Jobs: t.Jobs[half:]}
+	catalog := &trace.Trace{Files: t.Files}
+
+	fmt.Printf("selftest (durable): %d jobs, %d files, restart after %d jobs, state dir %s\n",
+		len(t.Jobs), len(t.Files), half, opts.Dir)
+
+	// Phase 1: replay the first half, checkpoint via the admin endpoint,
+	// shut everything down.
+	err := withDurableServer(cfg, opts, func(base string, d *durable.Engine) error {
+		gen := &server.LoadGen{BaseURL: base, Clients: clients, BatchSize: batch}
+		if _, err := gen.Replay(firstHalf); err != nil {
+			return err
+		}
+		resp, err := http.Post(base+"/v1/admin/checkpoint", "application/json", nil)
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("admin checkpoint: HTTP %d", resp.StatusCode)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("phase 1: %w", err)
+	}
+
+	// Phase 2: recover, verify the reconstructed state, finish the trace.
+	err = withDurableServer(cfg, opts, func(base string, d *durable.Engine) error {
+		rec := d.Recovery()
+		if rec.Fresh {
+			return fmt.Errorf("recovery found no prior state in %s", opts.Dir)
+		}
+		if rec.Observed != int64(half) {
+			return fmt.Errorf("recovered %d jobs, want %d", rec.Observed, half)
+		}
+		fmt.Printf("recovery: %d jobs (checkpoint epoch %d at %d jobs + %d WAL jobs replayed)\n",
+			rec.Observed, rec.CheckpointEpoch, rec.CheckpointObserved, rec.ReplayedJobs)
+
+		want, err := server.PartitionJSON(core.Identify(firstHalf), int64(half), catalog)
+		if err != nil {
+			return err
+		}
+		got, err := get(base + "/v1/partition")
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(bytes.TrimSpace(got), bytes.TrimSpace(want)) {
+			return fmt.Errorf("recovered partition differs from batch identification over the first %d jobs (%d vs %d bytes)",
+				half, len(got), len(want))
+		}
+		fmt.Printf("recovered partition: byte-identical to core.Identify over first %d jobs\n", half)
+
+		gen := &server.LoadGen{BaseURL: base, Clients: clients, BatchSize: batch}
+		if _, err := gen.Replay(secondHalf); err != nil {
+			return err
+		}
+		want, err = server.PartitionJSON(core.Identify(t), int64(len(t.Jobs)), catalog)
+		if err != nil {
+			return err
+		}
+		got, err = get(base + "/v1/partition")
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(bytes.TrimSpace(got), bytes.TrimSpace(want)) {
+			return fmt.Errorf("final partition differs from batch identification (%d vs %d bytes)", len(got), len(want))
+		}
+		fmt.Printf("final partition: byte-identical to core.Identify (%d filecules)\n",
+			core.Identify(t).NumFilecules())
+
+		metrics, err := get(base + "/metrics")
+		if err != nil {
+			return err
+		}
+		ms := string(metrics)
+		for _, needle := range []string{
+			"filecule_state_epoch",
+			"filecule_wal_appended_jobs_total",
+			"filecule_checkpoints_total",
+			fmt.Sprintf("filecule_jobs_observed_total %d", len(t.Jobs)),
+		} {
+			if !strings.Contains(ms, needle) {
+				return fmt.Errorf("metrics output missing %q", needle)
+			}
+		}
+		fmt.Println("metrics: durability gauges present")
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("phase 2: %w", err)
+	}
+	return nil
+}
+
+// withDurableServer opens the state directory, serves on a loopback port
+// with durability wired in, runs fn, and tears down in order: server drain,
+// then WAL sync and close.
+func withDurableServer(cfg server.Config, opts durable.Options, fn func(base string, d *durable.Engine) error) error {
+	d, err := durable.Open(opts)
+	if err != nil {
+		return err
+	}
+	cfg.Durable = d
+	s := server.New(cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- s.ListenAndRun(ctx, "127.0.0.1:0", ready) }()
+	addr := <-ready
+	ferr := fn("http://"+addr.String(), d)
+	cancel()
+	if err := <-done; err != nil && ferr == nil {
+		ferr = fmt.Errorf("shutdown: %w", err)
+	}
+	if err := d.Close(); err != nil && ferr == nil {
+		ferr = fmt.Errorf("closing state: %w", err)
+	}
+	return ferr
 }
 
 func get(url string) ([]byte, error) {

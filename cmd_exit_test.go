@@ -8,6 +8,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -99,6 +100,82 @@ func TestCommandExitCodes(t *testing.T) {
 	}
 	if fi, err := os.Stat(okTrace); err != nil || fi.Size() == 0 {
 		t.Fatalf("gen produced no trace: %v", err)
+	}
+}
+
+// TestDurableExitCodes pins the crash-safety flag contract of
+// filecule-serve: durability misconfiguration and unrecoverable state both
+// exit 1 before serving a single request, and corruption errors name the
+// failing chunk's byte offset; a state directory left by a clean run
+// recovers and passes the selftest.
+func TestDurableExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds filecule-serve and runs selftests; skipped in -short mode")
+	}
+	bins := buildCmds(t, "filecule-serve")
+	serve := bins["filecule-serve"]
+	tiny := []string{"-scale", "0.001", "-seed", "1"}
+
+	// Flag contract: checkpointing without a state directory, an
+	// unparseable sync cadence, and an uncreatable state directory are all
+	// operational failures.
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"checkpoint-interval without state-dir", []string{"-checkpoint-interval", "1s"}},
+		{"bad wal-sync", append([]string{"-selftest", "-state-dir", t.TempDir(), "-wal-sync", "sometimes"}, tiny...)},
+		{"unwritable state dir", append([]string{"-selftest", "-state-dir", "/dev/null/state"}, tiny...)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if got, out := exitCode(t, serve, tc.args...); got != 1 {
+				t.Errorf("exit %d, want 1\noutput:\n%s", got, out)
+			}
+		})
+	}
+
+	// A durable selftest initializes the state directory, restarts from it
+	// mid-trace, and must pass.
+	stateDir := filepath.Join(t.TempDir(), "state")
+	if got, out := exitCode(t, serve,
+		append([]string{"-selftest", "-state-dir", stateDir, "-wal-sync", "commit"}, tiny...)...); got != 0 {
+		t.Fatalf("durable selftest: exit %d\n%s", got, out)
+	}
+
+	// Corrupt every checkpoint and remove the WALs: startup must refuse to
+	// serve and say where the corruption is.
+	ents, err := os.ReadDir(stateDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := 0
+	for _, ent := range ents {
+		path := filepath.Join(stateDir, ent.Name())
+		if strings.HasPrefix(ent.Name(), "wal-") {
+			if err := os.Remove(path); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[len(b)/2] ^= 0x20
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		corrupted++
+	}
+	if corrupted == 0 {
+		t.Fatal("selftest left no checkpoint files to corrupt")
+	}
+	got, out := exitCode(t, serve, append([]string{"-selftest", "-state-dir", stateDir}, tiny...)...)
+	if got != 1 {
+		t.Errorf("corrupt state: exit %d, want 1\noutput:\n%s", got, out)
+	}
+	if !strings.Contains(out, "byte offset") {
+		t.Errorf("corruption error does not name the byte offset:\n%s", out)
 	}
 }
 

@@ -136,11 +136,15 @@ type snapState struct {
 }
 
 // snapGroup is one materialized filecule: the sorted member files of every
-// block sharing a signature, built at most once per change.
+// block sharing a signature, built at most once per change. stamp records
+// the engine version the entry was materialized at; an unchanged group keeps
+// its stamp across refreshes, so (sig, stamp) identifies the group's bytes —
+// the key the durable checkpoint writer caches encoded chunks under.
 type snapGroup struct {
 	files    []trace.FileID // sorted ascending; immutable once built
 	requests int
-	blocks   int // contributing sub-blocks at build time
+	blocks   int    // contributing sub-blocks at build time
+	stamp    uint64 // engine version at materialization
 }
 
 // slotPageBits sizes the interning pages: 8K entries, 32 KiB each.
@@ -827,29 +831,23 @@ func (e *Engine) resolveSigs(g uint64, sc *observeScratch) {
 	}
 }
 
-// Snapshot returns a consistent canonical Partition of everything observed
-// so far. Unchanged state returns the identical *Partition (pointer
-// comparison detects change); after observes, only changed signature groups
-// are re-materialized.
-func (e *Engine) Snapshot() *Partition {
-	if c := e.snapCache.Load(); c != nil && c.version == e.version.Load() {
-		return c.p
-	}
-	e.snapMu.Lock()
-	defer e.snapMu.Unlock()
+// refreshGroups brings the copy-on-write group cache up to date and returns
+// it along with the engine counters it corresponds to. Caller holds snapMu.
+// The returned map and its snapGroup entries are immutable once returned
+// (rebuilds allocate fresh entries), so callers may walk them after the
+// engine resumes observing.
+func (e *Engine) refreshGroups() (map[sig128]*snapGroup, uint64, int64, uint64) {
 	// Drain in-flight observes; none can start until the gate drops.
 	e.gate.Lock()
 	v := e.version.Load()
-	if c := e.snapCache.Load(); c != nil && c.version == v {
-		e.gate.Unlock()
-		return c.p
-	}
+	observed := e.observed.Load()
+	nextGen := e.nextGen.Load()
 	// Fold deferred fast-path request counts in before assembling; they
 	// mark their blocks dirty so the affected groups re-materialize.
 	e.flushPending()
 
 	// Pass 1: group blocks by signature, noting dirtiness, and clear the
-	// dirty bits (every group is validated or rebuilt by this snapshot).
+	// dirty bits (every group is validated or rebuilt by this refresh).
 	type blockRef struct {
 		shard int32
 		block int32
@@ -876,11 +874,9 @@ func (e *Engine) Snapshot() *Partition {
 		}
 	}
 
-	// Pass 2: materialize, reusing the previous snapshot's entry whenever
+	// Pass 2: materialize, reusing the previous refresh's entry whenever
 	// no contributing block changed and the group shape is intact.
 	next := make(map[sig128]*snapGroup, len(groups))
-	fcs := make([]Filecule, 0, len(groups))
-	total := 0
 	for sig, gb := range groups {
 		entry := e.snapGroups[sig]
 		if gb.dirty || entry == nil || entry.blocks != len(gb.refs) {
@@ -900,14 +896,35 @@ func (e *Engine) Snapshot() *Partition {
 				}
 			}
 			sort.Slice(files, func(a, b int) bool { return files[a] < files[b] })
-			entry = &snapGroup{files: files, requests: requests, blocks: len(gb.refs)}
+			entry = &snapGroup{files: files, requests: requests, blocks: len(gb.refs), stamp: v}
 		}
 		next[sig] = entry
-		fcs = append(fcs, Filecule{Files: entry.files, Requests: entry.requests})
-		total += len(entry.files)
 	}
 	e.snapGroups = next
 	e.gate.Unlock()
+	return next, v, observed, nextGen
+}
+
+// Snapshot returns a consistent canonical Partition of everything observed
+// so far. Unchanged state returns the identical *Partition (pointer
+// comparison detects change); after observes, only changed signature groups
+// are re-materialized.
+func (e *Engine) Snapshot() *Partition {
+	if c := e.snapCache.Load(); c != nil && c.version == e.version.Load() {
+		return c.p
+	}
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	if c := e.snapCache.Load(); c != nil && c.version == e.version.Load() {
+		return c.p
+	}
+	groups, v, _, _ := e.refreshGroups()
+	fcs := make([]Filecule, 0, len(groups))
+	total := 0
+	for _, entry := range groups {
+		fcs = append(fcs, Filecule{Files: entry.files, Requests: entry.requests})
+		total += len(entry.files)
+	}
 
 	// Canonical order: by smallest member file. IDs follow; the file index
 	// is built lazily on first lookup.

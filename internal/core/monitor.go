@@ -28,6 +28,10 @@ func NewMonitorShards(shards int) *Monitor {
 	return &Monitor{engine: NewEngine(shards)}
 }
 
+// NewMonitorEngine wraps an existing engine — typically one rebuilt from a
+// durable checkpoint — as an identification service.
+func NewMonitorEngine(e *Engine) *Monitor { return &Monitor{engine: e} }
+
 // Engine exposes the underlying identification engine.
 func (m *Monitor) Engine() *Engine { return m.engine }
 

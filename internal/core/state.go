@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"filecule/internal/trace"
+)
+
+// Engine state export/import: the hooks the durable checkpoint layer is
+// built on. An engine's future refinement behavior is fully determined by
+// the per-signature groups (member files, request count, signature), the
+// observed-job count, and the generation counter — so that is exactly what
+// EngineState carries. The generation counter matters: signatures are sums
+// over job generation numbers, so a recovered engine that reused old
+// generations could mint a new job set whose signature collides with a
+// historical one and silently merge distinct filecules. Persisting NextGen
+// keeps every post-recovery generation fresh.
+
+// StateGroup is one filecule in exportable form.
+type StateGroup struct {
+	SigLo, SigHi uint64
+	Requests     int
+	Files        []trace.FileID // sorted ascending; aliases engine-owned immutable memory
+	Stamp        uint64         // engine version the group was materialized at; (sig, stamp) identifies the bytes
+}
+
+// EngineState is a consistent copy-on-write export of an Engine: no observe
+// is half-reflected, and Observed/NextGen correspond exactly to the groups.
+type EngineState struct {
+	Observed int64
+	NextGen  uint64
+	Groups   []StateGroup // canonical order: by smallest member file
+}
+
+// ExportState captures the engine's durable state. Like Snapshot it reuses
+// per-group materializations across calls, so a steady-state export costs
+// O(blocks) bookkeeping plus work only for groups that changed; the Files
+// slices are immutable and safe to retain after the engine resumes
+// observing. Groups whose Stamp is unchanged since a previous export are
+// byte-for-byte identical.
+func (e *Engine) ExportState() *EngineState {
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	groups, _, observed, nextGen := e.refreshGroups()
+	st := &EngineState{
+		Observed: observed,
+		NextGen:  nextGen,
+		Groups:   make([]StateGroup, 0, len(groups)),
+	}
+	for sig, entry := range groups {
+		st.Groups = append(st.Groups, StateGroup{
+			SigLo:    sig.lo,
+			SigHi:    sig.hi,
+			Requests: entry.requests,
+			Files:    entry.files,
+			Stamp:    entry.stamp,
+		})
+	}
+	sort.Slice(st.Groups, func(a, b int) bool { return st.Groups[a].Files[0] < st.Groups[b].Files[0] })
+	return st
+}
+
+// ImportState rebuilds engine state from an export. The engine must be
+// fresh (nothing observed); the state is validated structurally — sorted
+// strictly-ascending member lists, no file in two groups, no duplicate
+// signatures, positive request counts — and a violation leaves the engine
+// unusable and returns an error naming the offending group.
+//
+// The rebuilt engine is observationally equivalent to the exporter: every
+// group becomes one block per shard holding its files, carrying the
+// original signature and request count, with exact global file-count hints.
+func (e *Engine) ImportState(st *EngineState) error {
+	if e.observed.Load() != 0 || e.blocks.Load() != 0 {
+		return fmt.Errorf("core: ImportState on a non-empty engine (%d jobs observed)", e.observed.Load())
+	}
+	if st.Observed < 0 {
+		return fmt.Errorf("core: state declares negative observed count %d", st.Observed)
+	}
+	seenSigs := make(map[sig128]struct{}, len(st.Groups))
+	perShard := make([][]trace.FileID, len(e.shards))
+	for gi := range st.Groups {
+		g := &st.Groups[gi]
+		sig := sig128{lo: g.SigLo, hi: g.SigHi}
+		if _, dup := seenSigs[sig]; dup {
+			return fmt.Errorf("core: state group %d: duplicate signature %016x%016x", gi, g.SigHi, g.SigLo)
+		}
+		seenSigs[sig] = struct{}{}
+		if len(g.Files) == 0 {
+			return fmt.Errorf("core: state group %d: empty file list", gi)
+		}
+		if g.Requests < 1 {
+			return fmt.Errorf("core: state group %d: request count %d < 1", gi, g.Requests)
+		}
+		for i, f := range g.Files {
+			if f < 0 {
+				return fmt.Errorf("core: state group %d: negative file ID %d", gi, f)
+			}
+			if i > 0 && g.Files[i-1] >= f {
+				return fmt.Errorf("core: state group %d: file list not strictly ascending at index %d", gi, i)
+			}
+		}
+
+		// Bucket the group's files by shard, then lay each bucket down as
+		// one contiguous block. Slot interning doubles as the cross-group
+		// duplicate check: a file that already has a slot is in two groups.
+		for si := range perShard {
+			perShard[si] = perShard[si][:0]
+		}
+		touched := make([]uint32, 0, len(e.shards))
+		for _, f := range g.Files {
+			sh := e.shardOf(f)
+			if len(perShard[sh]) == 0 {
+				touched = append(touched, sh)
+			}
+			perShard[sh] = append(perShard[sh], f)
+		}
+		gfiles := int32(len(g.Files))
+		for _, sh := range touched {
+			s := &e.shards[sh]
+			lo := int32(len(s.perm))
+			for _, f := range perShard[sh] {
+				pg := e.ensurePage(uint32(f))
+				off := uint32(f) & slotPageMask
+				if pg[off] != 0 {
+					return fmt.Errorf("core: state group %d: file %d appears in more than one group", gi, f)
+				}
+				slot := int32(len(s.file))
+				pg[off] = slot + 1
+				s.file = append(s.file, f)
+				s.pos = append(s.pos, int32(len(s.perm)))
+				s.perm = append(s.perm, slot)
+				s.blockOf = append(s.blockOf, int32(len(s.blocks)))
+			}
+			s.blocks = append(s.blocks, eblock{
+				lo:       lo,
+				hi:       int32(len(s.perm)),
+				requests: g.Requests,
+				sig:      sig,
+				gfiles:   gfiles,
+				dirty:    true,
+			})
+			e.blocks.Add(1)
+		}
+		if e.sigTab.add(sig, gfiles) {
+			e.filecules.Add(1)
+		}
+	}
+	e.observed.Store(st.Observed)
+	e.nextGen.Store(st.NextGen)
+	e.version.Store(uint64(st.Observed))
+	return nil
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"filecule/internal/trace"
+)
+
+// TestStateRoundTrip is the export/import equivalence property the durable
+// layer leans on: exporting an engine mid-trace, importing into a fresh
+// engine (with a different shard layout), and continuing must yield the
+// same partition as an uninterrupted run — after every sampled cut point.
+func TestStateRoundTrip(t *testing.T) {
+	for _, seed := range []int64{5, 42, 99} {
+		tr := adversarialTrace(seed)
+		for cut := 0; cut <= len(tr.Jobs); cut += len(tr.Jobs)/4 + 1 {
+			e := NewEngine(4)
+			for i := 0; i < cut; i++ {
+				e.Observe(tr.Jobs[i].Files)
+			}
+			st := e.ExportState()
+			if st.Observed != int64(cut) {
+				t.Fatalf("seed %d cut %d: export observed %d", seed, cut, st.Observed)
+			}
+			for _, shards := range []int{1, 8} {
+				e2 := NewEngine(shards)
+				if err := e2.ImportState(st); err != nil {
+					t.Fatalf("seed %d cut %d: import: %v", seed, cut, err)
+				}
+				if e2.Observed() != int64(cut) || e2.NumFilecules() != e.NumFilecules() {
+					t.Fatalf("seed %d cut %d: imported counters observed=%d filecules=%d, want %d/%d",
+						seed, cut, e2.Observed(), e2.NumFilecules(), cut, e.NumFilecules())
+				}
+				for i := cut; i < len(tr.Jobs); i++ {
+					e2.Observe(tr.Jobs[i].Files)
+				}
+				want := Identify(tr)
+				if got := e2.Snapshot(); !want.Equal(got) {
+					t.Fatalf("seed %d cut %d shards %d: recovered engine differs from Identify", seed, cut, shards)
+				}
+			}
+		}
+	}
+}
+
+// Re-exporting an unchanged engine must reuse group materializations: same
+// Files backing arrays, same stamps — the property the checkpoint writer's
+// (sig, stamp) encode cache is keyed on.
+func TestStateExportReuse(t *testing.T) {
+	tr := adversarialTrace(7)
+	e := NewEngine(4)
+	e.ObserveTrace(tr)
+	a := e.ExportState()
+	b := e.ExportState()
+	if len(a.Groups) != len(b.Groups) {
+		t.Fatalf("group counts differ: %d vs %d", len(a.Groups), len(b.Groups))
+	}
+	for i := range a.Groups {
+		if &a.Groups[i].Files[0] != &b.Groups[i].Files[0] {
+			t.Fatalf("group %d rebuilt despite no observes", i)
+		}
+		if a.Groups[i].Stamp != b.Groups[i].Stamp {
+			t.Fatalf("group %d stamp changed despite no observes", i)
+		}
+	}
+
+	// Observe a job touching one filecule: only affected groups may change
+	// stamp.
+	victim := a.Groups[0]
+	e.Observe(victim.Files[:1])
+	c := e.ExportState()
+	changed := 0
+	stamps := make(map[[2]uint64]uint64, len(a.Groups))
+	for _, g := range a.Groups {
+		stamps[[2]uint64{g.SigLo, g.SigHi}] = g.Stamp
+	}
+	for _, g := range c.Groups {
+		if old, ok := stamps[[2]uint64{g.SigLo, g.SigHi}]; !ok || old != g.Stamp {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("observe changed no group stamps")
+	}
+	if changed == len(c.Groups) && len(c.Groups) > 2 {
+		t.Fatalf("observe of one filecule re-stamped all %d groups", len(c.Groups))
+	}
+}
+
+func TestImportStateRejectsBadState(t *testing.T) {
+	base := &EngineState{
+		Observed: 1,
+		NextGen:  1,
+		Groups: []StateGroup{
+			{SigLo: 1, SigHi: 2, Requests: 1, Files: []trace.FileID{0, 1}},
+		},
+	}
+	cases := []struct {
+		name string
+		mut  func(st *EngineState)
+	}{
+		{"negative observed", func(st *EngineState) { st.Observed = -1 }},
+		{"empty group", func(st *EngineState) { st.Groups[0].Files = nil }},
+		{"zero requests", func(st *EngineState) { st.Groups[0].Requests = 0 }},
+		{"unsorted files", func(st *EngineState) { st.Groups[0].Files = []trace.FileID{1, 0} }},
+		{"duplicate file in group", func(st *EngineState) { st.Groups[0].Files = []trace.FileID{1, 1} }},
+		{"negative file", func(st *EngineState) { st.Groups[0].Files = []trace.FileID{-1, 0} }},
+		{"duplicate sig", func(st *EngineState) {
+			st.Groups = append(st.Groups, StateGroup{SigLo: 1, SigHi: 2, Requests: 1, Files: []trace.FileID{5}})
+		}},
+		{"file in two groups", func(st *EngineState) {
+			st.Groups = append(st.Groups, StateGroup{SigLo: 9, SigHi: 9, Requests: 1, Files: []trace.FileID{1, 7}})
+		}},
+	}
+	for _, tc := range cases {
+		st := &EngineState{
+			Observed: base.Observed,
+			NextGen:  base.NextGen,
+			Groups:   append([]StateGroup(nil), base.Groups...),
+		}
+		st.Groups[0].Files = append([]trace.FileID(nil), base.Groups[0].Files...)
+		tc.mut(st)
+		if err := NewEngine(2).ImportState(st); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// The unmutated base must import.
+	if err := NewEngine(2).ImportState(base); err != nil {
+		t.Errorf("valid state rejected: %v", err)
+	}
+	// Importing onto a used engine must fail.
+	e := NewEngine(2)
+	e.Observe([]trace.FileID{3})
+	if err := e.ImportState(base); err == nil {
+		t.Error("import on non-empty engine accepted")
+	}
+}

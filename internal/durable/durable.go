@@ -1,0 +1,480 @@
+// Package durable makes the online identification engine's state survive
+// process death: an incremental checkpoint of the engine's filecule groups
+// plus a write-ahead observe log, both built on the CRC32C chunk frame the
+// filecule-bin codec uses.
+//
+// The state directory holds, per epoch e, a self-contained checkpoint-e and
+// a wal-e of every observe since that checkpoint. Recovery loads the newest
+// valid checkpoint and replays the WAL chain from its epoch forward; a
+// crash-torn tail on the newest WAL is detected by the CRC frame, logged
+// with its byte offset and chunk kind, and truncated. Retention keeps two
+// epochs, so a corrupt newest checkpoint (real corruption — checkpoints are
+// written atomically) still recovers losslessly from the previous one plus
+// the complete intervening WAL.
+//
+// Durability contract: in strict mode (SyncCommit) an Observe returns only
+// after its WAL record is fsynced — a crash never loses an acknowledged
+// observe. In async mode (the default) batches are written as they fill
+// and fsynced on the SyncInterval cadence, so a crash loses at most the
+// observes of the last sync interval; observes never block on fsync.
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"filecule/internal/core"
+	"filecule/internal/trace"
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the state directory (required; created if absent).
+	Dir string
+	// Shards is the engine shard count (<= 0 selects the default).
+	Shards int
+	// SyncCommit makes every Observe wait for its WAL fsync (group
+	// commit). Off, records sync on the SyncInterval cadence.
+	SyncCommit bool
+	// SyncInterval is the async group-commit cadence (default 50ms).
+	SyncInterval time.Duration
+	// CheckpointInterval starts a background checkpoint loop when > 0.
+	CheckpointInterval time.Duration
+	// Logf receives recovery and background-checkpoint diagnostics
+	// (default: discarded).
+	Logf func(format string, args ...any)
+}
+
+// Recovery summarizes what Open reconstructed.
+type Recovery struct {
+	Fresh              bool   // no prior state existed
+	CheckpointEpoch    uint64 // epoch of the checkpoint recovery loaded
+	CheckpointObserved int64  // jobs covered by that checkpoint
+	ReplayedJobs       int64  // jobs replayed from the WAL chain
+	TruncatedBytes     int64  // bytes dropped from the newest WAL's torn tail
+	SkippedCheckpoints int    // corrupt checkpoints skipped (fell back an epoch)
+	Observed           int64  // total jobs after recovery
+}
+
+// Stats is a point-in-time view of the durability layer.
+type Stats struct {
+	Epoch        uint64
+	Checkpoints  int64 // checkpoints written by this process
+	WALAppended  int64 // jobs accepted into the WAL
+	WALSynced    int64 // jobs durably synced
+	LastGroups   int   // groups in the last checkpoint
+	LastReused   int   // of those, encoded-bytes reused from cache
+	LastBytes    int64 // last checkpoint's file size
+	LastDuration time.Duration
+}
+
+// Engine wraps a core.Engine with WAL-ahead observes and checkpointing.
+type Engine struct {
+	dir  string
+	logf func(string, ...any)
+
+	// mu orders observes (read side) against checkpoint quiesce (write
+	// side): an observe appends to the WAL then applies to the engine
+	// under the read side, so a checkpoint — which syncs and rotates the
+	// WAL, then exports engine state under the write side — always sees
+	// engine state ⊆ synced WAL. Observe order between WAL and engine may
+	// differ across concurrent holders; identification is commutative, so
+	// replay converges to the same partition.
+	mu  sync.RWMutex
+	eng *core.Engine
+	wal *wal
+
+	// ckptMu serializes checkpoints; epoch and cache are written under it
+	// (epoch also under mu's write side for readers).
+	ckptMu sync.Mutex
+	epoch  uint64
+	cache  map[groupKey][]byte
+
+	recovery    Recovery
+	checkpoints atomic.Int64
+
+	statsMu   sync.Mutex
+	lastStats ckptStats
+	lastDur   time.Duration
+
+	stopCkpt chan struct{}
+	doneCkpt chan struct{}
+	closed   atomic.Bool
+}
+
+// Open recovers (or initializes) engine state from opts.Dir and returns a
+// ready engine. A fresh directory gets an empty checkpoint-0 immediately,
+// so a valid state directory always holds at least one checkpoint.
+func Open(opts Options) (*Engine, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("durable: state directory not set")
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	d := &Engine{dir: opts.Dir, logf: logf}
+
+	ckpts, wals, err := scanStateDir(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(ckpts) == 0 && len(wals) > 0 {
+		return nil, fmt.Errorf("durable: %s holds WAL files but no checkpoint", opts.Dir)
+	}
+
+	if len(ckpts) == 0 {
+		// Fresh directory: persist the empty state so recovery always has
+		// a base, then open wal-0.
+		eng := core.NewEngine(opts.Shards)
+		cache, stats, err := writeCheckpoint(opts.Dir, 0, eng.ExportState(), nil)
+		if err != nil {
+			return nil, err
+		}
+		f, path, err := createWalFile(opts.Dir, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		d.eng, d.cache, d.lastStats = eng, cache, stats
+		d.wal = newWAL(f, path, 0, opts.SyncCommit, opts.SyncInterval)
+		d.recovery = Recovery{Fresh: true}
+	} else {
+		if err := d.recover(opts, ckpts, wals); err != nil {
+			return nil, err
+		}
+	}
+
+	if opts.CheckpointInterval > 0 {
+		d.stopCkpt = make(chan struct{})
+		d.doneCkpt = make(chan struct{})
+		go d.checkpointLoop(opts.CheckpointInterval)
+	}
+	return d, nil
+}
+
+// recover rebuilds the engine from the newest usable checkpoint plus WAL
+// chain and leaves d.wal appending to the newest WAL.
+func (d *Engine) recover(opts Options, ckpts, wals []uint64) error {
+	maxWal := uint64(0)
+	walSet := make(map[uint64]bool, len(wals))
+	for _, e := range wals {
+		walSet[e] = true
+		if e > maxWal {
+			maxWal = e
+		}
+	}
+
+	var lastErr error
+	for i := len(ckpts) - 1; i >= 0; i-- {
+		c := ckpts[i]
+		// The WAL chain c..maxWal must be contiguous on disk. A directory
+		// with no WAL at or above c is tolerated (wal-c is recreated): the
+		// checkpoint alone is the state.
+		top := c
+		chainOK := true
+		if maxWal >= c {
+			top = maxWal
+			for k := c; k <= maxWal; k++ {
+				if !walSet[k] {
+					chainOK = false
+					break
+				}
+			}
+		}
+		if !chainOK {
+			lastErr = fmt.Errorf("durable: checkpoint-%d has no contiguous WAL chain to wal-%d", c, top)
+			d.logf("durable: skipping checkpoint-%d: broken WAL chain", c)
+			d.recovery.SkippedCheckpoints++
+			continue
+		}
+
+		st, err := readCheckpoint(ckptPath(d.dir, c), c)
+		if err != nil {
+			lastErr = err
+			d.logf("durable: skipping unreadable checkpoint-%d: %v", c, err)
+			d.recovery.SkippedCheckpoints++
+			continue
+		}
+		eng := core.NewEngine(opts.Shards)
+		if err := eng.ImportState(st); err != nil {
+			lastErr = fmt.Errorf("durable: %s: %w", ckptPath(d.dir, c), err)
+			d.logf("durable: skipping invalid checkpoint-%d: %v", c, err)
+			d.recovery.SkippedCheckpoints++
+			continue
+		}
+		d.recovery.CheckpointEpoch = c
+		d.recovery.CheckpointObserved = st.Observed
+
+		// Replay the chain. Errors below the newest WAL are fatal: those
+		// files were synced and closed before their successor existed, so
+		// damage there is corruption, not a crash tail.
+		for k := c; k <= top; k++ {
+			path := walPath(d.dir, k)
+			last := k == top
+			if !walSet[k] {
+				break // tolerated only for the newest (recreated below)
+			}
+			jobs, validTo, err := walReplay(path, k, eng.Observed(), eng.Observe)
+			d.recovery.ReplayedJobs += jobs
+			if err == nil {
+				continue
+			}
+			if !last {
+				return fmt.Errorf("durable: wal-%d is damaged below the newest epoch: %w", k, err)
+			}
+			if validTo <= int64(len(walMagic)) {
+				// Header never became durable: recreate the file below.
+				d.logf("durable: %s: unusable header (%v); recreating", path, err)
+				walSet[k] = false
+				break
+			}
+			fi, statErr := os.Stat(path)
+			if statErr != nil {
+				return fmt.Errorf("durable: %w", statErr)
+			}
+			d.recovery.TruncatedBytes = fi.Size() - validTo
+			d.logf("durable: %s: truncating torn tail: %v (dropping %d bytes past offset %d)",
+				path, err, d.recovery.TruncatedBytes, validTo)
+			if err := os.Truncate(path, validTo); err != nil {
+				return fmt.Errorf("durable: truncate %s: %w", path, err)
+			}
+		}
+
+		// Reopen (or recreate) the newest WAL for appending.
+		var f *os.File
+		path := walPath(d.dir, top)
+		if walSet[top] {
+			f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("durable: reopen %s: %w", path, err)
+			}
+		} else {
+			f, path, err = createWalFile(d.dir, top, eng.Observed())
+			if err != nil {
+				return err
+			}
+		}
+		d.eng = eng
+		d.epoch = top
+		d.wal = newWAL(f, path, top, opts.SyncCommit, opts.SyncInterval)
+		d.recovery.Observed = eng.Observed()
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("durable: no checkpoint found in %s", d.dir)
+	}
+	return fmt.Errorf("durable: no usable checkpoint in %s: %w", d.dir, lastErr)
+}
+
+// Recovery reports what Open reconstructed.
+func (d *Engine) Recovery() Recovery { return d.recovery }
+
+// Core exposes the underlying engine for reads (snapshots, counters).
+// Mutations must go through Observe/ObserveBatch or they bypass the WAL.
+func (d *Engine) Core() *core.Engine { return d.eng }
+
+// Observe logs one job's input set to the WAL, then folds it into the
+// engine. In strict mode the error reports a failed fsync — the job may
+// not be durable and was not applied.
+func (d *Engine) Observe(files []trace.FileID) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.wal.Append(files); err != nil {
+		return err
+	}
+	d.eng.Observe(files)
+	return nil
+}
+
+// ObserveBatch logs and applies several jobs; strict mode pays one group
+// commit for the whole batch.
+func (d *Engine) ObserveBatch(jobs [][]trace.FileID) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.wal.AppendBatch(jobs); err != nil {
+		return err
+	}
+	d.eng.ObserveBatch(jobs)
+	return nil
+}
+
+// Checkpoint writes a new checkpoint epoch: quiesce observes, sync the WAL,
+// export engine state, rotate the WAL to the new epoch — then write the
+// checkpoint file and prune old epochs with observes already flowing again.
+func (d *Engine) Checkpoint() error {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	start := time.Now()
+
+	d.mu.Lock()
+	if err := d.wal.SyncNow(); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	st := d.eng.ExportState()
+	epoch := d.epoch + 1
+	f, path, err := createWalFile(d.dir, epoch, st.Observed)
+	if err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	if err := d.wal.Rotate(f, path, epoch); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	d.epoch = epoch
+	d.mu.Unlock()
+
+	cache, stats, err := writeCheckpoint(d.dir, epoch, st, d.cache)
+	if err != nil {
+		// The rotated WAL is already in place; recovery still works from
+		// the previous checkpoint plus the full chain.
+		return err
+	}
+	d.cache = cache
+	d.statsMu.Lock()
+	d.lastStats = stats
+	d.lastDur = time.Since(start)
+	d.statsMu.Unlock()
+	d.checkpoints.Add(1)
+	d.prune(epoch)
+	return nil
+}
+
+// prune removes state files older than the previous epoch. Keeping two
+// epochs makes a corrupt newest checkpoint recoverable: checkpoint-(e-1)
+// plus the complete wal-(e-1) reproduce everything checkpoint-e held.
+func (d *Engine) prune(epoch uint64) {
+	if epoch < 2 {
+		return
+	}
+	ckpts, wals, err := scanStateDir(d.dir)
+	if err != nil {
+		d.logf("durable: prune scan: %v", err)
+		return
+	}
+	for _, e := range ckpts {
+		if e < epoch-1 {
+			if err := os.Remove(ckptPath(d.dir, e)); err != nil {
+				d.logf("durable: prune: %v", err)
+			}
+		}
+	}
+	for _, e := range wals {
+		if e < epoch-1 {
+			if err := os.Remove(walPath(d.dir, e)); err != nil {
+				d.logf("durable: prune: %v", err)
+			}
+		}
+	}
+}
+
+func (d *Engine) checkpointLoop(interval time.Duration) {
+	defer close(d.doneCkpt)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stopCkpt:
+			return
+		case <-t.C:
+			if err := d.Checkpoint(); err != nil {
+				d.logf("durable: background checkpoint: %v", err)
+			}
+		}
+	}
+}
+
+// Stats returns current durability counters.
+func (d *Engine) Stats() Stats {
+	d.mu.RLock()
+	epoch := d.epoch
+	d.mu.RUnlock()
+	d.statsMu.Lock()
+	last, dur := d.lastStats, d.lastDur
+	d.statsMu.Unlock()
+	return Stats{
+		Epoch:        epoch,
+		Checkpoints:  d.checkpoints.Load(),
+		WALAppended:  d.wal.appended.Load(),
+		WALSynced:    d.wal.synced.Load(),
+		LastGroups:   last.groups,
+		LastReused:   last.reused,
+		LastBytes:    last.bytes,
+		LastDuration: dur,
+	}
+}
+
+// Close stops background work and syncs and closes the WAL. It does not
+// checkpoint; call Checkpoint first for a fast next startup.
+func (d *Engine) Close() error {
+	if !d.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if d.stopCkpt != nil {
+		close(d.stopCkpt)
+		<-d.doneCkpt
+	}
+	return d.wal.Close()
+}
+
+// scanStateDir lists checkpoint and WAL epochs (each sorted ascending) and
+// removes leftover temporary files from an interrupted checkpoint write.
+func scanStateDir(dir string) (ckpts, wals []uint64, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: %w", err)
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return nil, nil, fmt.Errorf("durable: %w", err)
+			}
+			continue
+		}
+		if e, ok := parseEpoch(name, "checkpoint-"); ok {
+			ckpts = append(ckpts, e)
+		} else if e, ok := parseEpoch(name, "wal-"); ok {
+			wals = append(wals, e)
+		}
+	}
+	sort.Slice(ckpts, func(a, b int) bool { return ckpts[a] < ckpts[b] })
+	sort.Slice(wals, func(a, b int) bool { return wals[a] < wals[b] })
+	return ckpts, wals, nil
+}
+
+func parseEpoch(name, prefix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) {
+		return 0, false
+	}
+	e, err := strconv.ParseUint(name[len(prefix):], 10, 64)
+	return e, err == nil
+}
+
+// syncDir fsyncs a directory so renames and creates within it are durable.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("durable: sync %s: %w", dir, err)
+	}
+	return nil
+}

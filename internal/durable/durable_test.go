@@ -1,0 +1,370 @@
+package durable
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"filecule/internal/core"
+	"filecule/internal/trace"
+)
+
+// testJobs builds a deterministic adversarial workload: small random input
+// sets with duplicates and empty jobs, over a small file population so the
+// partition splits heavily.
+func testJobs(seed int64, n int) [][]trace.FileID {
+	rng := rand.New(rand.NewSource(seed))
+	jobs := make([][]trace.FileID, n)
+	for i := range jobs {
+		k := rng.Intn(8)
+		files := make([]trace.FileID, 0, k+1)
+		for j := 0; j < k; j++ {
+			files = append(files, trace.FileID(rng.Intn(60)))
+			if j > 0 && rng.Intn(4) == 0 {
+				files = append(files, files[rng.Intn(len(files))])
+			}
+		}
+		jobs[i] = files
+	}
+	return jobs
+}
+
+// reference folds jobs into a fresh engine and returns its partition.
+func reference(jobs [][]trace.FileID) *core.Partition {
+	e := core.NewEngine(4)
+	for _, f := range jobs {
+		e.Observe(f)
+	}
+	return e.Snapshot()
+}
+
+func mustOpen(t *testing.T, opts Options) *Engine {
+	t.Helper()
+	d, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func observeAll(t *testing.T, d *Engine, jobs [][]trace.FileID) {
+	t.Helper()
+	for _, f := range jobs {
+		if err := d.Observe(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFreshOpenCreatesBaseState(t *testing.T) {
+	dir := t.TempDir()
+	d := mustOpen(t, Options{Dir: dir})
+	if !d.Recovery().Fresh {
+		t.Error("fresh dir not reported as fresh")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"checkpoint-0", "wal-0"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("fresh open did not create %s: %v", name, err)
+		}
+	}
+}
+
+// The core property: any interleaving of observes, checkpoints and clean
+// restarts recovers a partition identical to the uninterrupted reference.
+func TestRecoverAcrossRestarts(t *testing.T) {
+	jobs := testJobs(1, 400)
+	want := reference(jobs)
+	dir := t.TempDir()
+	opts := Options{Dir: dir, Shards: 4, SyncCommit: true}
+
+	d := mustOpen(t, opts)
+	observeAll(t, d, jobs[:150])
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d = mustOpen(t, opts)
+	if got := d.Core().Observed(); got != 150 {
+		t.Fatalf("recovered %d jobs, want 150", got)
+	}
+	observeAll(t, d, jobs[150:250])
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	observeAll(t, d, jobs[250:])
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d = mustOpen(t, opts)
+	defer d.Close()
+	rec := d.Recovery()
+	if rec.Observed != int64(len(jobs)) {
+		t.Fatalf("recovered %d jobs, want %d", rec.Observed, len(jobs))
+	}
+	if rec.CheckpointObserved != 250 {
+		t.Fatalf("recovered from checkpoint at %d jobs, want 250", rec.CheckpointObserved)
+	}
+	if rec.ReplayedJobs != int64(len(jobs))-250 {
+		t.Fatalf("replayed %d jobs, want %d", rec.ReplayedJobs, len(jobs)-250)
+	}
+	if got := d.Core().Snapshot(); !want.Equal(got) {
+		t.Fatal("recovered partition differs from uninterrupted reference")
+	}
+}
+
+// A torn WAL tail — the file cut at an arbitrary byte — must recover to the
+// longest clean prefix of batches, never panic, and report the truncation.
+func TestTornTailTruncation(t *testing.T) {
+	jobs := testJobs(2, 120)
+	dir := t.TempDir()
+	opts := Options{Dir: dir, Shards: 2, SyncCommit: true}
+	d := mustOpen(t, opts)
+	// Strict mode + sequential observes: every job is its own synced batch,
+	// so batch boundaries are per-job and a cut loses a suffix of jobs.
+	observeAll(t, d, jobs)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	walFile := filepath.Join(dir, "wal-0")
+	whole, err := os.ReadFile(walFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 12; trial++ {
+		cut := len(walMagic) + 8 + rng.Intn(len(whole)-len(walMagic)-8)
+		if err := os.WriteFile(walFile, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		d, err := Open(opts)
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		n := d.Core().Observed()
+		if n > int64(len(jobs)) {
+			t.Fatalf("cut=%d: recovered %d jobs out of %d", cut, n, len(jobs))
+		}
+		if got, want := d.Core().Snapshot(), reference(jobs[:n]); !want.Equal(got) {
+			t.Fatalf("cut=%d: recovered partition differs from reference over first %d jobs", cut, n)
+		}
+		// The truncated log must now be clean: a reopen replays it fully.
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+		d = mustOpen(t, opts)
+		if d.Core().Observed() != n {
+			t.Fatalf("cut=%d: second recovery found %d jobs, first %d", cut, d.Core().Observed(), n)
+		}
+		d.Close()
+	}
+}
+
+// A corrupt newest checkpoint falls back one epoch losslessly: the previous
+// checkpoint plus its complete WAL reproduce everything.
+func TestCorruptCheckpointFallsBack(t *testing.T) {
+	jobs := testJobs(4, 200)
+	dir := t.TempDir()
+	opts := Options{Dir: dir, Shards: 4, SyncCommit: true}
+	d := mustOpen(t, opts)
+	observeAll(t, d, jobs[:120])
+	if err := d.Checkpoint(); err != nil { // epoch 1
+		t.Fatal(err)
+	}
+	observeAll(t, d, jobs[120:])
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte inside checkpoint-1's chunk area.
+	path := filepath.Join(dir, "checkpoint-1")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var logs []string
+	opts.Logf = func(format string, args ...any) {
+		logs = append(logs, format)
+	}
+	d = mustOpen(t, opts)
+	defer d.Close()
+	rec := d.Recovery()
+	if rec.SkippedCheckpoints != 1 || rec.CheckpointEpoch != 0 {
+		t.Fatalf("recovery = %+v, want fallback to epoch 0", rec)
+	}
+	if rec.Observed != int64(len(jobs)) {
+		t.Fatalf("fallback recovered %d jobs, want %d (lossless)", rec.Observed, len(jobs))
+	}
+	if got := d.Core().Snapshot(); !reference(jobs).Equal(got) {
+		t.Fatal("fallback partition differs from reference")
+	}
+	if len(logs) == 0 {
+		t.Error("corrupt checkpoint skipped silently")
+	}
+}
+
+// With every checkpoint corrupt, Open must fail loudly with the bin-codec
+// error style: byte offset and chunk kind.
+func TestAllCheckpointsCorruptFailsWithOffset(t *testing.T) {
+	dir := t.TempDir()
+	d := mustOpen(t, Options{Dir: dir, SyncCommit: true})
+	observeAll(t, d, testJobs(5, 40))
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "checkpoint-0")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(ckptMagic)+6] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(Options{Dir: dir})
+	if err == nil {
+		t.Fatal("corrupt sole checkpoint accepted")
+	}
+	if !strings.Contains(err.Error(), "byte offset") {
+		t.Fatalf("error %q does not carry a byte offset", err)
+	}
+}
+
+// Incremental encoding: a checkpoint after few observes reuses most groups'
+// encoded bytes; pruning keeps exactly the last two epochs.
+func TestCheckpointReuseAndPrune(t *testing.T) {
+	jobs := testJobs(6, 300)
+	dir := t.TempDir()
+	d := mustOpen(t, Options{Dir: dir, Shards: 4})
+	observeAll(t, d, jobs)
+	if err := d.Checkpoint(); err != nil { // epoch 1: all groups fresh
+		t.Fatal(err)
+	}
+	s1 := d.Stats()
+	if s1.LastGroups == 0 || s1.LastReused != 0 {
+		t.Fatalf("first checkpoint stats %+v", s1)
+	}
+	// One repeat observe (no splits): every group's bytes must be reusable.
+	if err := d.Observe(jobs[len(jobs)-1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(); err != nil { // epoch 2
+		t.Fatal(err)
+	}
+	s2 := d.Stats()
+	if s2.LastReused == 0 || s2.LastReused > s2.LastGroups {
+		t.Fatalf("second checkpoint reused %d of %d groups", s2.LastReused, s2.LastGroups)
+	}
+	if err := d.Checkpoint(); err != nil { // epoch 3: prune epochs < 2
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ckpts, wals, err := scanStateDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ckpts) != 2 || ckpts[0] != 2 || ckpts[1] != 3 {
+		t.Fatalf("checkpoints after prune: %v, want [2 3]", ckpts)
+	}
+	if len(wals) != 2 || wals[0] != 2 || wals[1] != 3 {
+		t.Fatalf("wals after prune: %v, want [2 3]", wals)
+	}
+	// And the pruned directory still recovers.
+	d = mustOpen(t, Options{Dir: dir, Shards: 4})
+	defer d.Close()
+	if d.Core().Observed() != int64(len(jobs))+1 {
+		t.Fatalf("recovered %d jobs after prune", d.Core().Observed())
+	}
+}
+
+// Async mode: Close syncs the tail, so a clean shutdown loses nothing even
+// without strict sync.
+func TestAsyncCloseSyncsTail(t *testing.T) {
+	jobs := testJobs(7, 100)
+	dir := t.TempDir()
+	opts := Options{Dir: dir, SyncInterval: time.Hour} // cadence never fires
+	d := mustOpen(t, opts)
+	observeAll(t, d, jobs)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d = mustOpen(t, opts)
+	defer d.Close()
+	if d.Core().Observed() != int64(len(jobs)) {
+		t.Fatalf("clean async shutdown lost jobs: %d of %d", d.Core().Observed(), len(jobs))
+	}
+	if got := d.Core().Snapshot(); !reference(jobs).Equal(got) {
+		t.Fatal("async-recovered partition differs from reference")
+	}
+}
+
+// Concurrent observes with a checkpoint racing them: everything lands, and
+// a restart recovers the same partition (run under -race this also checks
+// the locking).
+func TestConcurrentObservesWithCheckpoints(t *testing.T) {
+	jobs := testJobs(8, 400)
+	dir := t.TempDir()
+	opts := Options{Dir: dir, Shards: 4, SyncInterval: time.Millisecond}
+	d := mustOpen(t, opts)
+	done := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			for i := w; i < len(jobs); i += 4 {
+				if err := d.Observe(jobs[i]); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for i := 0; i < 3; i++ {
+		if err := d.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d = mustOpen(t, opts)
+	defer d.Close()
+	if d.Core().Observed() != int64(len(jobs)) {
+		t.Fatalf("recovered %d of %d jobs", d.Core().Observed(), len(jobs))
+	}
+	if got := d.Core().Snapshot(); !reference(jobs).Equal(got) {
+		t.Fatal("recovered partition differs from reference")
+	}
+}
+
+func TestOpenRejectsBadDirs(t *testing.T) {
+	if _, err := Open(Options{}); err == nil {
+		t.Error("empty dir accepted")
+	}
+	// WALs without any checkpoint: refuse rather than guess.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "wal-3"), []byte(walMagic), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir}); err == nil {
+		t.Error("wal-only dir accepted")
+	}
+}

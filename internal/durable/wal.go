@@ -1,0 +1,503 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"filecule/internal/trace"
+)
+
+// The write-ahead observe log. One file per epoch, named wal-<epoch>:
+//
+//	"filecule-wal/v1\n"
+//	'H' header chunk: uvarint epoch, uvarint base observed-count
+//	'O' chunks:       uvarint job count, then per job a uvarint file count
+//	                  followed by (zigzag delta-start, uvarint length) runs
+//	                  covering exactly that many files (order and
+//	                  duplicates preserved)
+//
+// There is no end chunk: the log is append-only and a clean EOF at a frame
+// boundary is the only well-formed ending. Every 'O' chunk is one group
+// -commit batch, written with a single write(), so a crash can only tear
+// the final frame — which the CRC frame detects and recovery truncates.
+//
+// Group commit: appenders copy their raw file lists into an in-memory
+// arena under a short mutex — run-encoding is deferred to the committer
+// goroutine, keeping the observe hot path to a memcpy. The committer
+// encodes and write()s a batch whenever the arena fills, and fsyncs on
+// the sync cadence (async mode) or before releasing appenders (strict
+// mode — the classic group commit, so concurrent appenders amortize one
+// fsync). Async mode never blocks an observe on fsync; the price is that
+// a crash loses at most the observes of the last sync interval.
+
+const walMagic = "filecule-wal/v1\n"
+
+const (
+	walKindHeader   = 'H'
+	walKindObserves = 'O'
+)
+
+// maxJobFiles bounds one job's input-set size on the wire, so corrupt run
+// lengths cannot drive huge allocations during replay.
+const maxJobFiles = 1 << 20
+
+// maxWireFileID bounds decoded file IDs (FileID is an int32).
+const maxWireFileID = int64(1) << 31
+
+// walFlushIDs triggers an early flush when a batch's arena grows past this
+// many file IDs, keeping memory bounded under observe bursts faster than
+// the sync cadence.
+const walFlushIDs = 1 << 18
+
+var walCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// appendUv is binary.AppendUvarint with a fast path for one-byte values,
+// which run deltas and lengths almost always are. The committer encodes
+// two varints per run for every observed job, so the branch pays for
+// itself many times over on a single-core host where committer CPU is
+// stolen directly from the observe path.
+func appendUv(dst []byte, v uint64) []byte {
+	if v < 0x80 {
+		return append(dst, byte(v))
+	}
+	return binary.AppendUvarint(dst, v)
+}
+
+// appendJobIDs encodes one job record: a uvarint file count, then runs of
+// consecutive IDs as (zigzag delta from the previous run's end, uvarint
+// length). Prefixing the file count instead of the run count (as
+// trace.AppendFileRuns does) lets the committer encode in a single pass —
+// this is the WAL's hot loop, fed the raw arena for every observed job.
+func appendJobIDs(dst []byte, ids []trace.FileID) []byte {
+	dst = appendUv(dst, uint64(len(ids)))
+	prev := int64(0)
+	for i := 0; i < len(ids); {
+		j := i + 1
+		for j < len(ids) && ids[j] == ids[j-1]+1 {
+			j++
+		}
+		start := int64(ids[i])
+		d := uint64(start-prev) << 1 // inline zigzag
+		if start < prev {
+			d = ^d
+		}
+		dst = appendUv(dst, d)
+		dst = appendUv(dst, uint64(j-i))
+		prev = start + int64(j-i)
+		i = j
+	}
+	return dst
+}
+
+// jobIDs decodes one appendJobIDs record into dst, validating that the
+// runs cover exactly the declared file count and every ID is in range.
+func jobIDs(p *trace.Payload, dst []trace.FileID) []trace.FileID {
+	nf := p.Uvarint()
+	if p.Err() != nil {
+		return dst
+	}
+	if nf > maxJobFiles {
+		p.Fail("job of %d files exceeds limit %d", nf, maxJobFiles)
+		return dst
+	}
+	left := int64(nf)
+	prev := int64(0)
+	for left > 0 {
+		start := prev + p.Zvarint()
+		length := p.Uvarint()
+		if p.Err() != nil {
+			return dst
+		}
+		if length == 0 || int64(length) > left {
+			p.Fail("run length %d with %d files left in job", length, left)
+			return dst
+		}
+		if start < 0 || start+int64(length) > maxWireFileID {
+			p.Fail("run [%d,%d) outside file-ID range", start, start+int64(length))
+			return dst
+		}
+		for id := start; id < start+int64(length); id++ {
+			dst = append(dst, trace.FileID(id))
+		}
+		prev = start + int64(length)
+		left -= int64(length)
+	}
+	return dst
+}
+
+// appendFrame appends one CRC chunk frame (same layout trace.WriteChunk
+// emits) to dst, so a whole group-commit batch lands in one write call.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, walCRC))
+	return append(dst, crc[:]...)
+}
+
+// wal is the group-commit writer. It survives rotations: Checkpoint swaps
+// the underlying file while the committer goroutine and counters carry on.
+type wal struct {
+	strict   bool
+	interval time.Duration
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	f           *os.File
+	path        string
+	epoch       uint64
+	pendIDs     []trace.FileID // flat arena of the accumulating batch's file lists
+	pendLens    []int          // per-job list lengths within pendIDs
+	spareIDs    []trace.FileID // committer-returned buffers for the next batch
+	spareLens   []int
+	seq         int64 // batch number the accumulating records belong to
+	writtenSeq  int64 // highest batch number handed to write()
+	syncedSeq   int64 // highest batch number durably on disk
+	writtenJobs int64 // jobs written since the last fsync
+	err         error // sticky: first write/sync failure poisons the log
+
+	kick     chan struct{} // write the arena out (fsync only if strict)
+	kickSync chan struct{} // write and fsync everything appended so far
+	stop     chan struct{}
+	done     chan struct{}
+
+	appended atomic.Int64 // jobs accepted into the log
+	synced   atomic.Int64 // jobs durably synced
+
+	payload []byte // committer-owned payload assembly buffer
+	frame   []byte // committer-owned frame assembly buffer
+}
+
+// newWAL returns a writer over f (already positioned at its append point,
+// magic and header written) and starts the committer.
+func newWAL(f *os.File, path string, epoch uint64, strict bool, interval time.Duration) *wal {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	w := &wal{
+		strict:   strict,
+		interval: interval,
+		f:        f,
+		path:     path,
+		epoch:    epoch,
+		seq:      1, // batch 0 is "already synced": nothing
+		kick:     make(chan struct{}, 1),
+		kickSync: make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	go w.run()
+	return w
+}
+
+// AppendBatch copies jobs into the accumulating batch's arena. In strict
+// mode it returns once the records are fsynced (an error means they may
+// not be durable); in async mode it returns after the in-memory copy and
+// the committer encodes and syncs on its cadence.
+func (w *wal) AppendBatch(jobs [][]trace.FileID) error {
+	w.mu.Lock()
+	// Backpressure: when observes outrun the committer, wait for the
+	// in-flight flush instead of growing the arena without bound. This
+	// caps memory (and the async-mode loss window) at about two batches.
+	for len(w.pendIDs) >= walFlushIDs && w.err == nil {
+		w.kickCommitter()
+		w.cond.Wait()
+	}
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	for _, files := range jobs {
+		w.pendIDs = append(w.pendIDs, files...)
+		w.pendLens = append(w.pendLens, len(files))
+	}
+	w.appended.Add(int64(len(jobs)))
+	seq := w.seq
+	if w.strict {
+		w.kickCommitter()
+		for w.syncedSeq < seq && w.err == nil {
+			w.cond.Wait()
+		}
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	big := len(w.pendIDs) >= walFlushIDs
+	w.mu.Unlock()
+	if big {
+		w.kickCommitter()
+	}
+	return nil
+}
+
+// Append encodes one job's input set (see AppendBatch).
+func (w *wal) Append(files []trace.FileID) error {
+	return w.AppendBatch([][]trace.FileID{files})
+}
+
+func (w *wal) kickCommitter() {
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+}
+
+// SyncNow flushes the accumulating batch and blocks until everything
+// appended so far is durably on disk.
+func (w *wal) SyncNow() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	target := w.seq - 1
+	if len(w.pendLens) > 0 {
+		target = w.seq
+	}
+	for w.syncedSeq < target && w.err == nil {
+		select {
+		case w.kickSync <- struct{}{}:
+		default:
+		}
+		w.cond.Wait()
+	}
+	return w.err
+}
+
+// Rotate swaps in a new epoch's file (magic and header already written and
+// synced by the caller). The caller must have quiesced appends and called
+// SyncNow; the old file is closed here.
+func (w *wal) Rotate(f *os.File, path string, epoch uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.pendLens) != 0 {
+		return fmt.Errorf("durable: wal rotate with %d unsynced jobs pending", len(w.pendLens))
+	}
+	err := w.f.Close()
+	w.f, w.path, w.epoch = f, path, epoch
+	if err != nil && w.err == nil {
+		w.err = err
+	}
+	return err
+}
+
+// Close stops the committer, flushes and syncs the final batch, and closes
+// the file.
+func (w *wal) Close() error {
+	close(w.stop)
+	<-w.done
+	err := w.SyncNow()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// run is the committer: it owns all file writes, so batches hit the log in
+// seq order with no write lock held during write or fsync. Arena-full
+// kicks only write (bounding memory without paying fsync latency); the
+// ticker and SyncNow kicks also fsync, bounding the async loss window to
+// the sync interval.
+func (w *wal) run() {
+	defer close(w.done)
+	t := time.NewTicker(w.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			w.flush(true)
+			return
+		case <-w.kickSync:
+			w.flush(true)
+		case <-w.kick:
+			w.flush(false)
+		case <-t.C:
+			w.flush(true)
+		}
+	}
+}
+
+// flush swaps the accumulating batch's arena out under the mutex, then
+// run-encodes it into one 'O' frame and writes it — all outside the lock,
+// overlapping with new appends. With sync (or in strict mode) it also
+// fsyncs, marking every written batch durable.
+func (w *wal) flush(sync bool) {
+	w.mu.Lock()
+	sync = sync || w.strict
+	n := len(w.pendLens)
+	if w.err != nil || (n == 0 && (!sync || w.syncedSeq == w.writtenSeq)) {
+		w.mu.Unlock()
+		return
+	}
+	var seq int64
+	ids, lens := w.pendIDs, w.pendLens
+	if n > 0 {
+		seq = w.seq
+		w.pendIDs, w.pendLens = w.spareIDs[:0], w.spareLens[:0]
+		w.seq++
+		// The arena is empty again: wake appenders blocked on backpressure
+		// now, so they refill it while this batch encodes and writes.
+		w.cond.Broadcast()
+	}
+	f := w.f
+	w.mu.Unlock()
+
+	var payload, full []byte
+	var err error
+	if n > 0 {
+		payload = append(w.payload[:0], walKindObserves)
+		payload = binary.AppendUvarint(payload, uint64(n))
+		off := 0
+		for _, l := range lens {
+			payload = appendJobIDs(payload, ids[off:off+l])
+			off += l
+		}
+		full = appendFrame(w.frame[:0], payload)
+		_, err = f.Write(full)
+	}
+	if err == nil && sync {
+		err = f.Sync()
+	}
+
+	w.mu.Lock()
+	if n > 0 {
+		w.payload, w.frame = payload, full
+		w.spareIDs, w.spareLens = ids, lens
+	}
+	if err != nil {
+		if w.err == nil {
+			w.err = fmt.Errorf("durable: wal %s: %w", w.path, err)
+		}
+	} else {
+		if n > 0 {
+			w.writtenSeq = seq
+			w.writtenJobs += int64(n)
+		}
+		if sync {
+			w.syncedSeq = w.writtenSeq
+			w.synced.Add(w.writtenJobs)
+			w.writtenJobs = 0
+		}
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// Err returns the sticky failure, if any.
+func (w *wal) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// createWalFile creates dir/wal-<epoch> with magic and header written and
+// fsynced, and the directory entry fsynced, returning the open file
+// positioned for appends.
+func createWalFile(dir string, epoch uint64, base int64) (*os.File, string, error) {
+	path := walPath(dir, epoch)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, "", err
+	}
+	hdr := []byte{walKindHeader}
+	hdr = binary.AppendUvarint(hdr, epoch)
+	hdr = binary.AppendUvarint(hdr, uint64(base))
+	buf := append([]byte(walMagic), appendFrame(nil, hdr)...)
+	if _, err := f.Write(buf); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, "", fmt.Errorf("durable: create %s: %w", path, err)
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, "", err
+	}
+	return f, path, nil
+}
+
+// walReplay streams one WAL file into apply, batch-atomically: a chunk's
+// jobs are fully decoded and validated before any of them is applied, so a
+// corrupt chunk never half-applies. It returns the number of jobs applied
+// and, when the file's tail is unusable, the byte offset the file is valid
+// up to (-1 when the whole file is well-formed) together with the error
+// that ended the scan.
+func walReplay(path string, wantEpoch uint64, wantBase int64, apply func([]trace.FileID)) (jobs int64, validTo int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+
+	var magic [len(walMagic)]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return 0, 0, fmt.Errorf("durable: %s: bad magic: %w", path, err)
+	}
+	if string(magic[:]) != walMagic {
+		return 0, 0, fmt.Errorf("durable: %s: bad magic %q", path, magic[:])
+	}
+	cr := trace.NewChunkReader(f)
+	kind, payload, err := cr.ReadChunk()
+	if err != nil {
+		return 0, 0, fmt.Errorf("durable: %s: header: %w", path, err)
+	}
+	if kind != walKindHeader {
+		return 0, 0, fmt.Errorf("durable: %s: first chunk kind %q, want header", path, kind)
+	}
+	p := trace.NewPayload(payload)
+	epoch := p.Uvarint()
+	base := p.Uvarint()
+	if p.Err() != nil || p.Remaining() != 0 {
+		return 0, 0, fmt.Errorf("durable: %s: malformed header: %v", path, p.Err())
+	}
+	if epoch != wantEpoch {
+		return 0, 0, fmt.Errorf("durable: %s: header epoch %d, want %d", path, epoch, wantEpoch)
+	}
+	if int64(base) != wantBase {
+		return 0, 0, fmt.Errorf("durable: %s: base observed-count %d does not chain from %d", path, base, wantBase)
+	}
+
+	var batch [][]trace.FileID
+	var arena []trace.FileID
+	for {
+		boundary := int64(len(walMagic)) + cr.Offset()
+		kind, payload, err := cr.ReadChunk()
+		if err == io.EOF {
+			return jobs, -1, nil
+		}
+		if err != nil {
+			return jobs, boundary, fmt.Errorf("durable: %s: %w", path, err)
+		}
+		if kind != walKindObserves {
+			return jobs, boundary, fmt.Errorf("durable: %s: chunk at byte offset %d: unexpected kind %q", path, boundary, kind)
+		}
+		p := trace.NewPayload(payload)
+		n := p.Count("job")
+		batch = batch[:0]
+		arena = arena[:0]
+		for i := 0; i < n && p.Err() == nil; i++ {
+			start := len(arena)
+			arena = jobIDs(p, arena)
+			batch = append(batch, arena[start:len(arena):len(arena)])
+		}
+		if p.Err() == nil && p.Remaining() != 0 {
+			p.Fail("%d bytes after last job record", p.Remaining())
+		}
+		if p.Err() != nil {
+			return jobs, boundary, fmt.Errorf("durable: %s: chunk %q at byte offset %d: %v", path, kind, boundary, p.Err())
+		}
+		for _, files := range batch {
+			apply(files)
+		}
+		jobs += int64(n)
+	}
+}

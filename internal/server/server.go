@@ -36,6 +36,7 @@ import (
 
 	"filecule/internal/cache"
 	"filecule/internal/core"
+	"filecule/internal/durable"
 	"filecule/internal/trace"
 )
 
@@ -63,6 +64,11 @@ type Config struct {
 	// filecule_engine_shards gauge so observe-path regressions can be
 	// correlated with the shard layout in production.
 	EngineShards int
+	// Durable, when set, makes observes WAL-ahead through the durability
+	// layer (its engine becomes the serving engine, so recovered state is
+	// what the server answers from) and mounts POST /v1/admin/checkpoint.
+	// A WAL append failure answers 500 and the job is not applied.
+	Durable *durable.Engine
 }
 
 func (c *Config) maxBody() int64 {
@@ -106,9 +112,13 @@ type Server struct {
 
 // New builds a Server from the configuration.
 func New(cfg Config) *Server {
+	monitor := core.NewMonitorShards(cfg.EngineShards)
+	if cfg.Durable != nil {
+		monitor = core.NewMonitorEngine(cfg.Durable.Core())
+	}
 	s := &Server{
 		cfg:     cfg,
-		monitor: core.NewMonitorShards(cfg.EngineShards),
+		monitor: monitor,
 		metrics: NewMetrics(),
 		mux:     http.NewServeMux(),
 	}
@@ -121,6 +131,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/partition", s.metrics.instrument("partition", s.handlePartition))
 	s.mux.HandleFunc("GET /v1/partition/summary", s.metrics.instrument("summary", s.handleSummary))
 	s.mux.HandleFunc("POST /v1/cache/advise", s.metrics.instrument("advise", s.handleAdvise))
+	if cfg.Durable != nil {
+		s.mux.HandleFunc("POST /v1/admin/checkpoint", s.metrics.instrument("checkpoint", s.handleCheckpoint))
+	}
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -317,7 +330,14 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.monitor.Observe(body.Files)
+	if s.cfg.Durable != nil {
+		if err := s.cfg.Durable.Observe(body.Files); err != nil {
+			writeError(w, http.StatusInternalServerError, "wal append: %v", err)
+			return
+		}
+	} else {
+		s.monitor.Observe(body.Files)
+	}
 	writeJSON(w, http.StatusOK, ObserveResult{
 		Observed:  s.monitor.Observed(),
 		Filecules: s.monitor.NumFilecules(),
@@ -341,10 +361,41 @@ func (s *Server) handleObserveBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		jobs[i] = j.Files
 	}
-	s.monitor.ObserveBatch(jobs)
+	if s.cfg.Durable != nil {
+		if err := s.cfg.Durable.ObserveBatch(jobs); err != nil {
+			writeError(w, http.StatusInternalServerError, "wal append: %v", err)
+			return
+		}
+	} else {
+		s.monitor.ObserveBatch(jobs)
+	}
 	writeJSON(w, http.StatusOK, ObserveResult{
 		Observed:  s.monitor.Observed(),
 		Filecules: s.monitor.NumFilecules(),
+	})
+}
+
+// CheckpointResult is the POST /v1/admin/checkpoint response.
+type CheckpointResult struct {
+	Epoch    uint64 `json:"epoch"`
+	Observed int64  `json:"observed"`
+	Groups   int    `json:"groups"`
+	Reused   int    `json:"reused"`
+	Bytes    int64  `json:"bytes"`
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if err := s.cfg.Durable.Checkpoint(); err != nil {
+		writeError(w, http.StatusInternalServerError, "checkpoint: %v", err)
+		return
+	}
+	st := s.cfg.Durable.Stats()
+	writeJSON(w, http.StatusOK, CheckpointResult{
+		Epoch:    st.Epoch,
+		Observed: s.monitor.Observed(),
+		Groups:   st.LastGroups,
+		Reused:   st.LastReused,
+		Bytes:    st.LastBytes,
 	})
 }
 
@@ -500,4 +551,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "filecule_engine_shards %d\n", s.monitor.Shards())
 	fmt.Fprintf(w, "# TYPE filecule_engine_blocks gauge\n")
 	fmt.Fprintf(w, "filecule_engine_blocks %d\n", s.monitor.Blocks())
+	if s.cfg.Durable != nil {
+		st := s.cfg.Durable.Stats()
+		fmt.Fprintf(w, "# TYPE filecule_wal_appended_jobs_total counter\n")
+		fmt.Fprintf(w, "filecule_wal_appended_jobs_total %d\n", st.WALAppended)
+		fmt.Fprintf(w, "# TYPE filecule_wal_synced_jobs_total counter\n")
+		fmt.Fprintf(w, "filecule_wal_synced_jobs_total %d\n", st.WALSynced)
+		fmt.Fprintf(w, "# TYPE filecule_state_epoch gauge\n")
+		fmt.Fprintf(w, "filecule_state_epoch %d\n", st.Epoch)
+		fmt.Fprintf(w, "# TYPE filecule_checkpoints_total counter\n")
+		fmt.Fprintf(w, "filecule_checkpoints_total %d\n", st.Checkpoints)
+	}
 }

@@ -198,18 +198,7 @@ func appendBinString(p []byte, s string) []byte {
 }
 
 func (bw *BinWriter) writeChunk(payload []byte) error {
-	var hdr [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
-	if _, err := bw.w.Write(hdr[:n]); err != nil {
-		return err
-	}
-	if _, err := bw.w.Write(payload); err != nil {
-		return err
-	}
-	var crc [4]byte
-	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, binCRC))
-	_, err := bw.w.Write(crc[:])
-	return err
+	return WriteChunk(bw.w, payload)
 }
 
 // WriteJob appends one job to the stream. Jobs must arrive with dense,
@@ -575,42 +564,15 @@ func (b *binBuf) str(intern func([]byte) string) string {
 	return intern(raw)
 }
 
-// binChunkReader reads length-prefixed CRC-checked chunks, reusing one
-// payload buffer.
-type binChunkReader struct {
-	br      *bufio.Reader
-	payload []byte
-}
-
-// readChunk returns the next chunk's kind and payload (aliasing the reused
-// buffer; valid until the next call). io.EOF means a clean end of input at
-// a chunk boundary — callers decide whether that is legal there.
-func (cr *binChunkReader) readChunk() (byte, []byte, error) {
-	n, err := binary.ReadUvarint(cr.br)
-	if err == io.EOF {
-		return 0, nil, io.EOF
+// readBinChunk reads the next chunk through the shared CRC frame reader,
+// prefixing failures with the codec name. io.EOF means a clean end of input
+// at a chunk boundary — callers decide whether that is legal there.
+func readBinChunk(cr *ChunkReader) (byte, []byte, error) {
+	kind, payload, err := cr.ReadChunk()
+	if err != nil && err != io.EOF {
+		return 0, nil, fmt.Errorf("trace: bin: %w", err)
 	}
-	if err != nil {
-		return 0, nil, fmt.Errorf("trace: bin: bad chunk length: %w", err)
-	}
-	if n == 0 || n > maxBinChunkPayload {
-		return 0, nil, fmt.Errorf("trace: bin: chunk payload length %d out of range", n)
-	}
-	if uint64(cap(cr.payload)) < n {
-		cr.payload = make([]byte, n)
-	}
-	payload := cr.payload[:n]
-	if _, err := io.ReadFull(cr.br, payload); err != nil {
-		return 0, nil, fmt.Errorf("trace: bin: truncated chunk payload: %w", err)
-	}
-	var crc [4]byte
-	if _, err := io.ReadFull(cr.br, crc[:]); err != nil {
-		return 0, nil, fmt.Errorf("trace: bin: truncated chunk CRC: %w", err)
-	}
-	if got, want := crc32.Checksum(payload, binCRC), binary.LittleEndian.Uint32(crc[:]); got != want {
-		return 0, nil, fmt.Errorf("trace: bin: chunk CRC mismatch (got %08x, want %08x)", got, want)
-	}
-	return payload[0], payload, nil
+	return kind, payload, err
 }
 
 // binPreallocCap bounds pre-sized catalog allocations: a corrupt count can
@@ -1162,7 +1124,7 @@ func (c *binJobChunk) fill(j *Job, i int) {
 // time, reusing all decode buffers: draining an N-job trace allocates
 // O(catalog + distinct strings + chunk high-water mark), not O(N).
 type BinSource struct {
-	cr    binChunkReader
+	cr    *ChunkReader
 	files []File
 	users []User
 	sites []Site
@@ -1192,10 +1154,10 @@ func NewBinSource(r io.Reader) (*BinSource, error) {
 		return nil, fmt.Errorf("trace: bin: bad magic %q (want %q)", magic[:], binMagic)
 	}
 	s := &BinSource{
-		cr:    binChunkReader{br: br},
+		cr:    NewChunkReader(br),
 		names: make(map[string]string),
 	}
-	kind, payload, err := s.cr.readChunk()
+	kind, payload, err := readBinChunk(s.cr)
 	if err == io.EOF {
 		return nil, fmt.Errorf("trace: bin: missing catalog chunk")
 	}
@@ -1242,7 +1204,7 @@ func (s *BinSource) Next() (*Job, error) {
 		return nil, s.err
 	}
 	for s.idx >= s.chunk.n {
-		kind, payload, err := s.cr.readChunk()
+		kind, payload, err := readBinChunk(s.cr)
 		if err == io.EOF {
 			err = fmt.Errorf("trace: bin: truncated stream (missing end chunk)")
 		}
@@ -1271,7 +1233,7 @@ func (s *BinSource) Next() (*Job, error) {
 				s.err = fmt.Errorf("trace: bin: end chunk declares %d jobs, stream had %d", total, s.seen)
 				return nil, s.err
 			}
-			if _, _, err := s.cr.readChunk(); err != io.EOF {
+			if _, _, err := readBinChunk(s.cr); err != io.EOF {
 				s.err = fmt.Errorf("trace: bin: data after end chunk")
 				return nil, s.err
 			}
@@ -1317,8 +1279,8 @@ func ReadBin(r io.Reader) (*Trace, error) {
 	if string(magic[:]) != binMagic {
 		return nil, fmt.Errorf("trace: bin: bad magic %q (want %q)", magic[:], binMagic)
 	}
-	cr := binChunkReader{br: br}
-	kind, payload, err := cr.readChunk()
+	cr := NewChunkReader(br)
+	kind, payload, err := readBinChunk(cr)
 	if err == io.EOF {
 		return nil, fmt.Errorf("trace: bin: missing catalog chunk")
 	}
@@ -1335,9 +1297,9 @@ func ReadBin(r io.Reader) (*Trace, error) {
 
 	var t *Trace
 	if runtime.GOMAXPROCS(0) > 1 {
-		t, err = readBinParallel(&cr, files, users, sites)
+		t, err = readBinParallel(cr, files, users, sites)
 	} else {
-		t, err = readBinSerial(&cr, files, users, sites)
+		t, err = readBinSerial(cr, files, users, sites)
 	}
 	if err != nil {
 		return nil, err
@@ -1352,7 +1314,7 @@ func ReadBin(r io.Reader) (*Trace, error) {
 // chunk struct and interning strings across the whole stream. Decoded jobs
 // append straight into the trace — no per-chunk job slices or payload
 // copies.
-func readBinSerial(cr *binChunkReader, files []File, users []User, sites []Site) (*Trace, error) {
+func readBinSerial(cr *ChunkReader, files []File, users []User, sites []Site) (*Trace, error) {
 	t := &Trace{Files: files, Users: users, Sites: sites}
 	names := make(map[string]string)
 	intern := func(b []byte) string {
@@ -1365,7 +1327,7 @@ func readBinSerial(cr *binChunkReader, files []File, users []User, sites []Site)
 	}
 	var c binJobChunk
 	for {
-		kind, payload, err := cr.readChunk()
+		kind, payload, err := readBinChunk(cr)
 		if err == io.EOF {
 			return nil, fmt.Errorf("trace: bin: truncated stream (missing end chunk)")
 		}
@@ -1405,7 +1367,7 @@ func readBinSerial(cr *binChunkReader, files []File, users []User, sites []Site)
 			if total != uint64(len(t.Jobs)) {
 				return nil, fmt.Errorf("trace: bin: end chunk declares %d jobs, stream had %d", total, len(t.Jobs))
 			}
-			if _, _, err := cr.readChunk(); err != io.EOF {
+			if _, _, err := readBinChunk(cr); err != io.EOF {
 				return nil, fmt.Errorf("trace: bin: data after end chunk")
 			}
 			return t, nil
@@ -1419,7 +1381,7 @@ func readBinSerial(cr *binChunkReader, files []File, users []User, sites []Site)
 
 // readBinParallel fans job-chunk payloads out to a decode worker pool and
 // reassembles the results in firstID order.
-func readBinParallel(cr *binChunkReader, files []File, users []User, sites []Site) (*Trace, error) {
+func readBinParallel(cr *ChunkReader, files []File, users []User, sites []Site) (*Trace, error) {
 	type task struct {
 		idx     int
 		payload []byte
@@ -1477,7 +1439,7 @@ func readBinParallel(cr *binChunkReader, files []File, users []User, sites []Sit
 		nChunks int
 	)
 	for {
-		kind, payload, err := cr.readChunk()
+		kind, payload, err := readBinChunk(cr)
 		if err == io.EOF {
 			if !sawEnd {
 				readErr = fmt.Errorf("trace: bin: truncated stream (missing end chunk)")
