@@ -14,7 +14,7 @@ BENCHDIR ?= .bench
 BENCHPAT ?= SweepEngine$$|SweepSequential$$|CacheReplay|Server|Observe|Snapshot|DecodeText$$|DecodeBin$$
 BENCH_TOLERANCE ?= 0.15
 
-.PHONY: all build fmt-check vet test race fuzz-smoke kill-recover bench \
+.PHONY: all build fmt-check vet test race fuzz-smoke kill-recover chaos bench \
 	selftest ci bench-json bench-gate bench-baseline
 
 all: ci
@@ -46,13 +46,23 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzAdviseConsistency -fuzztime=$(FUZZTIME) ./internal/server
 	$(GO) test -run=^$$ -fuzz=FuzzCheckpoint -fuzztime=$(FUZZTIME) ./internal/durable
 	$(GO) test -run=^$$ -fuzz=FuzzWAL -fuzztime=$(FUZZTIME) ./internal/durable
+	$(GO) test -run=^$$ -fuzz=FuzzSiteSplit -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run=^$$ -fuzz=FuzzFedExchange -fuzztime=$(FUZZTIME) ./internal/fed
 
-# Crash-safety differential: SIGKILL a race-built filecule-serve at
+# Crash-safety differentials: SIGKILL a race-built filecule-serve at
 # randomized points and verify recovery never loses an acknowledged observe
-# and always converges to the batch-identification partition (see
-# killrecover_test.go; the harness is behind the slow build tag).
+# and always converges to the batch-identification partition — standalone
+# (killrecover_test.go) and as a federated pair that must reconverge after
+# a site rejoins (fedkillrecover_test.go). Behind the slow build tag.
 kill-recover:
-	$(GO) test -race -tags slow -run TestKillAndRecover .
+	$(GO) test -race -tags slow -run 'TestKillAndRecover|TestFedKillAndRecover' .
+
+# Federation fault-injection differential: the seeded drop/delay/duplicate/
+# corrupt/partition matrix (internal/fed/chaos_slow_test.go) must still
+# converge every site to the byte-identical single-node partition, under
+# the race detector.
+chaos:
+	$(GO) test -race -tags slow -run TestChaosMatrix ./internal/fed
 
 bench:
 	$(GO) test -run=^$$ -bench=. -benchmem .
@@ -87,5 +97,5 @@ bench-baseline: bench-json
 selftest:
 	$(GO) run ./cmd/filecule-serve -selftest
 
-ci: fmt-check vet build race fuzz-smoke kill-recover
+ci: fmt-check vet build race fuzz-smoke kill-recover chaos
 	@echo "ci: all green"

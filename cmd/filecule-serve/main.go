@@ -5,6 +5,7 @@
 //	filecule-serve -addr :8080 -scale 0.05          # serve a synthetic catalog
 //	filecule-serve -addr :8080 -trace trace.txt     # serve a trace's catalog
 //	filecule-serve -selftest                        # closed-loop verification
+//	filecule-serve -site a -peers http://b:9090     # federate with another site
 //
 // In -selftest mode the command starts an in-process server on a loopback
 // port, replays a synthetic trace against it from -clients concurrent
@@ -30,6 +31,7 @@ import (
 	"filecule/internal/cli"
 	"filecule/internal/core"
 	"filecule/internal/durable"
+	"filecule/internal/fed"
 	"filecule/internal/server"
 	"filecule/internal/trace"
 )
@@ -51,10 +53,24 @@ func main() {
 		stateDir = flag.String("state-dir", "", "durable state directory (checkpoints + write-ahead log; empty = in-memory only)")
 		ckptInt  = flag.Duration("checkpoint-interval", 0, "background checkpoint cadence (requires -state-dir; 0 = 30s with a state dir)")
 		walSync  = flag.String("wal-sync", "50ms", "WAL group-commit cadence, or \"commit\" to fsync before acknowledging every observe")
+		walSeg   = flag.Int64("wal-segment-bytes", 0, "roll the WAL to a new segment at this size (requires -state-dir; 0 = 64 MiB)")
+		site     = flag.String("site", "", "this site's name in a federation (required with -peers)")
+		peers    = flag.String("peers", "", "comma-separated peer base URLs to exchange signature tables with")
+		exchInt  = flag.Duration("exchange-interval", time.Second, "steady-state federation exchange cadence per peer")
+		peerTO   = flag.Duration("peer-timeout", 2*time.Second, "bound on one federation exchange round-trip")
 	)
 	flag.Parse()
 
 	dopts, err := durableOptions(*stateDir, *ckptInt, *walSync, *shards)
+	if err != nil {
+		fatal(err)
+	}
+	if dopts != nil {
+		dopts.SegmentBytes = *walSeg
+	} else if *walSeg != 0 {
+		fatal(fmt.Errorf("filecule-serve: -wal-segment-bytes requires -state-dir"))
+	}
+	fedCfg, err := fedConfig(*site, *peers, *exchInt, *peerTO)
 	if err != nil {
 		fatal(err)
 	}
@@ -67,6 +83,7 @@ func main() {
 		ShutdownGrace: *grace,
 		ReadTimeout:   *rdTO,
 		WriteTimeout:  *wrTO,
+		Fed:           fedCfg,
 	}
 
 	if *selftest {
@@ -116,6 +133,31 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("filecule-serve: drained and stopped")
+}
+
+// fedConfig validates the federation flag set. A nil result means the
+// server runs standalone.
+func fedConfig(site, peers string, interval, timeout time.Duration) (*fed.Config, error) {
+	if site == "" {
+		if peers != "" {
+			return nil, fmt.Errorf("filecule-serve: -peers requires -site")
+		}
+		return nil, nil
+	}
+	cfg := &fed.Config{
+		Site:     site,
+		Interval: interval,
+		Timeout:  timeout,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "filecule-serve: fed: "+format+"\n", args...)
+		},
+	}
+	for _, p := range strings.Split(peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			cfg.Peers = append(cfg.Peers, p)
+		}
+	}
+	return cfg, nil
 }
 
 // durableOptions validates the durability flag set. A nil result means the

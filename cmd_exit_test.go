@@ -112,9 +112,29 @@ func TestDurableExitCodes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds filecule-serve and runs selftests; skipped in -short mode")
 	}
-	bins := buildCmds(t, "filecule-serve")
+	bins := buildCmds(t, "filecule-serve", "filecule-state")
 	serve := bins["filecule-serve"]
+	state := bins["filecule-state"]
 	tiny := []string{"-scale", "0.001", "-seed", "1"}
+
+	// filecule-state usage contract: missing or unknown subcommands and a
+	// missing -dir are usage errors; a nonexistent directory is operational.
+	for _, tc := range []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"state no subcommand", nil, 2},
+		{"state unknown subcommand", []string{"restore"}, 2},
+		{"state dump without dir", []string{"dump"}, 2},
+		{"state dump missing dir", []string{"dump", "-dir", filepath.Join(t.TempDir(), "nope")}, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if got, out := exitCode(t, state, tc.args...); got != tc.want {
+				t.Errorf("exit %d, want %d\noutput:\n%s", got, tc.want, out)
+			}
+		})
+	}
 
 	// Flag contract: checkpointing without a state directory, an
 	// unparseable sync cadence, and an uncreatable state directory are all
@@ -126,6 +146,8 @@ func TestDurableExitCodes(t *testing.T) {
 		{"checkpoint-interval without state-dir", []string{"-checkpoint-interval", "1s"}},
 		{"bad wal-sync", append([]string{"-selftest", "-state-dir", t.TempDir(), "-wal-sync", "sometimes"}, tiny...)},
 		{"unwritable state dir", append([]string{"-selftest", "-state-dir", "/dev/null/state"}, tiny...)},
+		{"peers without site", []string{"-peers", "http://127.0.0.1:1"}},
+		{"wal-segment-bytes without state-dir", []string{"-wal-segment-bytes", "1048576"}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			if got, out := exitCode(t, serve, tc.args...); got != 1 {
@@ -140,6 +162,16 @@ func TestDurableExitCodes(t *testing.T) {
 	if got, out := exitCode(t, serve,
 		append([]string{"-selftest", "-state-dir", stateDir, "-wal-sync", "commit"}, tiny...)...); got != 0 {
 		t.Fatalf("durable selftest: exit %d\n%s", got, out)
+	}
+
+	// A clean state directory dumps with exit 0 and shows the epoch chain.
+	if got, out := exitCode(t, state, "dump", "-dir", stateDir); got != 0 {
+		t.Errorf("dump of clean state dir: exit %d\n%s", got, out)
+	} else if !strings.Contains(out, "checkpoint-") || !strings.Contains(out, "wal-") {
+		t.Errorf("dump output missing the epoch chain:\n%s", out)
+	}
+	if got, out := exitCode(t, state, "dump", "-dir", stateDir, "-groups"); got != 0 || !strings.Contains(out, "group ") {
+		t.Errorf("dump -groups: exit %d, per-group lines missing\n%s", got, out)
 	}
 
 	// Corrupt every checkpoint and remove the WALs: startup must refuse to
@@ -176,6 +208,15 @@ func TestDurableExitCodes(t *testing.T) {
 	}
 	if !strings.Contains(out, "byte offset") {
 		t.Errorf("corruption error does not name the byte offset:\n%s", out)
+	}
+
+	// The dump subcommand must agree: exit 1 and name the byte offset.
+	got, out = exitCode(t, state, "dump", "-dir", stateDir)
+	if got != 1 {
+		t.Errorf("dump of corrupt state dir: exit %d, want 1\noutput:\n%s", got, out)
+	}
+	if !strings.Contains(out, "byte offset") {
+		t.Errorf("dump corruption finding does not name the byte offset:\n%s", out)
 	}
 }
 

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"filecule/internal/trace"
+)
+
+// Section 6 as a property, over arbitrary splits of a trace into site
+// streams (not just the trace's own site labels): each stream's partition
+// coarsens the global one, every global filecule's covered files lie inside
+// exactly one stream filecule, withholding any one stream still coarsens,
+// and pooling all streams (Combine fold) reproduces the global partition
+// exactly — request counts included. The last property is what federation
+// relies on: the merged distributed partition is the global one.
+
+// splitJobs deals the trace's jobs into k streams using pick (job index ->
+// stream). Every job lands in exactly one stream.
+func splitJobs(tr *trace.Trace, k int, pick func(i int) int) [][]trace.JobID {
+	streams := make([][]trace.JobID, k)
+	for i := range tr.Jobs {
+		s := pick(i) % k
+		if s < 0 {
+			s = -s
+		}
+		streams[s] = append(streams[s], tr.Jobs[i].ID)
+	}
+	return streams
+}
+
+// checkSplit asserts every Section 6 property for one trace and one split.
+func checkSplit(t testing.TB, tr *trace.Trace, streams [][]trace.JobID) {
+	t.Helper()
+	global := Identify(tr)
+	var pooled *Partition
+	partials := make([]*Partition, len(streams))
+	for i, jobs := range streams {
+		p := IdentifyJobs(tr, jobs)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("stream %d partition invalid: %v", i, err)
+		}
+		if !Coarsens(p, global) {
+			t.Fatalf("stream %d (%d jobs) splits a global filecule", i, len(jobs))
+		}
+		// Refinement stated the other way round: each global filecule's
+		// files covered by this stream sit in a single stream filecule.
+		for gi := range global.Filecules {
+			enclosing := -2
+			for _, f := range global.Filecules[gi].Files {
+				c := p.Of(f)
+				if c < 0 {
+					continue
+				}
+				if enclosing == -2 {
+					enclosing = c
+				} else if c != enclosing {
+					t.Fatalf("global filecule %d spans stream-%d filecules %d and %d",
+						gi, i, enclosing, c)
+				}
+			}
+		}
+		partials[i] = p
+		if pooled == nil {
+			pooled = p
+		} else {
+			pooled = Combine(pooled, p)
+		}
+	}
+	if !pooled.Equal(global) {
+		t.Fatalf("pooling all %d streams: got %d filecules, global has %d",
+			len(streams), pooled.NumFilecules(), global.NumFilecules())
+	}
+	// Withhold each stream in turn: the rest must still coarsen the truth.
+	for w := range partials {
+		var rest *Partition
+		for i, p := range partials {
+			if i == w {
+				continue
+			}
+			if rest == nil {
+				rest = p
+			} else {
+				rest = Combine(rest, p)
+			}
+		}
+		if rest != nil && !Coarsens(rest, global) {
+			t.Fatalf("withholding stream %d: remainder splits a global filecule", w)
+		}
+	}
+}
+
+func TestSiteSplitCoarsenessProperty(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		tr := randomTrace(t, seed, 2+r.Intn(60), 2+r.Intn(80))
+		k := 2 + r.Intn(4)
+		checkSplit(t, tr, splitJobs(tr, k, func(int) int { return r.Intn(k) }))
+	}
+}
+
+// FuzzSiteSplit lets the fuzzer choose the split: byte i of the input
+// assigns job i to a stream, and the stream count comes from the first
+// byte. The trace itself is fixed per seed byte so the engine explores
+// splits, which is where the Section 6 property could break.
+func FuzzSiteSplit(f *testing.F) {
+	f.Add([]byte{3, 0, 1, 2, 0, 1})
+	f.Add([]byte{2, 1, 1, 1, 1, 0, 0, 0})
+	f.Add([]byte{5, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		k := int(data[0])%5 + 2
+		tr := randomTrace(t, int64(data[1]), 30, 40)
+		body := data[2:]
+		streams := splitJobs(tr, k, func(i int) int {
+			if len(body) == 0 {
+				return i
+			}
+			return int(body[i%len(body)]) + i/len(body)
+		})
+		checkSplit(t, tr, streams)
+	})
+}

@@ -59,6 +59,20 @@ type Partition struct {
 // NumFilecules returns the number of filecules.
 func (p *Partition) NumFilecules() int { return len(p.Filecules) }
 
+// NewPartition assembles a canonical Partition from filecule groups. Each
+// group's Files must be sorted strictly ascending and the groups must be
+// disjoint (Validate checks both); IDs are assigned by canonical order, so
+// callers need not set them.
+func NewPartition(fcs []Filecule) *Partition {
+	n := 0
+	for i := range fcs {
+		n += len(fcs[i].Files)
+	}
+	p := &Partition{Filecules: fcs, byFile: make(map[trace.FileID]int, n)}
+	p.canonicalize()
+	return p
+}
+
 // index returns the file→filecule map, building it on first use for
 // lazily-indexed partitions. Safe for concurrent use: racing builders
 // produce identical maps and one wins the CompareAndSwap.

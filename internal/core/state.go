@@ -30,7 +30,24 @@ type StateGroup struct {
 type EngineState struct {
 	Observed int64
 	NextGen  uint64
+	Version  uint64       // engine version the export corresponds to; every Stamp <= Version
 	Groups   []StateGroup // canonical order: by smallest member file
+}
+
+// ChangedSince returns the groups whose Stamp is newer than version — the
+// groups whose bytes a holder of the state at that version does not have.
+// Together with the full live-signature list this is a complete delta: a
+// signature never resurrects (a dead signature would need the exact multiset
+// of job generations to reappear, and generations are never reused), so a
+// live group with Stamp <= version was live, unchanged, at version.
+func (st *EngineState) ChangedSince(version uint64) []StateGroup {
+	out := make([]StateGroup, 0, 16)
+	for i := range st.Groups {
+		if st.Groups[i].Stamp > version {
+			out = append(out, st.Groups[i])
+		}
+	}
+	return out
 }
 
 // ExportState captures the engine's durable state. Like Snapshot it reuses
@@ -42,10 +59,11 @@ type EngineState struct {
 func (e *Engine) ExportState() *EngineState {
 	e.snapMu.Lock()
 	defer e.snapMu.Unlock()
-	groups, _, observed, nextGen := e.refreshGroups()
+	groups, version, observed, nextGen := e.refreshGroups()
 	st := &EngineState{
 		Observed: observed,
 		NextGen:  nextGen,
+		Version:  version,
 		Groups:   make([]StateGroup, 0, len(groups)),
 	}
 	for sig, entry := range groups {

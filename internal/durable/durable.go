@@ -46,6 +46,10 @@ type Options struct {
 	SyncCommit bool
 	// SyncInterval is the async group-commit cadence (default 50ms).
 	SyncInterval time.Duration
+	// SegmentBytes rolls the WAL to a new segment file (wal-<epoch>.N)
+	// once the current one crosses this size, bounding any single log
+	// file within an epoch (default 64 MiB).
+	SegmentBytes int64
 	// CheckpointInterval starts a background checkpoint loop when > 0.
 	CheckpointInterval time.Duration
 	// Logf receives recovery and background-checkpoint diagnostics
@@ -124,6 +128,9 @@ func Open(opts Options) (*Engine, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("durable: %w", err)
 	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 64 << 20
+	}
 	d := &Engine{dir: opts.Dir, logf: logf}
 
 	ckpts, wals, err := scanStateDir(opts.Dir)
@@ -147,7 +154,7 @@ func Open(opts Options) (*Engine, error) {
 			return nil, err
 		}
 		d.eng, d.cache, d.lastStats = eng, cache, stats
-		d.wal = newWAL(f, path, 0, opts.SyncCommit, opts.SyncInterval)
+		d.wal = newWAL(f, path, walPosition{dir: opts.Dir}, opts.SegmentBytes, opts.SyncCommit, opts.SyncInterval)
 		d.recovery = Recovery{Fresh: true}
 	} else {
 		if err := d.recover(opts, ckpts, wals); err != nil {
@@ -164,12 +171,10 @@ func Open(opts Options) (*Engine, error) {
 }
 
 // recover rebuilds the engine from the newest usable checkpoint plus WAL
-// chain and leaves d.wal appending to the newest WAL.
-func (d *Engine) recover(opts Options, ckpts, wals []uint64) error {
+// chain and leaves d.wal appending to the newest WAL segment.
+func (d *Engine) recover(opts Options, ckpts []uint64, wals map[uint64][]int) error {
 	maxWal := uint64(0)
-	walSet := make(map[uint64]bool, len(wals))
-	for _, e := range wals {
-		walSet[e] = true
+	for e := range wals {
 		if e > maxWal {
 			maxWal = e
 		}
@@ -178,15 +183,16 @@ func (d *Engine) recover(opts Options, ckpts, wals []uint64) error {
 	var lastErr error
 	for i := len(ckpts) - 1; i >= 0; i-- {
 		c := ckpts[i]
-		// The WAL chain c..maxWal must be contiguous on disk. A directory
-		// with no WAL at or above c is tolerated (wal-c is recreated): the
+		// The WAL chain c..maxWal must be contiguous on disk — every epoch
+		// present, every epoch's segments gap-free from 0. A directory with
+		// no WAL at or above c is tolerated (wal-c is recreated): the
 		// checkpoint alone is the state.
 		top := c
 		chainOK := true
 		if maxWal >= c {
 			top = maxWal
 			for k := c; k <= maxWal; k++ {
-				if !walSet[k] {
+				if !contiguousSegs(wals[k]) {
 					chainOK = false
 					break
 				}
@@ -216,58 +222,81 @@ func (d *Engine) recover(opts Options, ckpts, wals []uint64) error {
 		d.recovery.CheckpointEpoch = c
 		d.recovery.CheckpointObserved = st.Observed
 
-		// Replay the chain. Errors below the newest WAL are fatal: those
-		// files were synced and closed before their successor existed, so
-		// damage there is corruption, not a crash tail.
+		// Replay the chain segment by segment. Errors anywhere below the
+		// newest segment are fatal: those files were synced and closed
+		// before their successor existed, so damage there is corruption,
+		// not a crash tail.
+		epochBase := eng.Observed() // base of epoch top, set when we reach it
+		recreateSeg := -1           // newest segment to recreate, if its header never landed
 		for k := c; k <= top; k++ {
-			path := walPath(d.dir, k)
-			last := k == top
-			if !walSet[k] {
-				break // tolerated only for the newest (recreated below)
+			segs := wals[k]
+			if k == top {
+				epochBase = eng.Observed()
 			}
-			jobs, validTo, err := walReplay(path, k, eng.Observed(), eng.Observe)
-			d.recovery.ReplayedJobs += jobs
-			if err == nil {
-				continue
+			if len(segs) == 0 {
+				break // tolerated only for the newest epoch (recreated below)
 			}
-			if !last {
-				return fmt.Errorf("durable: wal-%d is damaged below the newest epoch: %w", k, err)
-			}
-			if validTo <= int64(len(walMagic)) {
-				// Header never became durable: recreate the file below.
-				d.logf("durable: %s: unusable header (%v); recreating", path, err)
-				walSet[k] = false
-				break
-			}
-			fi, statErr := os.Stat(path)
-			if statErr != nil {
-				return fmt.Errorf("durable: %w", statErr)
-			}
-			d.recovery.TruncatedBytes = fi.Size() - validTo
-			d.logf("durable: %s: truncating torn tail: %v (dropping %d bytes past offset %d)",
-				path, err, d.recovery.TruncatedBytes, validTo)
-			if err := os.Truncate(path, validTo); err != nil {
-				return fmt.Errorf("durable: truncate %s: %w", path, err)
+			for si, s := range segs {
+				path := walSegPath(d.dir, k, s)
+				last := k == top && si == len(segs)-1
+				jobs, validTo, err := walReplay(path, k, eng.Observed(), eng.Observe)
+				d.recovery.ReplayedJobs += jobs
+				if err == nil {
+					continue
+				}
+				if !last {
+					return fmt.Errorf("durable: %s is damaged below the newest segment: %w",
+						filepath.Base(path), err)
+				}
+				if validTo <= int64(len(walMagic)) {
+					// Header never became durable: recreate the segment below.
+					d.logf("durable: %s: unusable header (%v); recreating", path, err)
+					recreateSeg = s
+					break
+				}
+				fi, statErr := os.Stat(path)
+				if statErr != nil {
+					return fmt.Errorf("durable: %w", statErr)
+				}
+				d.recovery.TruncatedBytes = fi.Size() - validTo
+				d.logf("durable: %s: truncating torn tail: %v (dropping %d bytes past offset %d)",
+					path, err, d.recovery.TruncatedBytes, validTo)
+				if err := os.Truncate(path, validTo); err != nil {
+					return fmt.Errorf("durable: truncate %s: %w", path, err)
+				}
 			}
 		}
 
-		// Reopen (or recreate) the newest WAL for appending.
+		// Reopen (or recreate) the newest segment for appending.
 		var f *os.File
-		path := walPath(d.dir, top)
-		if walSet[top] {
+		var path string
+		topSegs := wals[top]
+		seg := 0
+		if len(topSegs) > 0 {
+			seg = topSegs[len(topSegs)-1]
+		}
+		if len(topSegs) == 0 || recreateSeg >= 0 {
+			f, path, err = createWalSeg(d.dir, top, seg, eng.Observed())
+			if err != nil {
+				return err
+			}
+		} else {
+			path = walSegPath(d.dir, top, seg)
 			f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 			if err != nil {
 				return fmt.Errorf("durable: reopen %s: %w", path, err)
 			}
-		} else {
-			f, path, err = createWalFile(d.dir, top, eng.Observed())
-			if err != nil {
-				return err
-			}
 		}
 		d.eng = eng
 		d.epoch = top
-		d.wal = newWAL(f, path, top, opts.SyncCommit, opts.SyncInterval)
+		pos := walPosition{
+			dir:       d.dir,
+			epoch:     top,
+			seg:       seg,
+			epochBase: epochBase,
+			epochJobs: eng.Observed() - epochBase,
+		}
+		d.wal = newWAL(f, path, pos, opts.SegmentBytes, opts.SyncCommit, opts.SyncInterval)
 		d.recovery.Observed = eng.Observed()
 		return nil
 	}
@@ -329,7 +358,7 @@ func (d *Engine) Checkpoint() error {
 		d.mu.Unlock()
 		return err
 	}
-	if err := d.wal.Rotate(f, path, epoch); err != nil {
+	if err := d.wal.Rotate(f, path, epoch, st.Observed); err != nil {
 		d.mu.Unlock()
 		return err
 	}
@@ -371,10 +400,12 @@ func (d *Engine) prune(epoch uint64) {
 			}
 		}
 	}
-	for _, e := range wals {
+	for e, segs := range wals {
 		if e < epoch-1 {
-			if err := os.Remove(walPath(d.dir, e)); err != nil {
-				d.logf("durable: prune: %v", err)
+			for _, s := range segs {
+				if err := os.Remove(walSegPath(d.dir, e, s)); err != nil {
+					d.logf("durable: prune: %v", err)
+				}
 			}
 		}
 	}
@@ -429,13 +460,15 @@ func (d *Engine) Close() error {
 	return d.wal.Close()
 }
 
-// scanStateDir lists checkpoint and WAL epochs (each sorted ascending) and
-// removes leftover temporary files from an interrupted checkpoint write.
-func scanStateDir(dir string) (ckpts, wals []uint64, err error) {
+// scanStateDir lists checkpoint epochs (sorted ascending) and WAL segments
+// per epoch (each list sorted ascending), and removes leftover temporary
+// files from an interrupted checkpoint write.
+func scanStateDir(dir string) (ckpts []uint64, wals map[uint64][]int, err error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, nil, fmt.Errorf("durable: %w", err)
 	}
+	wals = make(map[uint64][]int)
 	for _, ent := range ents {
 		name := ent.Name()
 		if strings.HasSuffix(name, ".tmp") {
@@ -446,12 +479,14 @@ func scanStateDir(dir string) (ckpts, wals []uint64, err error) {
 		}
 		if e, ok := parseEpoch(name, "checkpoint-"); ok {
 			ckpts = append(ckpts, e)
-		} else if e, ok := parseEpoch(name, "wal-"); ok {
-			wals = append(wals, e)
+		} else if e, s, ok := parseWalSeg(name); ok {
+			wals[e] = append(wals[e], s)
 		}
 	}
 	sort.Slice(ckpts, func(a, b int) bool { return ckpts[a] < ckpts[b] })
-	sort.Slice(wals, func(a, b int) bool { return wals[a] < wals[b] })
+	for _, segs := range wals {
+		sort.Ints(segs)
+	}
 	return ckpts, wals, nil
 }
 
@@ -461,6 +496,41 @@ func parseEpoch(name, prefix string) (uint64, bool) {
 	}
 	e, err := strconv.ParseUint(name[len(prefix):], 10, 64)
 	return e, err == nil
+}
+
+// parseWalSeg recognizes wal-<epoch> (segment 0) and wal-<epoch>.<seg>.
+func parseWalSeg(name string) (epoch uint64, seg int, ok bool) {
+	rest, found := strings.CutPrefix(name, "wal-")
+	if !found {
+		return 0, 0, false
+	}
+	epochStr, segStr, dotted := strings.Cut(rest, ".")
+	epoch, err := strconv.ParseUint(epochStr, 10, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	if !dotted {
+		return epoch, 0, true
+	}
+	s, err := strconv.Atoi(segStr)
+	if err != nil || s < 1 {
+		return 0, 0, false
+	}
+	return epoch, s, true
+}
+
+// contiguousSegs reports whether segs is exactly 0..len-1: a gap-free
+// segment chain starting at the epoch's first segment.
+func contiguousSegs(segs []int) bool {
+	if len(segs) == 0 {
+		return false
+	}
+	for i, s := range segs {
+		if s != i {
+			return false
+		}
+	}
+	return true
 }
 
 // syncDir fsyncs a directory so renames and creates within it are durable.

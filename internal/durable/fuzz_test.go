@@ -99,7 +99,7 @@ func seedWalBytes(f *testing.F) []byte {
 	if err != nil {
 		f.Fatal(err)
 	}
-	w := newWAL(wf, path, 0, true, 0)
+	w := newWAL(wf, path, walPosition{dir: dir}, 0, true, 0)
 	if err := w.AppendBatch(seedJobs[:3]); err != nil {
 		f.Fatal(err)
 	}

@@ -1,0 +1,270 @@
+package durable
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"filecule/internal/trace"
+)
+
+// Inspect is the read-only view of a state directory: what `filecule-state
+// dump` prints. Unlike Open it never mutates anything — leftover .tmp
+// files stay, torn tails stay — it only reports what recovery would do.
+
+// GroupInfo is one filecule group's counts in a checkpoint.
+type GroupInfo struct {
+	SigLo, SigHi uint64
+	Files        int
+	Requests     int
+}
+
+// CheckpointInfo summarizes one decoded checkpoint file.
+type CheckpointInfo struct {
+	Epoch    uint64
+	Path     string
+	Bytes    int64
+	Observed int64
+	NextGen  uint64
+	Files    int
+	Requests int64
+	Groups   []GroupInfo
+}
+
+// SegmentInfo summarizes one WAL segment file.
+type SegmentInfo struct {
+	Epoch uint64
+	Seg   int
+	Path  string
+	Bytes int64
+	Base  int64  // observed-count the segment starts at
+	Jobs  int64  // replayable jobs in the segment
+	Note  string // non-fatal condition recovery will repair (torn tail)
+}
+
+// Report is everything Inspect learned about a state directory.
+type Report struct {
+	Dir         string
+	Checkpoints []CheckpointInfo
+	Segments    []SegmentInfo
+	TempFiles   []string // leftover .tmp files (the next Open removes them)
+	// Problems lists real corruption: conditions recovery cannot repair
+	// without falling back or failing. Empty means the directory is clean
+	// (a torn newest tail is a crash artifact, not a problem — it appears
+	// as a segment Note instead).
+	Problems []string
+}
+
+// Inspect reads dir without modifying it and reports its checkpoints, WAL
+// segment chain, and any corruption. The returned error covers only an
+// unreadable directory; corruption findings land in Report.Problems so the
+// caller can render the full picture before failing.
+func Inspect(dir string) (*Report, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	r := &Report{Dir: dir}
+	var ckpts []uint64
+	wals := make(map[uint64][]int)
+	for _, ent := range ents {
+		name := ent.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			r.TempFiles = append(r.TempFiles, name)
+			continue
+		}
+		if e, ok := parseEpoch(name, "checkpoint-"); ok {
+			ckpts = append(ckpts, e)
+		} else if e, s, ok := parseWalSeg(name); ok {
+			wals[e] = append(wals[e], s)
+		}
+	}
+	sort.Slice(ckpts, func(a, b int) bool { return ckpts[a] < ckpts[b] })
+	for _, segs := range wals {
+		sort.Ints(segs)
+	}
+	if len(ckpts) == 0 && len(wals) == 0 {
+		return r, nil
+	}
+	if len(ckpts) == 0 {
+		r.Problems = append(r.Problems, "WAL files but no checkpoint")
+	}
+
+	ckptObserved := make(map[uint64]int64, len(ckpts))
+	for _, e := range ckpts {
+		path := ckptPath(dir, e)
+		info := CheckpointInfo{Epoch: e, Path: path}
+		if fi, err := os.Stat(path); err == nil {
+			info.Bytes = fi.Size()
+		}
+		st, err := readCheckpoint(path, e)
+		if err != nil {
+			r.Problems = append(r.Problems, err.Error())
+			r.Checkpoints = append(r.Checkpoints, info)
+			continue
+		}
+		info.Observed = st.Observed
+		info.NextGen = st.NextGen
+		for i := range st.Groups {
+			g := &st.Groups[i]
+			info.Files += len(g.Files)
+			info.Requests += int64(g.Requests)
+			info.Groups = append(info.Groups, GroupInfo{
+				SigLo: g.SigLo, SigHi: g.SigHi,
+				Files: len(g.Files), Requests: g.Requests,
+			})
+		}
+		ckptObserved[e] = st.Observed
+		r.Checkpoints = append(r.Checkpoints, info)
+	}
+
+	// The epoch chain recovery would walk: newest checkpoint to newest WAL.
+	maxWal, haveWal := uint64(0), false
+	var epochs []uint64
+	for e := range wals {
+		epochs = append(epochs, e)
+		if e > maxWal {
+			maxWal = e
+		}
+		haveWal = true
+	}
+	sort.Slice(epochs, func(a, b int) bool { return epochs[a] < epochs[b] })
+	if len(ckpts) > 0 && haveWal {
+		c := ckpts[len(ckpts)-1]
+		for k := c; k <= maxWal; k++ {
+			if !contiguousSegs(wals[k]) {
+				r.Problems = append(r.Problems,
+					fmt.Sprintf("checkpoint-%d has no contiguous WAL chain to wal-%d (epoch %d gapped or missing)", c, maxWal, k))
+				break
+			}
+		}
+	}
+
+	for _, e := range epochs {
+		segs := wals[e]
+		newestEpoch := e == maxWal
+		var prevEnd int64
+		prevOK := false
+		for si, s := range segs {
+			path := walSegPath(dir, e, s)
+			info := SegmentInfo{Epoch: e, Seg: s, Path: path}
+			if fi, err := os.Stat(path); err == nil {
+				info.Bytes = fi.Size()
+			}
+			newestTail := newestEpoch && si == len(segs)-1
+			hdrEpoch, base, err := readWalHeader(path)
+			if err != nil {
+				if newestTail {
+					info.Note = fmt.Sprintf("unusable header (%v); recovery recreates this segment", err)
+				} else {
+					r.Problems = append(r.Problems, fmt.Sprintf("%s: %v", path, err))
+				}
+				r.Segments = append(r.Segments, info)
+				prevOK = false
+				continue
+			}
+			info.Base = base
+			if hdrEpoch != e {
+				r.Problems = append(r.Problems,
+					fmt.Sprintf("%s: header epoch %d does not match its name", path, hdrEpoch))
+				r.Segments = append(r.Segments, info)
+				prevOK = false
+				continue
+			}
+			// Base must chain: from the epoch's checkpoint for segment 0,
+			// from the previous segment's end otherwise.
+			if s == 0 {
+				if want, ok := ckptObserved[e]; ok && base != want {
+					r.Problems = append(r.Problems,
+						fmt.Sprintf("%s: base %d does not chain from checkpoint-%d at %d", path, base, e, want))
+				}
+			} else if prevOK && base != prevEnd {
+				r.Problems = append(r.Problems,
+					fmt.Sprintf("%s: base %d does not chain from previous segment end %d", path, base, prevEnd))
+			}
+			jobs, validTo, err := walReplay(path, e, base, func([]trace.FileID) {})
+			info.Jobs = jobs
+			if err != nil {
+				if newestTail && validTo > int64(len(walMagic)) {
+					info.Note = fmt.Sprintf("torn tail: %v; recovery truncates %d bytes past offset %d",
+						err, info.Bytes-validTo, validTo)
+				} else if newestTail {
+					info.Note = fmt.Sprintf("unusable header (%v); recovery recreates this segment", err)
+				} else {
+					r.Problems = append(r.Problems, err.Error())
+				}
+			}
+			prevEnd, prevOK = base+jobs, err == nil
+			r.Segments = append(r.Segments, info)
+		}
+	}
+	return r, nil
+}
+
+// readWalHeader opens one WAL segment read-only and parses just its magic
+// and header chunk.
+func readWalHeader(path string) (epoch uint64, base int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	var magic [len(walMagic)]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return 0, 0, fmt.Errorf("bad magic: %w", err)
+	}
+	if string(magic[:]) != walMagic {
+		return 0, 0, fmt.Errorf("bad magic %q", magic[:])
+	}
+	cr := trace.NewChunkReader(f)
+	kind, payload, err := cr.ReadChunk()
+	if err != nil {
+		return 0, 0, fmt.Errorf("header: %w", err)
+	}
+	if kind != walKindHeader {
+		return 0, 0, fmt.Errorf("first chunk kind %q, want header", kind)
+	}
+	p := trace.NewPayload(payload)
+	epoch = p.Uvarint()
+	b := p.Uvarint()
+	if p.Err() != nil || p.Remaining() != 0 {
+		return 0, 0, fmt.Errorf("malformed header: %v", p.Err())
+	}
+	return epoch, int64(b), nil
+}
+
+// WriteTo renders the report in the dump format: one line per file in
+// recovery order, then problems. withGroups adds one line per filecule
+// group under each checkpoint.
+func (r *Report) WriteTo(w io.Writer, withGroups bool) {
+	fmt.Fprintf(w, "state dir %s: %d checkpoint(s), %d WAL segment(s)\n",
+		r.Dir, len(r.Checkpoints), len(r.Segments))
+	for i := range r.Checkpoints {
+		c := &r.Checkpoints[i]
+		fmt.Fprintf(w, "  %-16s %9d bytes  observed %-8d next-gen %-8d groups %-6d files %-6d requests %d\n",
+			filepath.Base(c.Path), c.Bytes, c.Observed, c.NextGen, len(c.Groups), c.Files, c.Requests)
+		if withGroups {
+			for _, g := range c.Groups {
+				fmt.Fprintf(w, "    group %016x%016x  files %-6d requests %d\n",
+					g.SigHi, g.SigLo, g.Files, g.Requests)
+			}
+		}
+	}
+	for i := range r.Segments {
+		s := &r.Segments[i]
+		fmt.Fprintf(w, "  %-16s %9d bytes  base %-8d jobs %d\n",
+			filepath.Base(s.Path), s.Bytes, s.Base, s.Jobs)
+		if s.Note != "" {
+			fmt.Fprintf(w, "    note: %s\n", s.Note)
+		}
+	}
+	for _, tmp := range r.TempFiles {
+		fmt.Fprintf(w, "  %-16s (leftover temp file; removed by the next open)\n", tmp)
+	}
+	for _, p := range r.Problems {
+		fmt.Fprintf(w, "  CORRUPT: %s\n", p)
+	}
+}

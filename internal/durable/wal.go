@@ -13,7 +13,10 @@ import (
 	"filecule/internal/trace"
 )
 
-// The write-ahead observe log. One file per epoch, named wal-<epoch>:
+// The write-ahead observe log. An epoch's log is a chain of segment files
+// — wal-<epoch> then wal-<epoch>.1, wal-<epoch>.2, … — each rolled when
+// the previous one crosses the size threshold. Every segment has the same
+// self-describing layout:
 //
 //	"filecule-wal/v1\n"
 //	'H' header chunk: uvarint epoch, uvarint base observed-count
@@ -21,6 +24,12 @@ import (
 //	                  followed by (zigzag delta-start, uvarint length) runs
 //	                  covering exactly that many files (order and
 //	                  duplicates preserved)
+//
+// A segment's base is the epoch base plus the jobs in the segments before
+// it, so replaying segments in order chains bases exactly like replaying
+// epochs does. A segment is fsynced before its successor is created;
+// recovery therefore tolerates a torn tail only on the newest epoch's last
+// segment and treats damage anywhere earlier as corruption.
 //
 // There is no end chunk: the log is append-only and a clean EOF at a frame
 // boundary is the only well-formed ending. Every 'O' chunk is one group
@@ -141,17 +150,31 @@ func appendFrame(dst, payload []byte) []byte {
 	return append(dst, crc[:]...)
 }
 
+// walPosition places a freshly opened WAL file within its epoch's segment
+// chain, so the writer can name the next segment and stamp its base.
+type walPosition struct {
+	dir       string
+	epoch     uint64
+	seg       int   // segment index of the open file (0 is wal-<epoch>)
+	epochBase int64 // observed-count base of the epoch's first segment
+	epochJobs int64 // jobs already durably in this epoch (all segments)
+}
+
 // wal is the group-commit writer. It survives rotations: Checkpoint swaps
 // the underlying file while the committer goroutine and counters carry on.
+// The committer rolls to a new segment file when the current one crosses
+// segBytes (0 disables rolling).
 type wal struct {
 	strict   bool
 	interval time.Duration
+	segBytes int64
 
 	mu          sync.Mutex
 	cond        *sync.Cond
 	f           *os.File
 	path        string
-	epoch       uint64
+	pos         walPosition
+	fileBytes   int64          // size of the open segment file
 	pendIDs     []trace.FileID // flat arena of the accumulating batch's file lists
 	pendLens    []int          // per-job list lengths within pendIDs
 	spareIDs    []trace.FileID // committer-returned buffers for the next batch
@@ -175,22 +198,27 @@ type wal struct {
 }
 
 // newWAL returns a writer over f (already positioned at its append point,
-// magic and header written) and starts the committer.
-func newWAL(f *os.File, path string, epoch uint64, strict bool, interval time.Duration) *wal {
+// magic and header written) and starts the committer. segBytes <= 0
+// disables segment rolling.
+func newWAL(f *os.File, path string, pos walPosition, segBytes int64, strict bool, interval time.Duration) *wal {
 	if interval <= 0 {
 		interval = 50 * time.Millisecond
 	}
 	w := &wal{
 		strict:   strict,
 		interval: interval,
+		segBytes: segBytes,
 		f:        f,
 		path:     path,
-		epoch:    epoch,
+		pos:      pos,
 		seq:      1, // batch 0 is "already synced": nothing
 		kick:     make(chan struct{}, 1),
 		kickSync: make(chan struct{}, 1),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
+	}
+	if fi, err := f.Stat(); err == nil {
+		w.fileBytes = fi.Size()
 	}
 	w.cond = sync.NewCond(&w.mu)
 	go w.run()
@@ -269,17 +297,23 @@ func (w *wal) SyncNow() error {
 	return w.err
 }
 
-// Rotate swaps in a new epoch's file (magic and header already written and
-// synced by the caller). The caller must have quiesced appends and called
-// SyncNow; the old file is closed here.
-func (w *wal) Rotate(f *os.File, path string, epoch uint64) error {
+// Rotate swaps in a new epoch's first segment (magic and header already
+// written and synced by the caller; base is the new epoch's base observed
+// -count). The caller must have quiesced appends and called SyncNow; the
+// old file is closed here.
+func (w *wal) Rotate(f *os.File, path string, epoch uint64, base int64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if len(w.pendLens) != 0 {
 		return fmt.Errorf("durable: wal rotate with %d unsynced jobs pending", len(w.pendLens))
 	}
 	err := w.f.Close()
-	w.f, w.path, w.epoch = f, path, epoch
+	w.f, w.path = f, path
+	w.pos = walPosition{dir: w.pos.dir, epoch: epoch, epochBase: base}
+	w.fileBytes = 0
+	if fi, serr := f.Stat(); serr == nil {
+		w.fileBytes = fi.Size()
+	}
 	if err != nil && w.err == nil {
 		w.err = err
 	}
@@ -379,15 +413,50 @@ func (w *wal) flush(sync bool) {
 		if n > 0 {
 			w.writtenSeq = seq
 			w.writtenJobs += int64(n)
+			w.pos.epochJobs += int64(n)
+			w.fileBytes += int64(len(full))
 		}
 		if sync {
 			w.syncedSeq = w.writtenSeq
 			w.synced.Add(w.writtenJobs)
 			w.writtenJobs = 0
 		}
+		if w.segBytes > 0 && w.fileBytes >= w.segBytes && w.err == nil {
+			w.roll()
+		}
 	}
 	w.cond.Broadcast()
 	w.mu.Unlock()
+}
+
+// roll closes out the current segment and opens the next one, under the
+// mutex so it cannot race a Rotate. The old segment is fsynced first —
+// recovery treats damage in a non-last segment as corruption, so a segment
+// must be fully durable before its successor exists on disk. That fsync
+// makes every written batch durable, so synced counters advance too.
+func (w *wal) roll() {
+	if err := w.f.Sync(); err != nil {
+		w.err = fmt.Errorf("durable: wal %s: %w", w.path, err)
+		return
+	}
+	w.syncedSeq = w.writtenSeq
+	w.synced.Add(w.writtenJobs)
+	w.writtenJobs = 0
+
+	f, path, err := createWalSeg(w.pos.dir, w.pos.epoch, w.pos.seg+1, w.pos.epochBase+w.pos.epochJobs)
+	if err != nil {
+		w.err = err
+		return
+	}
+	if err := w.f.Close(); err != nil && w.err == nil {
+		w.err = fmt.Errorf("durable: wal %s: %w", w.path, err)
+	}
+	w.f, w.path = f, path
+	w.pos.seg++
+	w.fileBytes = 0
+	if fi, err := f.Stat(); err == nil {
+		w.fileBytes = fi.Size()
+	}
 }
 
 // Err returns the sticky failure, if any.
@@ -397,11 +466,17 @@ func (w *wal) Err() error {
 	return w.err
 }
 
-// createWalFile creates dir/wal-<epoch> with magic and header written and
-// fsynced, and the directory entry fsynced, returning the open file
-// positioned for appends.
+// createWalFile creates an epoch's first segment, dir/wal-<epoch>.
 func createWalFile(dir string, epoch uint64, base int64) (*os.File, string, error) {
-	path := walPath(dir, epoch)
+	return createWalSeg(dir, epoch, 0, base)
+}
+
+// createWalSeg creates segment seg of an epoch's WAL with magic and header
+// written and fsynced, and the directory entry fsynced, returning the open
+// file positioned for appends. base is the observed-count the segment
+// starts at: the epoch base plus the jobs in the segments before it.
+func createWalSeg(dir string, epoch uint64, seg int, base int64) (*os.File, string, error) {
+	path := walSegPath(dir, epoch, seg)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, "", err

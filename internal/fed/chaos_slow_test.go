@@ -1,0 +1,44 @@
+//go:build slow
+
+package fed_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"filecule/internal/fed/faultnet"
+)
+
+// TestChaosMatrix is the `make chaos` gate: the convergence differential
+// over a fixed seed matrix of fault profiles, run with -race. Every cell
+// must converge to byte-identity with single-node identification despite
+// its fault schedule.
+func TestChaosMatrix(t *testing.T) {
+	profiles := []struct {
+		name string
+		plan faultnet.Plan
+	}{
+		{"drop-heavy", faultnet.Plan{Drop: 0.55, HealAfter: 35}},
+		{"delay-heavy", faultnet.Plan{Delay: 0.8, DelayMax: 2 * time.Millisecond, Drop: 0.1, HealAfter: 30}},
+		{"dup-corrupt", faultnet.Plan{Duplicate: 0.5, Corrupt: 0.4, HealAfter: 35}},
+		{"kitchen-sink", faultnet.Plan{Drop: 0.3, Corrupt: 0.2, Duplicate: 0.3, Delay: 0.3,
+			DelayMax: time.Millisecond, HealAfter: 40}},
+		{"partition-window", faultnet.Plan{Drop: 0.2, HealAfter: 45,
+			Partitioned: func(peer string, call int) bool { return call >= 5 && call < 25 }}},
+	}
+	for _, seed := range []int64{1, 7, 42} {
+		for _, prof := range profiles {
+			prof := prof
+			seed := seed
+			t.Run(fmt.Sprintf("%s/seed=%d", prof.name, seed), func(t *testing.T) {
+				t.Parallel()
+				tr := randomTrace(t, seed, 200, 700)
+				plan := prof.plan
+				plan.Seed = seed
+				rounds := runChaosDifferential(t, tr, 4, plan, 600)
+				t.Logf("converged after %d rounds", rounds)
+			})
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package fed_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"filecule/internal/core"
+	"filecule/internal/fed"
+	"filecule/internal/fed/faultnet"
+	"filecule/internal/trace"
+)
+
+// The two federation proofs from the issue, as executable differentials:
+//
+//  1. Convergence: under seeded drop/delay/duplicate/corrupt schedules
+//     with eventual connectivity, every node's merged partition becomes
+//     byte-identical to single-node core.Identify over the concatenated
+//     trace — request counts included.
+//  2. Graceful degradation: with one site partitioned away forever, the
+//     remaining nodes converge among themselves to exactly the partial-
+//     knowledge partition (core.IdentifyJobs over their jobs), which
+//     provably coarsens the global one (the Section 6 theorem).
+//
+// The quick versions here run in every `go test ./...`; the seed-matrix
+// versions live behind the slow build tag and run via `make chaos`.
+
+// chaosTune gives chaos clusters fast-failing robustness settings: the
+// breaker trips quickly and re-probes almost immediately, so fault storms
+// exercise the open/half-open path without wall-clock stalls.
+func chaosTune(i int, cfg *fed.Config) {
+	cfg.Timeout = 2 * time.Second
+	cfg.BreakerFailures = 3
+	cfg.BreakerCooldown = time.Nanosecond
+}
+
+// runChaosDifferential drives a faulted cluster to convergence by rounds,
+// interleaving observes with exchanges, and asserts byte-identity with the
+// global partition. Returns the rounds taken.
+func runChaosDifferential(t *testing.T, tr *trace.Trace, nSites int, plan faultnet.Plan, maxRounds int) int {
+	t.Helper()
+	c := newCluster(t, tr, nSites, chaosTune, func(i int, inner fed.Transport) fed.Transport {
+		p := plan
+		p.Seed = plan.Seed ^ int64(i*7919)
+		return faultnet.Wrap(inner, p)
+	})
+	global := partitionJSON(t, core.Identify(tr))
+
+	// Feed each node's stream in slices, exchanging between slices, so
+	// deltas cover mid-stream states, not just the final one.
+	sliceLen := len(tr.Jobs)/(8*nSites) + 1
+	offset := 0
+	all := make([]int, nSites)
+	for i := range all {
+		all[i] = i
+	}
+	done := false
+	for round := 1; ; round++ {
+		if round > maxRounds {
+			t.Fatalf("no convergence after %d rounds", maxRounds)
+		}
+		if !done {
+			done = true
+			for i := 0; i < nSites; i++ {
+				stream := c.streams[i]
+				lo, hi := offset, offset+sliceLen
+				if lo > len(stream) {
+					lo = len(stream)
+				}
+				if hi > len(stream) {
+					hi = len(stream)
+				}
+				if hi < len(stream) {
+					done = false
+				}
+				for _, id := range stream[lo:hi] {
+					c.engines[i].Observe(c.tr.Jobs[id].Files)
+				}
+			}
+			offset += sliceLen
+		}
+		for _, n := range c.nodes {
+			n.ExchangeAll()
+		}
+		if done && c.converged(t, global, all...) {
+			return round
+		}
+	}
+}
+
+func TestChaosConvergenceQuick(t *testing.T) {
+	tr := randomTrace(t, 23, 120, 400)
+	plan := faultnet.Plan{
+		Seed:      23,
+		Drop:      0.35,
+		Corrupt:   0.2,
+		Duplicate: 0.3,
+		Delay:     0.2,
+		DelayMax:  time.Millisecond,
+		HealAfter: 25,
+	}
+	rounds := runChaosDifferential(t, tr, 3, plan, 400)
+	t.Logf("converged after %d rounds", rounds)
+}
+
+// TestChaosWithheldSiteCoarsens pins graceful degradation: node 2 is
+// permanently unreachable in both directions. The surviving nodes converge
+// to the exact partial-knowledge partition of their combined jobs, and
+// that partition coarsens — never splits — the global one.
+func TestChaosWithheldSiteCoarsens(t *testing.T) {
+	tr := randomTrace(t, 29, 100, 300)
+	const withheld = 2
+	c := newCluster(t, tr, 3, chaosTune, func(i int, inner fed.Transport) fed.Transport {
+		plan := faultnet.Plan{
+			Seed: 29 ^ int64(i),
+			Drop: 0.2, Duplicate: 0.2,
+			HealAfter: 20,
+			Partitioned: func(peer string, call int) bool {
+				return i == withheld || peer == addrOf(withheld)
+			},
+		}
+		return faultnet.Wrap(inner, plan)
+	})
+	c.observeAll()
+	for round := 0; round < 120; round++ {
+		for _, n := range c.nodes {
+			n.ExchangeAll()
+		}
+	}
+
+	var survivorJobs []trace.JobID
+	for i, stream := range c.streams {
+		if i != withheld {
+			survivorJobs = append(survivorJobs, stream...)
+		}
+	}
+	wantPartial := partitionJSON(t, core.IdentifyJobs(tr, survivorJobs))
+	global := core.Identify(tr)
+
+	for _, i := range []int{0, 1} {
+		merged := c.nodes[i].Merged()
+		if got := partitionJSON(t, merged); !bytes.Equal(got, wantPartial) {
+			t.Fatalf("node %d: merged partition differs from the partial-knowledge reference", i)
+		}
+		if !core.Coarsens(merged, global) {
+			t.Fatalf("node %d: degraded partition splits a global filecule", i)
+		}
+		if deg, reasons := c.nodes[i].Degraded(); !deg || len(reasons) == 0 {
+			t.Fatalf("node %d: not reporting degraded while a peer is unreachable", i)
+		}
+	}
+
+	// The withheld node sees only its own stream.
+	if got := partitionJSON(t, c.nodes[withheld].Merged()); !bytes.Equal(got,
+		partitionJSON(t, core.IdentifyJobs(tr, c.streams[withheld]))) {
+		t.Fatal("withheld node's view is not its own partial identification")
+	}
+	if !core.Coarsens(c.nodes[withheld].Merged(), global) {
+		t.Fatal("withheld node's partition splits a global filecule")
+	}
+}
+
+// FuzzFedExchange feeds arbitrary bytes to the exchange handler: it must
+// reject or apply them without panicking, and either way must answer with
+// a usable merged partition afterwards.
+func FuzzFedExchange(f *testing.F) {
+	tr := randomTrace(f, 31, 40, 80)
+	eng := core.NewEngine(0)
+	eng.ObserveTrace(tr)
+	f.Add([]byte(""))
+	f.Add([]byte("filecule-fed/v1\n"))
+	f.Add(fedWireSeed(f, eng))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		engB := core.NewEngine(0)
+		node, err := fed.NewNode(fed.Config{Site: "b", Self: engB, Incarnation: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := node.HandleExchange(data)
+		if err == nil && resp == nil {
+			t.Fatal("nil ack with nil error")
+		}
+		if p := node.Merged(); p == nil {
+			t.Fatal("nil merged partition")
+		} else if err := p.Validate(); err != nil {
+			t.Fatalf("merged partition invalid after exchange: %v", err)
+		}
+	})
+}
+
+// fedWireSeed captures one real wire delta for the fuzz corpus.
+func fedWireSeed(f *testing.F, eng *core.Engine) []byte {
+	var captured []byte
+	rec := transportFunc(func(_ context.Context, peer string, delta []byte) ([]byte, error) {
+		captured = append([]byte(nil), delta...)
+		return nil, errors.New("recorded only")
+	})
+	n, err := fed.NewNode(fed.Config{Site: "s", Self: eng, Peers: []string{"x"}, Transport: rec, Incarnation: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	n.ExchangeAll()
+	return captured
+}

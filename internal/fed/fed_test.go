@@ -1,0 +1,489 @@
+package fed_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"filecule/internal/core"
+	"filecule/internal/fed"
+	"filecule/internal/trace"
+)
+
+var t0 = time.Date(2003, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// randomTrace builds a workload of nJobs random request sets over nFiles
+// files, with repeats so request counts exceed one.
+func randomTrace(tb testing.TB, seed int64, nFiles, nJobs int) *trace.Trace {
+	tb.Helper()
+	r := rand.New(rand.NewSource(seed))
+	b := trace.NewBuilder()
+	site := b.Site("fnal", ".gov", 10)
+	user := b.User("alice", site)
+	for i := 0; i < nFiles; i++ {
+		b.File(fmt.Sprintf("f%d", i), int64(1+i)*100, trace.TierThumbnail)
+	}
+	var jobFiles [][]trace.FileID
+	for j := 0; j < nJobs; j++ {
+		if len(jobFiles) > 0 && r.Intn(3) == 0 {
+			jobFiles = append(jobFiles, jobFiles[r.Intn(len(jobFiles))])
+			continue
+		}
+		n := 1 + r.Intn(6)
+		set := make([]trace.FileID, 0, n)
+		for k := 0; k < n; k++ {
+			set = append(set, trace.FileID(r.Intn(nFiles)))
+		}
+		jobFiles = append(jobFiles, set)
+	}
+	for i, files := range jobFiles {
+		b.SimpleJob(user, site, t0.Add(time.Duration(i)*time.Minute), files)
+	}
+	tr := b.Build()
+	if err := tr.Validate(); err != nil {
+		tb.Fatalf("trace invalid: %v", err)
+	}
+	return tr
+}
+
+// memTransport routes exchanges to in-process nodes by address.
+type memTransport struct {
+	mu    sync.Mutex
+	nodes map[string]*fed.Node
+	fail  map[string]error // forced failure per address
+}
+
+func newMemTransport() *memTransport {
+	return &memTransport{nodes: make(map[string]*fed.Node), fail: make(map[string]error)}
+}
+
+func (m *memTransport) register(addr string, n *fed.Node) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nodes[addr] = n
+}
+
+func (m *memTransport) setFail(addr string, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err == nil {
+		delete(m.fail, addr)
+	} else {
+		m.fail[addr] = err
+	}
+}
+
+func (m *memTransport) Exchange(_ context.Context, peer string, delta []byte) ([]byte, error) {
+	m.mu.Lock()
+	n := m.nodes[peer]
+	err := m.fail[peer]
+	m.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if n == nil {
+		return nil, fmt.Errorf("memtransport: no node at %q", peer)
+	}
+	return n.HandleExchange(delta)
+}
+
+// cluster is N nodes federated over a shared transport, each observing an
+// interleaved share of one trace.
+type cluster struct {
+	tr      *trace.Trace
+	nodes   []*fed.Node
+	engines []*core.Engine
+	streams [][]trace.JobID
+	mem     *memTransport
+}
+
+func addrOf(i int) string { return fmt.Sprintf("node-%d", i) }
+
+// newCluster builds N nodes over tr, dealing job i to node i%N. wrap, when
+// set, wraps each node's outbound transport (fault injection).
+func newCluster(tb testing.TB, tr *trace.Trace, nSites int,
+	tune func(i int, cfg *fed.Config), wrap func(i int, inner fed.Transport) fed.Transport) *cluster {
+	tb.Helper()
+	c := &cluster{tr: tr, mem: newMemTransport(), streams: make([][]trace.JobID, nSites)}
+	for i := range tr.Jobs {
+		c.streams[i%nSites] = append(c.streams[i%nSites], tr.Jobs[i].ID)
+	}
+	for i := 0; i < nSites; i++ {
+		eng := core.NewEngine(0)
+		var peers []string
+		for j := 0; j < nSites; j++ {
+			if j != i {
+				peers = append(peers, addrOf(j))
+			}
+		}
+		var tp fed.Transport = c.mem
+		if wrap != nil {
+			tp = wrap(i, tp)
+		}
+		cfg := fed.Config{
+			Site:        fmt.Sprintf("site-%d", i),
+			Self:        eng,
+			Peers:       peers,
+			Transport:   tp,
+			Incarnation: uint64(i) + 1,
+			Seed:        int64(i) + 1,
+		}
+		if tune != nil {
+			tune(i, &cfg)
+		}
+		n, err := fed.NewNode(cfg)
+		if err != nil {
+			tb.Fatalf("NewNode(%d): %v", i, err)
+		}
+		c.nodes = append(c.nodes, n)
+		c.engines = append(c.engines, eng)
+		c.mem.register(addrOf(i), n)
+	}
+	return c
+}
+
+// observeAll feeds every node its full stream.
+func (c *cluster) observeAll() {
+	for i, eng := range c.engines {
+		for _, id := range c.streams[i] {
+			eng.Observe(c.tr.Jobs[id].Files)
+		}
+	}
+}
+
+// partitionJSON is the canonical byte form used for byte-identity checks.
+func partitionJSON(tb testing.TB, p *core.Partition) []byte {
+	tb.Helper()
+	b, err := json.Marshal(p.Filecules)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return b
+}
+
+// converged reports whether every listed node's merged partition is
+// byte-identical to the global one and accounts for every job.
+func (c *cluster) converged(tb testing.TB, want []byte, idx ...int) bool {
+	tb.Helper()
+	for _, i := range idx {
+		if c.nodes[i].MergedObserved() != int64(len(c.tr.Jobs)) {
+			return false
+		}
+		if !bytes.Equal(partitionJSON(tb, c.nodes[i].Merged()), want) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDeltaAndAckRoundTrip(t *testing.T) {
+	tr := randomTrace(t, 7, 50, 120)
+	eng := core.NewEngine(0)
+	eng.ObserveTrace(tr)
+	st := eng.ExportState()
+
+	mem := newMemTransport()
+	nodeA, err := fed.NewNode(fed.Config{Site: "a", Self: eng, Peers: []string{"b"}, Transport: mem, Incarnation: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engB := core.NewEngine(0)
+	nodeB, err := fed.NewNode(fed.Config{Site: "b", Self: engB, Transport: mem, Incarnation: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem.register("b", nodeB)
+
+	nodeA.ExchangeAll()
+	h := nodeA.Health()
+	if len(h) != 1 || !h[0].Healthy || h[0].Site != "b" {
+		t.Fatalf("after exchange, health = %+v", h)
+	}
+	if h[0].AckedVersion != st.Version {
+		t.Fatalf("acked version %d, want %d", h[0].AckedVersion, st.Version)
+	}
+	sites := nodeB.Sites()
+	if len(sites) != 1 || sites[0].Site != "a" || sites[0].Observed != eng.Observed() {
+		t.Fatalf("b holds %+v", sites)
+	}
+	// b observed nothing itself, so its merged view is exactly a's state.
+	if got, want := partitionJSON(t, nodeB.Merged()), partitionJSON(t, eng.Snapshot()); !bytes.Equal(got, want) {
+		t.Fatal("b's merged partition differs from a's snapshot")
+	}
+}
+
+// TestDeltaDecodeRejectsFlips pins that a single flipped bit anywhere in a
+// delta is caught: by the magic check, the CRC frame, or structural
+// validation — never silently applied as different state.
+func TestDeltaDecodeRejectsFlips(t *testing.T) {
+	tr := randomTrace(t, 3, 30, 60)
+	eng := core.NewEngine(0)
+	eng.ObserveTrace(tr)
+
+	mem := newMemTransport()
+	nodeA, err := fed.NewNode(fed.Config{Site: "a", Self: eng, Peers: []string{"b"}, Transport: mem, Incarnation: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engB := core.NewEngine(0)
+	nodeB, err := fed.NewNode(fed.Config{Site: "b", Self: engB, Transport: mem, Incarnation: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem.register("b", nodeB)
+	nodeA.ExchangeAll()
+	want := partitionJSON(t, nodeB.Merged())
+
+	// Capture one wire delta through a recording transport that does not
+	// deliver (site a2 must never become part of b's held state, or the
+	// identical request counts would be double-counted by the merge).
+	var captured []byte
+	rec := transportFunc(func(ctx context.Context, peer string, delta []byte) ([]byte, error) {
+		captured = append([]byte(nil), delta...)
+		return nil, errors.New("recorded only")
+	})
+	nodeA2, err := fed.NewNode(fed.Config{Site: "a2", Self: eng, Peers: []string{"b"}, Transport: rec, Incarnation: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeA2.ExchangeAll()
+	if captured == nil {
+		t.Fatal("no delta captured")
+	}
+
+	for off := 0; off < len(captured); off++ {
+		mut := append([]byte(nil), captured...)
+		mut[off] ^= 0x10
+		if _, err := nodeB.HandleExchange(mut); err == nil {
+			// A flip may land in an already-applied region check; the only
+			// acceptable non-error outcome is a byte-identical reprocess.
+			if !bytes.Equal(partitionJSON(t, nodeB.Merged()), want) {
+				t.Fatalf("flip at offset %d silently changed state", off)
+			}
+		}
+	}
+}
+
+type transportFunc func(ctx context.Context, peer string, delta []byte) ([]byte, error)
+
+func (f transportFunc) Exchange(ctx context.Context, peer string, delta []byte) ([]byte, error) {
+	return f(ctx, peer, delta)
+}
+
+// TestIdempotentDeltas pins that duplicated and reordered deltas are
+// harmless: replaying any prefix of captured exchanges in any order never
+// changes the receiver's converged state.
+func TestIdempotentDeltas(t *testing.T) {
+	tr := randomTrace(t, 11, 60, 150)
+	eng := core.NewEngine(0)
+
+	var wire [][]byte
+	mem := newMemTransport()
+	rec := transportFunc(func(ctx context.Context, peer string, delta []byte) ([]byte, error) {
+		wire = append(wire, append([]byte(nil), delta...))
+		return mem.Exchange(ctx, peer, delta)
+	})
+	nodeA, err := fed.NewNode(fed.Config{Site: "a", Self: eng, Peers: []string{"b"}, Transport: rec, Incarnation: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engB := core.NewEngine(0)
+	nodeB, err := fed.NewNode(fed.Config{Site: "b", Self: engB, Transport: mem, Incarnation: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem.register("b", nodeB)
+
+	// Incremental observes with an exchange every chunk, capturing deltas.
+	for i := range tr.Jobs {
+		eng.Observe(tr.Jobs[i].Files)
+		if i%17 == 0 {
+			nodeA.ExchangeAll()
+		}
+	}
+	nodeA.ExchangeAll()
+	want := partitionJSON(t, nodeB.Merged())
+	wantSites := nodeB.Sites()
+
+	// Replay every captured delta, newest first, twice each: every reply
+	// must be acknowledged and nothing may change.
+	for pass := 0; pass < 2; pass++ {
+		for i := len(wire) - 1; i >= 0; i-- {
+			if _, err := nodeB.HandleExchange(wire[i]); err != nil {
+				t.Fatalf("replay of delta %d rejected: %v", i, err)
+			}
+		}
+	}
+	if got := partitionJSON(t, nodeB.Merged()); !bytes.Equal(got, want) {
+		t.Fatal("replayed deltas changed the merged partition")
+	}
+	if got := nodeB.Sites(); got[0] != wantSites[0] {
+		t.Fatalf("replayed deltas moved site state: %+v -> %+v", wantSites[0], got[0])
+	}
+}
+
+// TestIncarnationResync pins restart semantics: a sender that comes back
+// with a fresh incarnation (recovered from its checkpoint) is re-held from
+// scratch and the federation reconverges.
+func TestIncarnationResync(t *testing.T) {
+	tr := randomTrace(t, 5, 40, 100)
+	mem := newMemTransport()
+
+	engA := core.NewEngine(0)
+	nodeA, err := fed.NewNode(fed.Config{Site: "a", Self: engA, Peers: []string{"b"}, Transport: mem, Incarnation: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engB := core.NewEngine(0)
+	nodeB, err := fed.NewNode(fed.Config{Site: "b", Self: engB, Transport: mem, Incarnation: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem.register("b", nodeB)
+
+	half := len(tr.Jobs) / 2
+	for i := 0; i < half; i++ {
+		engA.Observe(tr.Jobs[i].Files)
+	}
+	nodeA.ExchangeAll()
+
+	// "Restart" site a from its durable state: a new engine imported from
+	// the old one's export, a new node, a new incarnation.
+	st := engA.ExportState()
+	engA2 := core.NewEngine(0)
+	if err := engA2.ImportState(st); err != nil {
+		t.Fatal(err)
+	}
+	nodeA2, err := fed.NewNode(fed.Config{Site: "a", Self: engA2, Peers: []string{"b"}, Transport: mem, Incarnation: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := half; i < len(tr.Jobs); i++ {
+		engA2.Observe(tr.Jobs[i].Files)
+	}
+	// First exchange after restart: receiver notices the new incarnation,
+	// resets, and reports held version 0; the sender resends everything.
+	nodeA2.ExchangeAll()
+	nodeA2.ExchangeAll()
+
+	global := partitionJSON(t, core.Identify(tr))
+	if got := partitionJSON(t, nodeB.Merged()); !bytes.Equal(got, global) {
+		t.Fatal("after incarnation change, b did not reconverge to the global partition")
+	}
+}
+
+// TestBreakerLifecycle pins the circuit breaker: it opens after the
+// configured consecutive failures, suppresses exchanges while cooling
+// down, half-opens for a probe, and closes again on success — all visible
+// in Health and Degraded.
+func TestBreakerLifecycle(t *testing.T) {
+	tr := randomTrace(t, 13, 20, 40)
+	eng := core.NewEngine(0)
+	eng.ObserveTrace(tr)
+	mem := newMemTransport()
+
+	var calls int
+	counting := transportFunc(func(ctx context.Context, peer string, delta []byte) ([]byte, error) {
+		calls++
+		return mem.Exchange(ctx, peer, delta)
+	})
+	node, err := fed.NewNode(fed.Config{
+		Site: "a", Self: eng, Peers: []string{"b"}, Transport: counting,
+		Incarnation: 1, BreakerFailures: 3, BreakerCooldown: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engB := core.NewEngine(0)
+	nodeB, err := fed.NewNode(fed.Config{Site: "b", Self: engB, Transport: mem, Incarnation: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem.register("b", nodeB)
+	mem.setFail("b", errors.New("injected outage"))
+
+	for i := 0; i < 3; i++ {
+		node.ExchangeAll()
+	}
+	h := node.Health()[0]
+	if h.Breaker != "open" || h.ConsecutiveFailures != 3 || h.BreakerTrips != 1 {
+		t.Fatalf("after 3 failures: %+v", h)
+	}
+	if deg, reasons := node.Degraded(); !deg || len(reasons) != 1 {
+		t.Fatalf("not degraded while breaker open: %v", reasons)
+	}
+
+	// While open and cooling down, exchanges are suppressed entirely.
+	before := calls
+	node.ExchangeAll()
+	if calls != before {
+		t.Fatalf("open breaker still sent an exchange")
+	}
+
+	// After the cooldown one probe goes through; the outage is over, so
+	// the breaker closes and the federation is healthy again.
+	mem.setFail("b", nil)
+	time.Sleep(60 * time.Millisecond)
+	node.ExchangeAll()
+	h = node.Health()[0]
+	if h.Breaker != "closed" || !h.Healthy {
+		t.Fatalf("after recovery probe: %+v", h)
+	}
+	if deg, _ := node.Degraded(); deg {
+		t.Fatal("still degraded after recovery")
+	}
+	if got, want := partitionJSON(t, nodeB.Merged()), partitionJSON(t, eng.Snapshot()); !bytes.Equal(got, want) {
+		t.Fatal("recovered peer did not receive the state")
+	}
+}
+
+// TestBackgroundLoopsConverge runs the real Start/Stop exchange loops (no
+// manual driving) over a three-node cluster and waits for convergence.
+func TestBackgroundLoopsConverge(t *testing.T) {
+	tr := randomTrace(t, 17, 80, 240)
+	c := newCluster(t, tr, 3, func(i int, cfg *fed.Config) {
+		cfg.Interval = 2 * time.Millisecond
+		cfg.Timeout = time.Second
+	}, nil)
+	global := partitionJSON(t, core.Identify(tr))
+
+	for _, n := range c.nodes {
+		n.Start()
+		defer n.Stop()
+	}
+	c.observeAll()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for !c.converged(t, global, 0, 1, 2) {
+		if time.Now().After(deadline) {
+			t.Fatal("cluster did not converge within 30s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestNodeConfigValidation(t *testing.T) {
+	eng := core.NewEngine(0)
+	mem := newMemTransport()
+	cases := []struct {
+		name string
+		cfg  fed.Config
+	}{
+		{"no site", fed.Config{Self: eng, Transport: mem}},
+		{"no engine", fed.Config{Site: "a", Transport: mem}},
+		{"peers without transport", fed.Config{Site: "a", Self: eng, Peers: []string{"b"}}},
+		{"empty peer", fed.Config{Site: "a", Self: eng, Transport: mem, Peers: []string{""}}},
+		{"duplicate peer", fed.Config{Site: "a", Self: eng, Transport: mem, Peers: []string{"b", "b"}}},
+	}
+	for _, tc := range cases {
+		if _, err := fed.NewNode(tc.cfg); err == nil {
+			t.Errorf("%s: NewNode accepted invalid config", tc.name)
+		}
+	}
+}

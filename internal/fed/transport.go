@@ -1,0 +1,64 @@
+package fed
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// ExchangePath is the HTTP route peers POST deltas to.
+const ExchangePath = "/v1/fed/exchange"
+
+// HTTPTransport delivers deltas by POSTing them to
+// <peer-address><ExchangePath>, where the peer address is a base URL such
+// as http://host:port. The per-exchange deadline comes from the caller's
+// context; the embedded client adds no timeout of its own.
+type HTTPTransport struct {
+	// Client is the HTTP client to use; nil means a private default with
+	// conservative connection pooling.
+	Client *http.Client
+}
+
+// NewHTTPTransport returns a transport with its own pooled client.
+func NewHTTPTransport() *HTTPTransport {
+	return &HTTPTransport{Client: &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConnsPerHost:   2,
+			IdleConnTimeout:       90 * time.Second,
+			ResponseHeaderTimeout: 30 * time.Second,
+		},
+	}}
+}
+
+// Exchange implements Transport.
+func (t *HTTPTransport) Exchange(ctx context.Context, peer string, delta []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+ExchangePath, bytes.NewReader(delta))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxFedAckSize+1))
+	if err != nil {
+		return nil, fmt.Errorf("fed: read ack from %s: %w", peer, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		snippet := body
+		if len(snippet) > 200 {
+			snippet = snippet[:200]
+		}
+		return nil, fmt.Errorf("fed: peer %s: HTTP %d: %s", peer, resp.StatusCode, snippet)
+	}
+	return body, nil
+}

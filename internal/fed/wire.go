@@ -1,0 +1,407 @@
+package fed
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"filecule/internal/core"
+	"filecule/internal/trace"
+)
+
+// The filecule-fed/v1 exchange format, built on the CRC32C chunk frame
+// shared with the trace codec, checkpoints, and the WAL. One exchange is a
+// delta message (request) answered by an ack message (response).
+//
+// Delta:
+//
+//	"filecule-fed/v1\n"
+//	'H' header chunk: uvarint site-name length + bytes, 8-byte LE
+//	                  incarnation, uvarint from-version, to-version,
+//	                  observed count, record count, live count, total
+//	                  record file count
+//	'G' group chunks: uvarint record count, then per changed group a
+//	                  16-byte LE signature, uvarint request count, and the
+//	                  run-encoded sorted member file list (the checkpoint
+//	                  record layout)
+//	'L' live chunks:  uvarint count, then one 16-byte LE signature per
+//	                  live group — the sender's complete live set, which is
+//	                  how receivers learn deletions without tombstones
+//	'E' end chunk:    uvarint record count, live count (cross-check)
+//
+// A delta carries the sender's state change from from-version to
+// to-version: full records for every group whose stamp is newer than
+// from-version, plus the complete live-signature list. Signatures are
+// site-local identities (they are sums over site-local job generations, so
+// equal signatures at different sites mean nothing); receivers key held
+// state by (site, signature) and never compare signatures across sites.
+// A delta with from-version == to-version is a heartbeat and carries no
+// records and no live list.
+//
+// Ack:
+//
+//	"filecule-fed/v1\n"
+//	'A' chunk: uvarint site-name length + bytes (the receiver's site),
+//	           uvarint held-version (the sender-state version the receiver
+//	           holds after processing), status byte
+//
+// The held-version is the whole contract: whatever the status, the sender
+// resumes its next delta from exactly that version. Idempotence follows —
+// duplicates and stale retries move held-version nowhere, a receiver that
+// restarted (or saw a new sender incarnation) reports 0 and gets the full
+// state again.
+
+const wireMagic = "filecule-fed/v1\n"
+
+const (
+	fedKindHeader = 'H'
+	fedKindGroups = 'G'
+	fedKindLive   = 'L'
+	fedKindEnd    = 'E'
+	fedKindAck    = 'A'
+)
+
+// Ack statuses (diagnostic only; held-version drives the protocol).
+const (
+	ackApplied = 0 // delta applied, held-version advanced to to-version
+	ackCurrent = 1 // duplicate or old delta; receiver already at or past to-version
+	ackStale   = 2 // from-version is ahead of the receiver; a wider delta is needed
+)
+
+// Wire bounds: allocation guards against corrupt or hostile peers.
+const (
+	maxSiteName     = 200
+	maxFedGroups    = 1 << 22
+	maxFedFiles     = 1 << 24
+	maxFedFileID    = 1 << 31
+	fedChunkBytes   = 1 << 18
+	maxFedDeltaSize = 1 << 28
+	maxFedAckSize   = 1 << 12
+)
+
+// delta is one decoded exchange message.
+type delta struct {
+	Site        string
+	Incarnation uint64
+	From, To    uint64
+	Observed    int64
+	Records     []core.StateGroup // groups with stamp > From; Stamp not carried on the wire
+	Live        []sigKey          // complete live set; empty for heartbeats
+}
+
+// sigKey is a 128-bit group signature as a map key.
+type sigKey struct{ Lo, Hi uint64 }
+
+// ack is one decoded exchange response.
+type ack struct {
+	Site   string
+	Held   uint64
+	Status byte
+}
+
+// buildDelta assembles the delta a peer holding the sender's state at
+// version `from` needs in order to reach st.Version.
+func buildDelta(site string, incarnation uint64, from uint64, st *core.EngineState) *delta {
+	d := &delta{
+		Site:        site,
+		Incarnation: incarnation,
+		From:        from,
+		To:          st.Version,
+		Observed:    st.Observed,
+	}
+	if d.To == d.From {
+		return d // heartbeat
+	}
+	d.Records = st.ChangedSince(from)
+	d.Live = make([]sigKey, len(st.Groups))
+	for i := range st.Groups {
+		d.Live[i] = sigKey{Lo: st.Groups[i].SigLo, Hi: st.Groups[i].SigHi}
+	}
+	return d
+}
+
+func appendSite(dst []byte, site string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(site)))
+	return append(dst, site...)
+}
+
+func readSite(p *trace.Payload) string {
+	n := p.Uvarint()
+	if p.Err() != nil {
+		return ""
+	}
+	if n == 0 || n > maxSiteName {
+		p.Fail("site name length %d out of range", n)
+		return ""
+	}
+	b := p.Bytes(int(n))
+	if p.Err() != nil {
+		return ""
+	}
+	return string(b)
+}
+
+// encodeDelta renders d to wire bytes.
+func encodeDelta(d *delta) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(wireMagic)
+
+	totalFiles := 0
+	for i := range d.Records {
+		totalFiles += len(d.Records[i].Files)
+	}
+	hdr := []byte{fedKindHeader}
+	hdr = appendSite(hdr, d.Site)
+	hdr = trace.AppendUint64(hdr, d.Incarnation)
+	hdr = binary.AppendUvarint(hdr, d.From)
+	hdr = binary.AppendUvarint(hdr, d.To)
+	hdr = binary.AppendUvarint(hdr, uint64(d.Observed))
+	hdr = binary.AppendUvarint(hdr, uint64(len(d.Records)))
+	hdr = binary.AppendUvarint(hdr, uint64(len(d.Live)))
+	hdr = binary.AppendUvarint(hdr, uint64(totalFiles))
+	writeChunk(&buf, hdr)
+
+	chunk := []byte{fedKindGroups}
+	count := 0
+	flush := func(kind byte) {
+		if count == 0 {
+			return
+		}
+		payload := []byte{kind}
+		payload = binary.AppendUvarint(payload, uint64(count))
+		payload = append(payload, chunk[1:]...)
+		writeChunk(&buf, payload)
+		chunk = chunk[:1]
+		count = 0
+	}
+	for i := range d.Records {
+		g := &d.Records[i]
+		chunk = trace.AppendUint64(chunk, g.SigLo)
+		chunk = trace.AppendUint64(chunk, g.SigHi)
+		chunk = binary.AppendUvarint(chunk, uint64(g.Requests))
+		chunk = trace.AppendFileRuns(chunk, g.Files)
+		count++
+		if len(chunk) >= fedChunkBytes {
+			flush(fedKindGroups)
+		}
+	}
+	flush(fedKindGroups)
+
+	for _, s := range d.Live {
+		chunk = trace.AppendUint64(chunk, s.Lo)
+		chunk = trace.AppendUint64(chunk, s.Hi)
+		count++
+		if len(chunk) >= fedChunkBytes {
+			flush(fedKindLive)
+		}
+	}
+	flush(fedKindLive)
+
+	end := []byte{fedKindEnd}
+	end = binary.AppendUvarint(end, uint64(len(d.Records)))
+	end = binary.AppendUvarint(end, uint64(len(d.Live)))
+	writeChunk(&buf, end)
+	return buf.Bytes()
+}
+
+// writeChunk writes to a bytes.Buffer, which cannot fail.
+func writeChunk(buf *bytes.Buffer, payload []byte) {
+	if err := trace.WriteChunk(buf, payload); err != nil {
+		panic("fed: bytes.Buffer write failed: " + err.Error())
+	}
+}
+
+// decodeDelta parses and bounds-checks one delta message. Every
+// malformation is an error naming the failing chunk's byte offset; a
+// decoded delta is structurally sound (counts consistent, file lists
+// in-range) but semantic validation against held state happens at apply
+// time.
+func decodeDelta(b []byte) (*delta, error) {
+	if len(b) > maxFedDeltaSize {
+		return nil, fmt.Errorf("fed: delta of %d bytes exceeds limit %d", len(b), maxFedDeltaSize)
+	}
+	r := bytes.NewReader(b)
+	var magic [len(wireMagic)]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("fed: bad magic: %w", err)
+	}
+	if string(magic[:]) != wireMagic {
+		return nil, fmt.Errorf("fed: bad magic %q", magic[:])
+	}
+	cr := trace.NewChunkReader(r)
+
+	kind, payload, err := cr.ReadChunk()
+	if err != nil {
+		return nil, fmt.Errorf("fed: %w", err)
+	}
+	if kind != fedKindHeader {
+		return nil, fmt.Errorf("fed: first chunk kind %q, want header", kind)
+	}
+	p := trace.NewPayload(payload)
+	d := &delta{Site: readSite(p)}
+	d.Incarnation = p.Uint64()
+	d.From = p.Uvarint()
+	d.To = p.Uvarint()
+	observed := p.Uvarint()
+	nRecords := p.Uvarint()
+	nLive := p.Uvarint()
+	totalFiles := p.Uvarint()
+	if p.Err() == nil && p.Remaining() != 0 {
+		p.Fail("%d bytes after header fields", p.Remaining())
+	}
+	if p.Err() != nil {
+		return nil, fmt.Errorf("fed: %w", &trace.ChunkError{Kind: kind, Err: fmt.Errorf("malformed header: %v", p.Err())})
+	}
+	switch {
+	case d.To < d.From:
+		return nil, fmt.Errorf("fed: header to-version %d below from-version %d", d.To, d.From)
+	case observed > 1<<62:
+		return nil, fmt.Errorf("fed: header observed count %d out of range", observed)
+	case nRecords > maxFedGroups || nLive > maxFedGroups:
+		return nil, fmt.Errorf("fed: header declares %d records / %d live (max %d)", nRecords, nLive, maxFedGroups)
+	case totalFiles > maxFedFiles:
+		return nil, fmt.Errorf("fed: header declares %d files (max %d)", totalFiles, maxFedFiles)
+	case nRecords > nLive:
+		return nil, fmt.Errorf("fed: header declares %d records but only %d live groups", nRecords, nLive)
+	case d.To == d.From && nRecords+nLive+totalFiles != 0:
+		return nil, fmt.Errorf("fed: heartbeat carries %d records / %d live", nRecords, nLive)
+	}
+	d.Observed = int64(observed)
+	d.Records = make([]core.StateGroup, 0, nRecords)
+	d.Live = make([]sigKey, 0, nLive)
+
+	filesLeft := int(totalFiles)
+	for {
+		boundary := cr.Offset()
+		kind, payload, err := cr.ReadChunk()
+		if err == io.EOF {
+			return nil, fmt.Errorf("fed: truncated delta (missing end chunk): %w", io.ErrUnexpectedEOF)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fed: %w", err)
+		}
+		switch kind {
+		case fedKindGroups:
+			p := trace.NewPayload(payload)
+			n := p.Count("group")
+			for i := 0; i < n && p.Err() == nil; i++ {
+				g := core.StateGroup{
+					SigLo:    p.Uint64(),
+					SigHi:    p.Uint64(),
+					Requests: int(p.Uvarint()),
+				}
+				g.Files = p.FileRuns(nil, maxFedFileID, filesLeft)
+				if p.Err() != nil {
+					break
+				}
+				if g.Requests < 1 {
+					p.Fail("group %d request count %d < 1", i, g.Requests)
+					break
+				}
+				filesLeft -= len(g.Files)
+				d.Records = append(d.Records, g)
+			}
+			if p.Err() == nil && p.Remaining() != 0 {
+				p.Fail("%d bytes after last group record", p.Remaining())
+			}
+			if p.Err() != nil {
+				return nil, fmt.Errorf("fed: %w", &trace.ChunkError{Offset: boundary, Kind: kind, Err: p.Err()})
+			}
+			if uint64(len(d.Records)) > nRecords {
+				return nil, fmt.Errorf("fed: more than the declared %d records", nRecords)
+			}
+		case fedKindLive:
+			p := trace.NewPayload(payload)
+			n := p.Count("live signature")
+			for i := 0; i < n && p.Err() == nil; i++ {
+				d.Live = append(d.Live, sigKey{Lo: p.Uint64(), Hi: p.Uint64()})
+			}
+			if p.Err() == nil && p.Remaining() != 0 {
+				p.Fail("%d bytes after last live signature", p.Remaining())
+			}
+			if p.Err() != nil {
+				return nil, fmt.Errorf("fed: %w", &trace.ChunkError{Offset: boundary, Kind: kind, Err: p.Err()})
+			}
+			if uint64(len(d.Live)) > nLive {
+				return nil, fmt.Errorf("fed: more than the declared %d live signatures", nLive)
+			}
+		case fedKindEnd:
+			p := trace.NewPayload(payload)
+			gotRecords := p.Uvarint()
+			gotLive := p.Uvarint()
+			if p.Err() != nil || p.Remaining() != 0 {
+				return nil, fmt.Errorf("fed: %w", &trace.ChunkError{Offset: boundary, Kind: kind, Err: fmt.Errorf("malformed end chunk")})
+			}
+			if gotRecords != nRecords || uint64(len(d.Records)) != nRecords {
+				return nil, fmt.Errorf("fed: end chunk declares %d records, header %d, stream had %d", gotRecords, nRecords, len(d.Records))
+			}
+			if gotLive != nLive || uint64(len(d.Live)) != nLive {
+				return nil, fmt.Errorf("fed: end chunk declares %d live, header %d, stream had %d", gotLive, nLive, len(d.Live))
+			}
+			if filesLeft != 0 {
+				return nil, fmt.Errorf("fed: header declares %d record files, records carry %d", totalFiles, int(totalFiles)-filesLeft)
+			}
+			if _, _, err := cr.ReadChunk(); err != io.EOF {
+				return nil, fmt.Errorf("fed: data after end chunk")
+			}
+			return d, nil
+		case fedKindHeader:
+			return nil, fmt.Errorf("fed: duplicate header chunk")
+		default:
+			return nil, fmt.Errorf("fed: %w", &trace.ChunkError{Offset: boundary, Kind: kind, Err: fmt.Errorf("unknown chunk kind")})
+		}
+	}
+}
+
+// encodeAck renders an ack to wire bytes.
+func encodeAck(a *ack) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(wireMagic)
+	payload := []byte{fedKindAck}
+	payload = appendSite(payload, a.Site)
+	payload = binary.AppendUvarint(payload, a.Held)
+	payload = append(payload, a.Status)
+	writeChunk(&buf, payload)
+	return buf.Bytes()
+}
+
+// decodeAck parses one ack message.
+func decodeAck(b []byte) (*ack, error) {
+	if len(b) > maxFedAckSize {
+		return nil, fmt.Errorf("fed: ack of %d bytes exceeds limit %d", len(b), maxFedAckSize)
+	}
+	r := bytes.NewReader(b)
+	var magic [len(wireMagic)]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("fed: ack: bad magic: %w", err)
+	}
+	if string(magic[:]) != wireMagic {
+		return nil, fmt.Errorf("fed: ack: bad magic %q", magic[:])
+	}
+	cr := trace.NewChunkReader(r)
+	kind, payload, err := cr.ReadChunk()
+	if err != nil {
+		return nil, fmt.Errorf("fed: ack: %w", err)
+	}
+	if kind != fedKindAck {
+		return nil, fmt.Errorf("fed: ack: chunk kind %q, want %q", kind, fedKindAck)
+	}
+	p := trace.NewPayload(payload)
+	a := &ack{Site: readSite(p)}
+	a.Held = p.Uvarint()
+	a.Status = p.Byte()
+	if p.Err() == nil && p.Remaining() != 0 {
+		p.Fail("%d bytes after ack fields", p.Remaining())
+	}
+	if p.Err() != nil {
+		return nil, fmt.Errorf("fed: ack: %v", p.Err())
+	}
+	if a.Status > ackStale {
+		return nil, fmt.Errorf("fed: ack: unknown status %d", a.Status)
+	}
+	if _, _, err := cr.ReadChunk(); err != io.EOF {
+		return nil, fmt.Errorf("fed: ack: data after ack chunk")
+	}
+	return a, nil
+}

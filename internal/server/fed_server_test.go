@@ -1,0 +1,249 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"filecule/internal/core"
+	"filecule/internal/fed"
+	"filecule/internal/synth"
+	"filecule/internal/trace"
+)
+
+// startOn runs s on l until the test ends.
+func startOn(t *testing.T, s *Server, l net.Listener) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx, l) }()
+	t.Cleanup(func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("Run: %v", err)
+		}
+	})
+}
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestFederatedServersConverge stands up two real HTTP servers, each fed
+// half the trace over /v1/jobs/batch, peered at each other, and waits for
+// both /v1/fed/partition responses to become byte-identical to a
+// single-node identification of the whole trace.
+func TestFederatedServersConverge(t *testing.T) {
+	tr, err := synth.Generate(synth.DZero(17, 0.003))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseA := "http://" + lA.Addr().String()
+	baseB := "http://" + lB.Addr().String()
+
+	mk := func(site, peer string, inc uint64) *Server {
+		return New(Config{
+			Catalog: tr.Files,
+			Fed: &fed.Config{
+				Site:        site,
+				Peers:       []string{peer},
+				Interval:    10 * time.Millisecond,
+				Incarnation: inc,
+				Seed:        int64(inc),
+			},
+		})
+	}
+	sA := mk("site-a", baseB, 1)
+	sB := mk("site-b", baseA, 2)
+	startOn(t, sA, lA)
+	startOn(t, sB, lB)
+
+	// Deal job i to server i%2, batched.
+	var batches [2]BatchBody
+	for i := range tr.Jobs {
+		batches[i%2].Jobs = append(batches[i%2].Jobs, JobBody{Files: tr.Jobs[i].Files})
+	}
+	for i, base := range []string{baseA, baseB} {
+		bb, _ := json.Marshal(batches[i])
+		resp, err := http.Post(base+"/v1/jobs/batch", "application/json", bytes.NewReader(bb))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch to %s: %d", base, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	wantBytes, err := PartitionJSON(core.Identify(tr), int64(len(tr.Jobs)), &trace.Trace{Files: tr.Files})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := string(wantBytes)
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		_, gotA := httpGet(t, baseA+"/v1/fed/partition")
+		_, gotB := httpGet(t, baseB+"/v1/fed/partition")
+		if strings.TrimSpace(gotA) == want && strings.TrimSpace(gotB) == want {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no convergence: lens %d/%d want %d", len(gotA), len(gotB), len(want))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Both exchanged successfully, so readiness must report ok.
+	if code, body := httpGet(t, baseA+"/readyz"); code != http.StatusOK {
+		t.Errorf("readyz after convergence: %d %s", code, body)
+	}
+	// And the federation gauges must be present and healthy.
+	_, metrics := httpGet(t, baseA+"/metrics")
+	for _, needle := range []string{
+		"filecule_fed_degraded 0",
+		"filecule_fed_sites_known 1",
+		`filecule_fed_peer_healthy{peer="` + baseB + `"} 1`,
+		`filecule_fed_peer_breaker_state{peer="` + baseB + `"} 0`,
+		"filecule_fed_peer_exchanges_total",
+	} {
+		if !strings.Contains(metrics, needle) {
+			t.Errorf("metrics missing %q", needle)
+		}
+	}
+}
+
+// TestReadyzDegradedWithDeadPeer: a federated server whose peer never
+// answers is degraded (503 with a reason) but still alive and serving.
+func TestReadyzDegradedWithDeadPeer(t *testing.T) {
+	s := New(Config{Fed: &fed.Config{
+		Site:        "lonely",
+		Peers:       []string{"http://127.0.0.1:1"},
+		Incarnation: 9,
+	}})
+	if s.fedErr != nil {
+		t.Fatal(s.fedErr)
+	}
+	w := do(s, "GET", "/readyz", "")
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with dead peer: %d %s", w.Code, w.Body)
+	}
+	if !strings.Contains(w.Body.String(), "no successful exchange yet") {
+		t.Errorf("degraded reason missing: %s", w.Body)
+	}
+	if h := do(s, "GET", "/healthz", ""); h.Code != http.StatusOK {
+		t.Errorf("healthz while degraded: %d", h.Code)
+	}
+	// Degraded shows in metrics too.
+	m := do(s, "GET", "/metrics", "").Body.String()
+	if !strings.Contains(m, "filecule_fed_degraded 1") {
+		t.Errorf("metrics missing degraded gauge:\n%s", m)
+	}
+}
+
+// TestReadyzWithoutFed: the probe exists on non-federated servers too.
+func TestReadyzWithoutFed(t *testing.T) {
+	s, _ := testServer(t)
+	if w := do(s, "GET", "/readyz", ""); w.Code != http.StatusOK {
+		t.Errorf("readyz: %d", w.Code)
+	}
+}
+
+// TestFedConfigErrorSurfacesInRun: an invalid federation config (no site
+// name) must fail Run rather than silently serving unfederated.
+func TestFedConfigErrorSurfacesInRun(t *testing.T) {
+	s := New(Config{Fed: &fed.Config{}})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(context.Background(), l); err == nil {
+		t.Fatal("Run accepted a federation config with no site")
+	}
+}
+
+// TestSlowlorisBodyCutOff is the regression test for per-request body read
+// deadlines: with generous server-wide timeouts, a client that sends
+// headers and then trickles nothing must be cut off by BodyReadTimeout,
+// while concurrent well-behaved requests stay fast.
+func TestSlowlorisBodyCutOff(t *testing.T) {
+	tr, err := synth.Generate(synth.DZero(5, 0.003))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{
+		Catalog:         tr.Files,
+		BodyReadTimeout: 200 * time.Millisecond,
+		ReadTimeout:     time.Hour, // deliberately useless: only the per-body deadline protects us
+		WriteTimeout:    time.Hour,
+		IdleTimeout:     time.Hour,
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + l.Addr().String()
+	startOn(t, s, l)
+
+	// The slow client: full headers, half a body, then silence.
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	req := "POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\nContent-Length: 4096\r\n\r\n{\"files\":[1,"
+	if _, err := conn.Write([]byte(req)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Meanwhile a normal request must not be starved.
+	if code, _ := httpGet(t, base+"/healthz"); code != http.StatusOK {
+		t.Errorf("healthz during slowloris: %d", code)
+	}
+	if resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(`{"files":[1,2]}`)); err != nil {
+		t.Errorf("observe during slowloris: %v", err)
+	} else {
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("observe during slowloris: %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	// The stalled request must be answered (408) or torn down within the
+	// body deadline plus slack — not after ReadTimeout's hour.
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	elapsed := time.Since(start)
+	if err == nil && !strings.Contains(line, "408") {
+		t.Errorf("slowloris response line %q, want 408 or closed connection", strings.TrimSpace(line))
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("slowloris connection lived %v, want cutoff near the 200ms body deadline", elapsed)
+	}
+}

@@ -117,6 +117,11 @@ func (w *statusRecorder) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Unwrap lets http.ResponseController reach through this wrapper to the
+// connection's deadline controls; without it SetReadDeadline silently
+// degrades to ErrNotSupported and the per-body deadline never arms.
+func (w *statusRecorder) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // instrument wraps h so every request is timed and counted under route.
 func (m *Metrics) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {

@@ -13,8 +13,11 @@
 //	GET  /v1/partition         the full canonical partition
 //	GET  /v1/partition/summary partition shape statistics
 //	POST /v1/cache/advise      admission/eviction advice for a client cache
+//	POST /v1/fed/exchange      peer delta ingestion (binary, when Config.Fed)
+//	GET  /v1/fed/partition     merged cross-site partition (when Config.Fed)
 //	GET  /metrics              Prometheus text exposition
 //	GET  /healthz              liveness probe
+//	GET  /readyz               readiness probe (503 while federation degraded)
 //	/debug/pprof/*             standard profiles (when Config.EnablePprof)
 //
 // All responses are JSON except /metrics. Invalid input is answered with a
@@ -26,9 +29,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"runtime"
 	"strconv"
 	"sync"
@@ -37,6 +42,7 @@ import (
 	"filecule/internal/cache"
 	"filecule/internal/core"
 	"filecule/internal/durable"
+	"filecule/internal/fed"
 	"filecule/internal/trace"
 )
 
@@ -69,6 +75,18 @@ type Config struct {
 	// what the server answers from) and mounts POST /v1/admin/checkpoint.
 	// A WAL append failure answers 500 and the job is not applied.
 	Durable *durable.Engine
+	// Fed, when set, federates this server's engine with peer sites: New
+	// builds a fed.Node over the serving engine (Fed.Self is overridden,
+	// Fed.Transport defaults to fed.NewHTTPTransport), mounts the exchange
+	// and merged-partition endpoints, and Run drives the per-peer exchange
+	// loops for the Server's lifetime.
+	Fed *fed.Config
+	// BodyReadTimeout bounds reading any single request body via a
+	// per-request connection read deadline, independent of the server-wide
+	// ReadTimeout; <= 0 means 30s. This is the slowloris guard: a client
+	// trickling body bytes is cut off after this long, not after
+	// ReadTimeout (which callers may set generously for large batches).
+	BodyReadTimeout time.Duration
 }
 
 func (c *Config) maxBody() int64 {
@@ -102,6 +120,11 @@ type Server struct {
 	// catTrace wraps the catalog for granularity construction.
 	catTrace *trace.Trace
 
+	// fedNode is the federation node when Config.Fed is set; fedErr holds a
+	// construction failure, surfaced by Run so New keeps its signature.
+	fedNode *fed.Node
+	fedErr  error
+
 	// granMu guards the advice granularity, rebuilt only when the
 	// monitor snapshot changes (detected by pointer identity, which
 	// Monitor.Snapshot guarantees between observations).
@@ -134,10 +157,26 @@ func New(cfg Config) *Server {
 	if cfg.Durable != nil {
 		s.mux.HandleFunc("POST /v1/admin/checkpoint", s.metrics.instrument("checkpoint", s.handleCheckpoint))
 	}
+	if cfg.Fed != nil {
+		fc := *cfg.Fed
+		fc.Self = s.monitor.Engine()
+		if fc.Transport == nil {
+			fc.Transport = fed.NewHTTPTransport()
+		}
+		node, err := fed.NewNode(fc)
+		if err != nil {
+			s.fedErr = fmt.Errorf("server: federation: %w", err)
+		} else {
+			s.fedNode = node
+			s.mux.HandleFunc("POST "+fed.ExchangePath, s.metrics.instrument("fed_exchange", s.handleFedExchange))
+			s.mux.HandleFunc("GET /v1/fed/partition", s.metrics.instrument("fed_partition", s.handleFedPartition))
+		}
+	}
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -157,10 +196,21 @@ func (s *Server) Monitor() *core.Monitor { return s.monitor }
 // Metrics exposes the request metrics collector.
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
+// Fed exposes the federation node, or nil when federation is off.
+func (s *Server) Fed() *fed.Node { return s.fedNode }
+
 // Run serves on l until ctx is cancelled, then drains in-flight requests
 // for at most Config.ShutdownGrace before returning. It returns nil on a
 // clean shutdown.
 func (s *Server) Run(ctx context.Context, l net.Listener) error {
+	if s.fedErr != nil {
+		l.Close()
+		return s.fedErr
+	}
+	if s.fedNode != nil {
+		s.fedNode.Start()
+		defer s.fedNode.Stop()
+	}
 	hs := &http.Server{
 		Handler:      s.Handler(),
 		ReadTimeout:  orDefault(s.cfg.ReadTimeout, 30*time.Second),
@@ -285,19 +335,45 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
-// decodeBody parses the JSON request body into v, enforcing the size cap.
-// It reports a client-appropriate status code on failure.
+// armBodyDeadline sets a connection read deadline covering one request
+// body, so a client trickling bytes cannot pin a handler goroutine past
+// Config.BodyReadTimeout. The returned func clears the deadline and must
+// be called only after the body was consumed successfully: on a failed
+// read the deadline must stay armed, because net/http's post-handler
+// body drain would otherwise block unboundedly on the same stalled
+// connection before flushing the error response. Deadline errors are
+// ignored: httptest recorders don't support deadlines
+// (http.ErrNotSupported), and the server-wide ReadTimeout still applies
+// regardless.
+func (s *Server) armBodyDeadline(w http.ResponseWriter) func() {
+	rc := http.NewResponseController(w)
+	_ = rc.SetReadDeadline(time.Now().Add(orDefault(s.cfg.BodyReadTimeout, 30*time.Second)))
+	return func() { _ = rc.SetReadDeadline(time.Time{}) }
+}
+
+// bodyReadError maps a body-read failure to a client-appropriate status.
+func writeBodyReadError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	switch {
+	case errors.As(err, &mbe):
+		writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", mbe.Limit)
+	case errors.Is(err, os.ErrDeadlineExceeded):
+		writeError(w, http.StatusRequestTimeout, "reading body: %v", err)
+	default:
+		writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+	}
+}
+
+// decodeBody parses the JSON request body into v, enforcing the size cap
+// and the per-request body read deadline. It reports a client-appropriate
+// status code on failure.
 func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	clearDeadline := s.armBodyDeadline(w)
 	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBody())
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		var mbe *http.MaxBytesError
-		if errors.As(err, &mbe) {
-			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", mbe.Limit)
-		} else {
-			writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
-		}
+		writeBodyReadError(w, err)
 		return false
 	}
 	// Trailing garbage after the JSON value is a client error.
@@ -305,6 +381,7 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 		writeError(w, http.StatusBadRequest, "trailing data after JSON body")
 		return false
 	}
+	clearDeadline()
 	return true
 }
 
@@ -397,6 +474,59 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		Reused:   st.LastReused,
 		Bytes:    st.LastBytes,
 	})
+}
+
+// handleFedExchange ingests one peer's signature-table delta. The body is
+// binary (filecule-fed/v1 chunk framing), not JSON; the response is the
+// binary ack naming the version now held for the sending site.
+func (s *Server) handleFedExchange(w http.ResponseWriter, r *http.Request) {
+	clearDeadline := s.armBodyDeadline(w)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBody()))
+	if err != nil {
+		writeBodyReadError(w, err)
+		return
+	}
+	clearDeadline()
+	ackBytes, err := s.fedNode.HandleExchange(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(ackBytes)
+}
+
+// handleFedPartition serves the merged cross-site partition in the same
+// canonical wire form as /v1/partition, so convergence is checkable by
+// byte comparison against a single-site identification.
+func (s *Server) handleFedPartition(w http.ResponseWriter, r *http.Request) {
+	buf, err := PartitionJSON(s.fedNode.Merged(), s.fedNode.MergedObserved(), s.catTrace)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encode: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf)
+}
+
+// handleReady is the readiness probe. Without federation it mirrors
+// /healthz. With federation it answers 503 while any peer is unhealthy:
+// a degraded node still serves (its merged partition is provably a
+// coarsening of the global truth, never a corruption), but load balancers
+// may prefer converged replicas.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.fedNode != nil {
+		if degraded, reasons := s.fedNode.Degraded(); degraded {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status":  "degraded",
+				"reasons": reasons,
+			})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleFilecule(w http.ResponseWriter, r *http.Request) {
@@ -562,4 +692,41 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# TYPE filecule_checkpoints_total counter\n")
 		fmt.Fprintf(w, "filecule_checkpoints_total %d\n", st.Checkpoints)
 	}
+	if s.fedNode != nil {
+		s.writeFedMetrics(w)
+	}
+}
+
+// writeFedMetrics emits the federation health gauges: one series per peer
+// for retry/breaker state, plus node-wide degradation and site counts.
+func (s *Server) writeFedMetrics(w io.Writer) {
+	degraded, _ := s.fedNode.Degraded()
+	fmt.Fprintf(w, "# TYPE filecule_fed_degraded gauge\n")
+	fmt.Fprintf(w, "filecule_fed_degraded %d\n", boolGauge(degraded))
+	fmt.Fprintf(w, "# TYPE filecule_fed_sites_known gauge\n")
+	fmt.Fprintf(w, "filecule_fed_sites_known %d\n", len(s.fedNode.Sites()))
+	fmt.Fprintf(w, "# TYPE filecule_fed_merged_observed gauge\n")
+	fmt.Fprintf(w, "filecule_fed_merged_observed %d\n", s.fedNode.MergedObserved())
+
+	health := s.fedNode.Health()
+	perPeer := func(name, kind string, val func(h fed.PeerHealth) int64) {
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+		for _, h := range health {
+			fmt.Fprintf(w, "%s{peer=%q} %d\n", name, h.Addr, val(h))
+		}
+	}
+	perPeer("filecule_fed_peer_healthy", "gauge", func(h fed.PeerHealth) int64 { return boolGauge(h.Healthy) })
+	perPeer("filecule_fed_peer_breaker_state", "gauge", func(h fed.PeerHealth) int64 { return int64(h.BreakerState) })
+	perPeer("filecule_fed_peer_consecutive_failures", "gauge", func(h fed.PeerHealth) int64 { return int64(h.ConsecutiveFailures) })
+	perPeer("filecule_fed_peer_acked_version", "gauge", func(h fed.PeerHealth) int64 { return int64(h.AckedVersion) })
+	perPeer("filecule_fed_peer_exchanges_total", "counter", func(h fed.PeerHealth) int64 { return h.Exchanges })
+	perPeer("filecule_fed_peer_failures_total", "counter", func(h fed.PeerHealth) int64 { return h.Failures })
+	perPeer("filecule_fed_peer_breaker_trips_total", "counter", func(h fed.PeerHealth) int64 { return h.BreakerTrips })
+}
+
+func boolGauge(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }

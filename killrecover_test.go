@@ -67,9 +67,16 @@ var listenRE = regexp.MustCompile(`listening on ([0-9.:]+)`)
 // line.
 func startServe(t *testing.T, bin, tracePath, stateDir string) *serveProc {
 	t.Helper()
-	cmd := exec.Command(bin,
+	return startServeArgs(t, bin,
 		"-addr", "127.0.0.1:0", "-trace", tracePath, "-state-dir", stateDir,
 		"-wal-sync", "commit", "-checkpoint-interval", "50ms", "-pprof=false")
+}
+
+// startServeArgs launches the serve binary with an arbitrary flag set and
+// waits for its listen line.
+func startServeArgs(t *testing.T, bin string, args ...string) *serveProc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
