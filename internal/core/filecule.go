@@ -121,10 +121,15 @@ func (p *Partition) NumFiles() int {
 }
 
 // Size returns the total byte size of filecule i given the trace's file
-// catalog.
+// catalog. Files outside the catalog — possible when a partition merges
+// federated remote state whose file space is wider than the local catalog —
+// contribute zero rather than faulting.
 func (p *Partition) Size(t *trace.Trace, i int) int64 {
 	var n int64
 	for _, f := range p.Filecules[i].Files {
+		if f < 0 || int(f) >= len(t.Files) {
+			continue
+		}
 		n += t.Files[f].Size
 	}
 	return n

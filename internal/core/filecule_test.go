@@ -218,3 +218,14 @@ func TestEqualDetectsDifferences(t *testing.T) {
 		t.Error("different groupings compare equal")
 	}
 }
+
+// TestSizeSkipsFilesOutsideCatalog: a partition holding file IDs the
+// catalog does not know (merged federated state from a site with a wider
+// file space) must size without faulting, counting only resolvable files.
+func TestSizeSkipsFilesOutsideCatalog(t *testing.T) {
+	p := NewPartition([]Filecule{{Files: []trace.FileID{0, 999}, Requests: 2}})
+	tr := &trace.Trace{Files: []trace.File{{Size: 10}}}
+	if got := p.Size(tr, 0); got != 10 {
+		t.Fatalf("Size with out-of-catalog member = %d, want 10", got)
+	}
+}

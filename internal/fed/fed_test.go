@@ -487,3 +487,116 @@ func TestNodeConfigValidation(t *testing.T) {
 		}
 	}
 }
+
+// captureTransport records the delta bytes it is asked to deliver and fails
+// the exchange, so tests can replay raw wire messages elsewhere.
+type captureTransport struct{ delta []byte }
+
+func (c *captureTransport) Exchange(_ context.Context, _ string, delta []byte) ([]byte, error) {
+	c.delta = append(c.delta[:0], delta...)
+	return nil, errors.New("captured")
+}
+
+// craftDelta builds the wire delta a node with the given site name and
+// incarnation would send after observing the given jobs.
+func craftDelta(tb testing.TB, site string, inc uint64, jobs ...[]trace.FileID) []byte {
+	tb.Helper()
+	eng := core.NewEngine(0)
+	for _, files := range jobs {
+		eng.Observe(files)
+	}
+	ct := &captureTransport{}
+	n, err := fed.NewNode(fed.Config{Site: site, Self: eng, Peers: []string{"r"}, Transport: ct, Incarnation: inc})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	n.ExchangeAll()
+	if ct.delta == nil {
+		tb.Fatal("no delta captured")
+	}
+	return ct.delta
+}
+
+// TestMaxFilesRejectsOutOfCatalogDelta: a structurally well-formed delta
+// referencing file IDs the local catalog cannot resolve must be rejected
+// before any state is held, so merged-partition sizing never indexes past
+// the catalog.
+func TestMaxFilesRejectsOutOfCatalogDelta(t *testing.T) {
+	recv, err := fed.NewNode(fed.Config{Site: "r", Self: core.NewEngine(0), MaxFiles: 10, Incarnation: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recv.HandleExchange(craftDelta(t, "wide", 1, []trace.FileID{2, 999})); err == nil {
+		t.Fatal("delta with file ID 999 accepted by a node with MaxFiles=10")
+	}
+	if sites := recv.Sites(); len(sites) != 0 {
+		t.Errorf("rejected delta left held state: %+v", sites)
+	}
+	if got := recv.Merged().NumFilecules(); got != 0 {
+		t.Errorf("merged partition has %d filecules after rejected delta", got)
+	}
+	// In-range deltas from the same wire path still apply.
+	if _, err := recv.HandleExchange(craftDelta(t, "narrow", 1, []trace.FileID{2, 9})); err != nil {
+		t.Fatalf("in-range delta rejected: %v", err)
+	}
+	if sites := recv.Sites(); len(sites) != 1 || sites[0].Site != "narrow" {
+		t.Errorf("in-range delta not held: %+v", sites)
+	}
+}
+
+// TestMergedCacheKeyUnambiguous: remote site names are peer-controlled and
+// may contain the cache key's delimiters; distinct held-state combinations
+// must never collide into one cached merged partition. Here sites "a" and
+// "b" go stale (incarnation-bump heartbeats reset them) and a site literally
+// named "a:1:1|b" arrives at the same versions — a naive join of names and
+// versions produces the same key for both states.
+func TestMergedCacheKeyUnambiguous(t *testing.T) {
+	recv, err := fed.NewNode(fed.Config{Site: "r", Self: core.NewEngine(0), Incarnation: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range [][]byte{
+		craftDelta(t, "a", 1, []trace.FileID{0}),
+		craftDelta(t, "b", 1, []trace.FileID{1}),
+	} {
+		if _, err := recv.HandleExchange(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := recv.Merged().NumFiles(); got != 2 {
+		t.Fatalf("merged covers %d files, want 2", got)
+	}
+	// Incarnation-bump heartbeats (fresh engines, no observes) reset the
+	// held state of "a" and "b" to nothing.
+	for _, d := range [][]byte{craftDelta(t, "a", 2), craftDelta(t, "b", 2)} {
+		if _, err := recv.HandleExchange(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := recv.HandleExchange(craftDelta(t, "a:1:1|b", 1, []trace.FileID{5})); err != nil {
+		t.Fatal(err)
+	}
+	m := recv.Merged()
+	if m.NumFiles() != 1 || m.Of(5) < 0 {
+		t.Fatalf("merged partition is stale: covers %d files, Of(5)=%d", m.NumFiles(), m.Of(5))
+	}
+}
+
+// TestStopConcurrent: Stop must be safe to call from several goroutines.
+func TestStopConcurrent(t *testing.T) {
+	mem := newMemTransport()
+	n, err := fed.NewNode(fed.Config{Site: "a", Self: core.NewEngine(0), Peers: []string{"b"}, Transport: mem, Incarnation: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n.Stop()
+		}()
+	}
+	wg.Wait()
+}

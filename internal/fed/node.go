@@ -70,6 +70,14 @@ type Config struct {
 	// probe through (default 5s).
 	BreakerCooldown time.Duration
 
+	// MaxFiles, when > 0, bounds the file IDs this node accepts in
+	// incoming deltas: a delta referencing a file ID >= MaxFiles is
+	// rejected before any state is held. Deployments with a file catalog
+	// set this to the catalog size so remote state can never reference
+	// files the local catalog cannot resolve; 0 accepts any wire-legal ID
+	// (matching a catalog-less server's observe path).
+	MaxFiles int
+
 	// Incarnation identifies this process lifetime; 0 means derive one
 	// from the clock. Receivers discard held state when a sender's
 	// incarnation changes, so it must differ across restarts.
@@ -177,6 +185,7 @@ type Node struct {
 	merged    *core.Partition
 
 	startOnce sync.Once
+	stopOnce  sync.Once
 	stop      chan struct{}
 	wg        sync.WaitGroup
 }
@@ -232,13 +241,10 @@ func (n *Node) Start() {
 	})
 }
 
-// Stop terminates the exchange loops and waits for them.
+// Stop terminates the exchange loops and waits for them. Safe to call
+// concurrently and more than once.
 func (n *Node) Stop() {
-	select {
-	case <-n.stop:
-	default:
-		close(n.stop)
-	}
+	n.stopOnce.Do(func() { close(n.stop) })
 	n.wg.Wait()
 }
 
@@ -380,6 +386,19 @@ func (n *Node) HandleExchange(body []byte) ([]byte, error) {
 	if d.Site == n.cfg.Site {
 		return nil, fmt.Errorf("fed: delta claims our own site name %q", d.Site)
 	}
+	// Wire decoding bounds file IDs only by the format's own ceiling; the
+	// local deployment may know far fewer files. Reject such deltas before
+	// holding any state, so merged partitions never reference files the
+	// local catalog cannot resolve.
+	if max := n.cfg.MaxFiles; max > 0 {
+		for i := range d.Records {
+			for _, f := range d.Records[i].Files {
+				if int(f) >= max {
+					return nil, fmt.Errorf("fed: delta from site %q references file ID %d outside the local catalog of %d files", d.Site, f, max)
+				}
+			}
+		}
+	}
 
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -479,7 +498,10 @@ func (n *Node) Merged() *core.Partition {
 		if r.part == nil {
 			continue
 		}
-		key += fmt.Sprintf("|%s:%d:%d", s, r.inc, r.version)
+		// %q delimits the (peer-controlled) site name unambiguously, so
+		// names containing ':' or '|' cannot collide distinct state
+		// combinations into one cache key.
+		key += fmt.Sprintf("|%q:%d:%d", s, r.inc, r.version)
 		parts = append(parts, r.part)
 	}
 	n.mu.Unlock()

@@ -80,6 +80,13 @@ const (
 	maxFedAckSize   = 1 << 12
 )
 
+// MaxDeltaSize is the largest encoded delta the wire format accepts. A full
+// resync after a receiver restart carries the sender's entire state, so HTTP
+// servers mounting ExchangePath must allow request bodies up to this size —
+// a smaller cap (such as a JSON-API body limit) would make every exchange
+// with a large-state peer fail with 413 and the federation never converge.
+const MaxDeltaSize = maxFedDeltaSize
+
 // delta is one decoded exchange message.
 type delta struct {
 	Site        string

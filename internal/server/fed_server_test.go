@@ -247,3 +247,92 @@ func TestSlowlorisBodyCutOff(t *testing.T) {
 		t.Errorf("slowloris connection lived %v, want cutoff near the 200ms body deadline", elapsed)
 	}
 }
+
+// captureTransport records the delta bytes a fed node asks it to deliver
+// and fails the exchange, so tests can replay raw wire messages over HTTP.
+type captureTransport struct{ delta []byte }
+
+func (c *captureTransport) Exchange(_ context.Context, _ string, delta []byte) ([]byte, error) {
+	c.delta = append(c.delta[:0], delta...)
+	return nil, context.DeadlineExceeded
+}
+
+// craftFedDelta builds the wire delta a peer with the given site name would
+// send after observing the given jobs.
+func craftFedDelta(tb testing.TB, site string, jobs ...[]trace.FileID) []byte {
+	tb.Helper()
+	eng := core.NewEngine(0)
+	for _, files := range jobs {
+		eng.Observe(files)
+	}
+	ct := &captureTransport{}
+	n, err := fed.NewNode(fed.Config{Site: site, Self: eng, Peers: []string{"r"}, Transport: ct, Incarnation: 1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	n.ExchangeAll()
+	if ct.delta == nil {
+		tb.Fatal("no delta captured")
+	}
+	return ct.delta
+}
+
+// TestFedExchangeRejectsOutOfCatalogDelta: a well-formed delta whose file
+// IDs exceed the server's catalog must be rejected with 400, and the merged
+// partition endpoint must keep serving — previously the held remote state
+// made /v1/fed/partition panic on catalog sizing for every request.
+func TestFedExchangeRejectsOutOfCatalogDelta(t *testing.T) {
+	tr, err := synth.Generate(synth.DZero(5, 0.003))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{
+		Catalog: tr.Files,
+		Fed:     &fed.Config{Site: "local", Incarnation: 3},
+	})
+	if s.fedErr != nil {
+		t.Fatal(s.fedErr)
+	}
+	bad := craftFedDelta(t, "wide", []trace.FileID{1, trace.FileID(len(tr.Files) + 1000)})
+	if w := do(s, "POST", fed.ExchangePath, string(bad)); w.Code != http.StatusBadRequest {
+		t.Fatalf("out-of-catalog delta: %d %s", w.Code, w.Body)
+	}
+	if w := do(s, "GET", "/v1/fed/partition", ""); w.Code != http.StatusOK {
+		t.Fatalf("fed partition after rejected delta: %d %s", w.Code, w.Body)
+	}
+	// An in-catalog delta over the same endpoint still applies and sizes.
+	good := craftFedDelta(t, "narrow", []trace.FileID{1, 2})
+	if w := do(s, "POST", fed.ExchangePath, string(good)); w.Code != http.StatusOK {
+		t.Fatalf("in-catalog delta: %d %s", w.Code, w.Body)
+	}
+	w := do(s, "GET", "/v1/fed/partition", "")
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"bytes"`) {
+		t.Fatalf("fed partition after applied delta: %d %s", w.Code, w.Body)
+	}
+}
+
+// TestFedExchangeNotBoundByJSONBodyCap: the exchange endpoint's body limit
+// is the wire format's delta ceiling, not the JSON-API cap — a full resync
+// delta larger than MaxBodyBytes must still be accepted, or a large-state
+// peer would get 413 forever and the federation never converge.
+func TestFedExchangeNotBoundByJSONBodyCap(t *testing.T) {
+	s := New(Config{
+		MaxBodyBytes: 64,
+		Fed:          &fed.Config{Site: "local", Incarnation: 3},
+	})
+	if s.fedErr != nil {
+		t.Fatal(s.fedErr)
+	}
+	delta := craftFedDelta(t, "bulky", []trace.FileID{0, 1, 2}, []trace.FileID{3, 4}, []trace.FileID{5, 6, 7})
+	if len(delta) <= 64 {
+		t.Fatalf("crafted delta is only %d bytes; grow the jobs", len(delta))
+	}
+	if w := do(s, "POST", fed.ExchangePath, string(delta)); w.Code != http.StatusOK {
+		t.Fatalf("exchange body over MaxBodyBytes: %d %s", w.Code, w.Body)
+	}
+	// The JSON endpoints stay capped.
+	big := `{"files":[` + strings.Repeat("1,", 64) + `1]}`
+	if w := do(s, "POST", "/v1/jobs", big); w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("JSON body over MaxBodyBytes: %d %s", w.Code, w.Body)
+	}
+}

@@ -77,7 +77,8 @@ type Config struct {
 	Durable *durable.Engine
 	// Fed, when set, federates this server's engine with peer sites: New
 	// builds a fed.Node over the serving engine (Fed.Self is overridden,
-	// Fed.Transport defaults to fed.NewHTTPTransport), mounts the exchange
+	// Fed.Transport defaults to fed.NewHTTPTransport, Fed.MaxFiles defaults
+	// to the catalog size when a catalog is present), mounts the exchange
 	// and merged-partition endpoints, and Run drives the per-peer exchange
 	// loops for the Server's lifetime.
 	Fed *fed.Config
@@ -160,6 +161,12 @@ func New(cfg Config) *Server {
 	if cfg.Fed != nil {
 		fc := *cfg.Fed
 		fc.Self = s.monitor.Engine()
+		if fc.MaxFiles == 0 && len(cfg.Catalog) > 0 {
+			// Bound incoming deltas by the catalog, mirroring checkFiles on
+			// the observe path: remote state may never reference a file the
+			// local catalog cannot resolve.
+			fc.MaxFiles = len(cfg.Catalog)
+		}
 		if fc.Transport == nil {
 			fc.Transport = fed.NewHTTPTransport()
 		}
@@ -481,7 +488,11 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 // binary ack naming the version now held for the sending site.
 func (s *Server) handleFedExchange(w http.ResponseWriter, r *http.Request) {
 	clearDeadline := s.armBodyDeadline(w)
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBody()))
+	// The cap is the wire format's own delta ceiling, not the JSON-API body
+	// limit: a full resync delta carries a peer's entire state, and capping
+	// it below fed.MaxDeltaSize would 413 every exchange with that peer and
+	// permanently stall convergence.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, fed.MaxDeltaSize))
 	if err != nil {
 		writeBodyReadError(w, err)
 		return
