@@ -11,10 +11,13 @@ BENCHDIR ?= .bench
 # identification engine's observe/snapshot pairs, the serving hot path, and
 # the trace-codec decode pair. The Large sweep variants are excluded by the
 # $$ anchors.
-BENCHPAT ?= SweepEngine$$|SweepSequential$$|CacheReplay|Server|Observe|Snapshot|DecodeText$$|DecodeBin$$
+BENCHPAT ?= SweepEngine$$|SweepSequential$$|CacheReplay|Server|Observe|Snapshot|DecodeText$$|DecodeBin$$|ServeTCP
 BENCH_TOLERANCE ?= 0.15
+# Pinned linter versions, run via `go run` so go.mod stays dependency-free.
+STATICCHECK ?= honnef.co/go/tools/cmd/staticcheck@2025.1.1
+GOVULNCHECK ?= golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: all build fmt-check vet test race fuzz-smoke kill-recover chaos bench \
+.PHONY: all build fmt-check vet test race lint fuzz-smoke kill-recover chaos bench \
 	selftest ci bench-json bench-gate bench-baseline
 
 all: ci
@@ -36,6 +39,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Static analysis beyond vet plus known-vulnerability scanning. Run via
+# `go run pkg@version` (needs network on first use; the module cache keeps
+# later runs offline) so neither tool becomes a go.mod dependency. Not part
+# of `ci` so the default gate stays runnable on an air-gapped machine — the
+# GitHub lint job calls this target explicitly.
+lint:
+	$(GO) run $(STATICCHECK) ./...
+	$(GO) run $(GOVULNCHECK) ./...
+
 # One short fuzz run per target (Go allows one -fuzz pattern per package
 # invocation). Seeds alone run in `test`; this explores beyond them.
 fuzz-smoke:
@@ -48,6 +60,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzWAL -fuzztime=$(FUZZTIME) ./internal/durable
 	$(GO) test -run=^$$ -fuzz=FuzzSiteSplit -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzFedExchange -fuzztime=$(FUZZTIME) ./internal/fed
+	$(GO) test -run=^$$ -fuzz=FuzzWireProto -fuzztime=$(FUZZTIME) ./internal/wire
 
 # Crash-safety differentials: SIGKILL a race-built filecule-serve at
 # randomized points and verify recovery never loses an acknowledged observe
@@ -81,8 +94,9 @@ bench-json:
 # Gate the fresh report against the committed baseline: fail on >15% ns/op
 # or B/op regression, a sub-3x sweep speedup, a sub-4x online-observe
 # speedup over the Refiner, a sub-2x binary-over-text decode speedup, a
-# WAL-on observe more than 10x the bare engine, or any sweep miss-rate
-# drift.
+# sub-3x wire-over-JSON serving speedup, a WAL-on observe more than 10x the
+# bare engine, wire throughput/p99 outside the absolute CI bounds, or any
+# sweep miss-rate drift.
 bench-gate: bench-json
 	$(GO) run ./cmd/filecule-benchgate -report BENCH_sweep.json \
 		-baseline BENCH_baseline.json -tolerance $(BENCH_TOLERANCE)

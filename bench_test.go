@@ -11,12 +11,16 @@ package filecule_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"filecule/internal/cache"
 	"filecule/internal/core"
@@ -24,8 +28,10 @@ import (
 	"filecule/internal/experiments"
 	"filecule/internal/server"
 	"filecule/internal/sim"
+	"filecule/internal/stats"
 	"filecule/internal/synth"
 	"filecule/internal/trace"
+	"filecule/internal/wire"
 )
 
 // benchScale keeps the full `go test -bench=.` run under a couple of
@@ -531,4 +537,129 @@ func BenchmarkServerPartitionQuery(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// --- wire protocol vs HTTP/JSON over real TCP ---
+
+// benchTCPServer boots a server over a loopback listener with the bench
+// trace's catalog, pre-warms the engine with the full trace (so both
+// protocol benches measure a settled steady state), and returns the HTTP
+// and wire addresses plus a shutdown func.
+func benchTCPServer(b *testing.B) (httpAddr, wireAddr string, stop func()) {
+	b.Helper()
+	t := benchRunner.Trace()
+	s := server.New(server.Config{Catalog: t.Files})
+	jobs := make([][]trace.FileID, len(t.Jobs))
+	for i := range t.Jobs {
+		jobs[i] = t.Jobs[i].Files
+	}
+	s.Monitor().ObserveBatch(jobs)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	hl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan error, 2)
+	go func() { done <- s.Run(ctx, hl) }()
+	go func() { done <- s.RunWire(ctx, wl) }()
+	return hl.Addr().String(), wl.Addr().String(), func() {
+		cancel()
+		<-done
+		<-done
+	}
+}
+
+// BenchmarkServeTCPWire measures observe ingestion over the binary wire
+// protocol on a real TCP connection with a 64-deep pipeline — the protocol's
+// intended operating point. Reports req/s and the p99 round-trip latency
+// (including in-burst queueing) in nanoseconds.
+func BenchmarkServeTCPWire(b *testing.B) {
+	t := benchRunner.Trace()
+	_, wireAddr, stop := benchTCPServer(b)
+	defer stop()
+	c, err := wire.Dial(wireAddr, 30*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Observe(t.Jobs[0].Files); err != nil {
+		b.Fatal(err)
+	}
+
+	window := 64
+	if b.N < window {
+		window = b.N
+	}
+	lat := make([]float64, 0, b.N)
+	sendT := make([]time.Time, window)
+	b.ResetTimer()
+	for i := 0; i < b.N; {
+		n := window
+		if b.N-i < n {
+			n = b.N - i
+		}
+		for k := 0; k < n; k++ {
+			sendT[k] = time.Now()
+			if err := c.SendObserve(t.Jobs[(i+k)%len(t.Jobs)].Files); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := c.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		for k := 0; k < n; k++ {
+			if _, err := c.RecvObserve(); err != nil {
+				b.Fatal(err)
+			}
+			lat = append(lat, time.Since(sendT[k]).Seconds())
+		}
+		i += n
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	b.ReportMetric(stats.Quantile(lat, 0.99)*1e9, "p99-ns")
+}
+
+// BenchmarkServeTCPJSON is the HTTP/JSON counterpart of
+// BenchmarkServeTCPWire: the same observes against the same server build,
+// one keep-alive POST /v1/jobs per request. The benchgate pins the wire
+// protocol's speedup over this baseline.
+func BenchmarkServeTCPJSON(b *testing.B) {
+	t := benchRunner.Trace()
+	httpAddr, _, stop := benchTCPServer(b)
+	defer stop()
+	hc := &http.Client{Timeout: 30 * time.Second}
+	url := "http://" + httpAddr + "/v1/jobs"
+	bodies := make([][]byte, len(t.Jobs))
+	for i := range t.Jobs {
+		body, err := json.Marshal(server.JobBody{Files: t.Jobs[i].Files})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = body
+	}
+
+	lat := make([]float64, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		resp, err := hc.Post(url, "application/json", bytes.NewReader(bodies[i%len(bodies)]))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			b.Fatalf("observe: HTTP %d", resp.StatusCode)
+		}
+		lat = append(lat, time.Since(t0).Seconds())
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	b.ReportMetric(stats.Quantile(lat, 0.99)*1e9, "p99-ns")
 }

@@ -10,8 +10,10 @@
 //
 // The gate fails (exit 1) when ns/op or B/op regresses beyond the tolerance
 // band against the baseline, when the speedup ratio between paired
-// engine/sequential benchmarks drops below the configured floor, or when the
-// embedded sweep miss rates — which are machine-independent — differ at all.
+// engine/sequential benchmarks drops below the configured floor, when an
+// absolute metric bound is violated (wire req/s floor, wire p99 ceiling), or
+// when the embedded sweep miss rates — which are machine-independent —
+// differ at all.
 package main
 
 import (
@@ -67,7 +69,10 @@ func run(args []string, stdout io.Writer) error {
 		speedupFloor = fs.Float64("speedup-floor", 3, "required SweepEngine over SweepSequential wall-clock ratio (0 disables)")
 		observeFloor = fs.Float64("observe-speedup-floor", 4, "required ObserveEngineParallel over ObserveRefiner wall-clock ratio (0 disables)")
 		decodeFloor  = fs.Float64("decode-speedup-floor", 2, "required DecodeBin over DecodeText wall-clock ratio (0 disables)")
+		wireFloor    = fs.Float64("wire-speedup-floor", 3, "required ServeTCPWire over ServeTCPJSON wall-clock ratio (0 disables)")
 		walCeiling   = fs.Float64("wal-overhead-ceiling", 10, "allowed ObserveWAL over ObserveEngine slowdown ratio (0 disables)")
+		wireRPS      = fs.Float64("wire-rps-floor", 30000, "required ServeTCPWire req/s on a 1-vCPU runner (0 disables)")
+		wireP99      = fs.Float64("wire-p99-ceiling", 25, "allowed ServeTCPWire p99 latency in milliseconds (0 disables)")
 		update       = fs.Bool("update", false, "rewrite the baseline from the report instead of gating")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -120,8 +125,12 @@ func run(args []string, stdout io.Writer) error {
 		{fast: "SweepEngine", slow: "SweepSequential", floor: *speedupFloor},
 		{fast: "ObserveEngineParallel", slow: "ObserveRefiner", floor: *observeFloor},
 		{fast: "DecodeBin", slow: "DecodeText", floor: *decodeFloor},
+		{fast: "ServeTCPWire", slow: "ServeTCPJSON", floor: *wireFloor},
 	}, []overheadPair{
 		{wrapped: "ObserveWAL", bare: "ObserveEngine", ceiling: *walCeiling},
+	}, []metricBound{
+		{bench: "ServeTCPWire", unit: "req/s", floor: *wireRPS},
+		{bench: "ServeTCPWire", unit: "p99-ns", ceiling: *wireP99 * 1e6},
 	})
 	if len(violations) > 0 {
 		for _, v := range violations {
@@ -234,8 +243,33 @@ type overheadPair struct {
 	ceiling       float64
 }
 
+// metricBound pins one custom benchmark metric (a b.ReportMetric unit like
+// "req/s" or "p99-ns") to an absolute range. Unlike the relative checks,
+// these ARE machine-dependent — the defaults are sized for the slowest
+// supported runner (1 vCPU) with an order of magnitude of headroom, so they
+// catch a serving path falling off a cliff, not ordinary runner jitter.
+// A zero floor or ceiling disables that side; a bound on a benchmark or
+// unit absent from the report is a violation (silently skipping would let
+// a renamed benchmark disable its own gate).
+type metricBound struct {
+	bench, unit    string
+	floor, ceiling float64
+}
+
+// noRelativeNsOp lists benchmarks exempt from the cross-run ns/op tolerance
+// band: full TCP round trips on a shared 1-vCPU runner, whose wall clock is
+// dominated by scheduler and VM-neighbor noise (25%+ swings between
+// back-to-back runs of identical code). They are policed instead by checks
+// immune to run-to-run machine speed — the within-run ServeTCPWire over
+// ServeTCPJSON speedup pair and the absolute req/s floor + p99 ceiling
+// bounds. B/op stays banded: allocation per request is deterministic.
+var noRelativeNsOp = map[string]bool{
+	"ServeTCPWire": true,
+	"ServeTCPJSON": true,
+}
+
 // gate compares a report against the baseline and returns all violations.
-func gate(base, rep *Report, tolerance float64, pairs []speedupPair, ceilings []overheadPair) []string {
+func gate(base, rep *Report, tolerance float64, pairs []speedupPair, ceilings []overheadPair, bounds []metricBound) []string {
 	var out []string
 	byName := make(map[string]Benchmark, len(rep.Benchmarks))
 	for _, b := range rep.Benchmarks {
@@ -256,6 +290,9 @@ func gate(base, rep *Report, tolerance float64, pairs []speedupPair, ceilings []
 			continue
 		}
 		for _, unit := range []string{"ns/op", "B/op"} {
+			if unit == "ns/op" && noRelativeNsOp[name] {
+				continue
+			}
 			bv, bok := bb.Metrics[unit]
 			rv, rok := rb.Metrics[unit]
 			if !bok || bv == 0 {
@@ -300,6 +337,29 @@ func gate(base, rep *Report, tolerance float64, pairs []speedupPair, ceilings []
 				out = append(out, fmt.Sprintf(
 					"%s is %.2fx slower than %s, ceiling %gx", p.wrapped, ratio, p.bare, p.ceiling))
 			}
+		}
+	}
+
+	// Absolute floors/ceilings on custom metrics.
+	for _, m := range bounds {
+		if m.floor <= 0 && m.ceiling <= 0 {
+			continue
+		}
+		b, ok := byName[m.bench]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: bounded by %s limits, missing from report", m.bench, m.unit))
+			continue
+		}
+		v, ok := b.Metrics[m.unit]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: does not report %s, which is bounded", m.bench, m.unit))
+			continue
+		}
+		if m.floor > 0 && v < m.floor {
+			out = append(out, fmt.Sprintf("%s: %s %.4g under floor %.4g", m.bench, m.unit, v, m.floor))
+		}
+		if m.ceiling > 0 && v > m.ceiling {
+			out = append(out, fmt.Sprintf("%s: %s %.4g over ceiling %.4g", m.bench, m.unit, v, m.ceiling))
 		}
 	}
 

@@ -64,7 +64,7 @@ func sweepPairOnly(floor float64) []speedupPair {
 func TestGateWithinTolerance(t *testing.T) {
 	base, rep := report(t), report(t)
 	scaleBench(rep, "ServerAdvise", "ns/op", 1.10) // +10% < 15% band
-	if v := gate(base, rep, 0.15, sweepPairOnly(3), nil); len(v) != 0 {
+	if v := gate(base, rep, 0.15, sweepPairOnly(3), nil, nil); len(v) != 0 {
 		t.Errorf("unexpected violations: %v", v)
 	}
 }
@@ -72,7 +72,7 @@ func TestGateWithinTolerance(t *testing.T) {
 func TestGateNsOpRegression(t *testing.T) {
 	base, rep := report(t), report(t)
 	scaleBench(rep, "ServerAdvise", "ns/op", 1.30)
-	v := gate(base, rep, 0.15, sweepPairOnly(3), nil)
+	v := gate(base, rep, 0.15, sweepPairOnly(3), nil, nil)
 	if len(v) != 1 || !strings.Contains(v[0], "ServerAdvise") || !strings.Contains(v[0], "ns/op") {
 		t.Errorf("want one ServerAdvise ns/op violation, got %v", v)
 	}
@@ -82,7 +82,7 @@ func TestGateBytesRegressionAndMissing(t *testing.T) {
 	base, rep := report(t), report(t)
 	scaleBench(rep, "SweepEngine", "B/op", 2)
 	rep.Benchmarks = rep.Benchmarks[:2] // drop ServerAdvise
-	v := gate(base, rep, 0.15, nil, nil)
+	v := gate(base, rep, 0.15, nil, nil, nil)
 	if len(v) != 2 {
 		t.Fatalf("want B/op + missing-benchmark violations, got %v", v)
 	}
@@ -93,7 +93,7 @@ func TestGateSpeedupFloor(t *testing.T) {
 	// Slow the engine until the in-report ratio drops under the floor.
 	scaleBench(rep, "SweepEngine", "ns/op", 4) // ratio ~9.4/4 = 2.4 < 3
 	// Keep ns/op within band by relaxing tolerance; only the floor fires.
-	v := gate(base, rep, 10, sweepPairOnly(3), nil)
+	v := gate(base, rep, 10, sweepPairOnly(3), nil, nil)
 	if len(v) != 1 || !strings.Contains(v[0], "faster than SweepSequential") {
 		t.Errorf("want speedup-floor violation, got %v", v)
 	}
@@ -107,10 +107,10 @@ func TestGateObserveSpeedupFloor(t *testing.T) {
 		}}
 	}
 	pairs := []speedupPair{{fast: "ObserveEngineParallel", slow: "ObserveRefiner", floor: 4}}
-	if v := gate(mk(2400, 300), mk(2400, 300), 0.15, pairs, nil); len(v) != 0 {
+	if v := gate(mk(2400, 300), mk(2400, 300), 0.15, pairs, nil, nil); len(v) != 0 {
 		t.Errorf("8x observe speedup must pass a 4x floor, got %v", v)
 	}
-	v := gate(mk(2400, 300), mk(2400, 900), 10, pairs, nil)
+	v := gate(mk(2400, 300), mk(2400, 900), 10, pairs, nil, nil)
 	if len(v) != 1 || !strings.Contains(v[0], "faster than ObserveRefiner") {
 		t.Errorf("want observe speedup-floor violation, got %v", v)
 	}
@@ -124,10 +124,10 @@ func TestGateDecodeSpeedupFloor(t *testing.T) {
 		}}
 	}
 	pairs := []speedupPair{{fast: "DecodeBin", slow: "DecodeText", floor: 2}}
-	if v := gate(mk(1400, 600), mk(1400, 600), 0.15, pairs, nil); len(v) != 0 {
+	if v := gate(mk(1400, 600), mk(1400, 600), 0.15, pairs, nil, nil); len(v) != 0 {
 		t.Errorf("2.3x decode speedup must pass a 2x floor, got %v", v)
 	}
-	v := gate(mk(1400, 600), mk(1400, 800), 10, pairs, nil)
+	v := gate(mk(1400, 600), mk(1400, 800), 10, pairs, nil, nil)
 	if len(v) != 1 || !strings.Contains(v[0], "faster than DecodeText") {
 		t.Errorf("want decode speedup-floor violation, got %v", v)
 	}
@@ -141,16 +141,16 @@ func TestGateWalOverheadCeiling(t *testing.T) {
 		}}
 	}
 	ceilings := []overheadPair{{wrapped: "ObserveWAL", bare: "ObserveEngine", ceiling: 8}}
-	if v := gate(mk(220, 1200), mk(220, 1200), 0.15, nil, ceilings); len(v) != 0 {
+	if v := gate(mk(220, 1200), mk(220, 1200), 0.15, nil, ceilings, nil); len(v) != 0 {
 		t.Errorf("5.5x WAL overhead must pass an 8x ceiling, got %v", v)
 	}
-	v := gate(mk(220, 1200), mk(220, 2000), 10, nil, ceilings)
+	v := gate(mk(220, 1200), mk(220, 2000), 10, nil, ceilings, nil)
 	if len(v) != 1 || !strings.Contains(v[0], "slower than ObserveEngine") {
 		t.Errorf("want wal-overhead-ceiling violation, got %v", v)
 	}
 	// ceiling 0 disables the check entirely.
 	off := []overheadPair{{wrapped: "ObserveWAL", bare: "ObserveEngine", ceiling: 0}}
-	if v := gate(mk(220, 9000), mk(220, 9000), 10, nil, off); len(v) != 0 {
+	if v := gate(mk(220, 9000), mk(220, 9000), 10, nil, off, nil); len(v) != 0 {
 		t.Errorf("disabled ceiling must not fire, got %v", v)
 	}
 	// A report missing either side of the pair is gated only by the
@@ -158,8 +158,82 @@ func TestGateWalOverheadCeiling(t *testing.T) {
 	half := &Report{Schema: BenchSchema, Benchmarks: []Benchmark{
 		{Name: "ObserveEngine", Iterations: 1, Metrics: map[string]float64{"ns/op": 220}},
 	}}
-	if v := gate(half, half, 0.15, nil, ceilings); len(v) != 0 {
+	if v := gate(half, half, 0.15, nil, ceilings, nil); len(v) != 0 {
 		t.Errorf("absent pair must not fire the ceiling, got %v", v)
+	}
+}
+
+func wireReport(rps, p99ns, wireNs, jsonNs float64) *Report {
+	return &Report{Schema: BenchSchema, Benchmarks: []Benchmark{
+		{Name: "ServeTCPWire", Iterations: 1, Metrics: map[string]float64{
+			"ns/op": wireNs, "req/s": rps, "p99-ns": p99ns}},
+		{Name: "ServeTCPJSON", Iterations: 1, Metrics: map[string]float64{"ns/op": jsonNs}},
+	}}
+}
+
+func TestGateWireSpeedupFloor(t *testing.T) {
+	pairs := []speedupPair{{fast: "ServeTCPWire", slow: "ServeTCPJSON", floor: 3}}
+	ok := wireReport(300000, 400000, 3000, 50000) // 16.7x
+	if v := gate(ok, ok, 10, pairs, nil, nil); len(v) != 0 {
+		t.Errorf("16x wire speedup must pass a 3x floor, got %v", v)
+	}
+	slow := wireReport(300000, 400000, 20000, 50000) // 2.5x
+	v := gate(ok, slow, 10, pairs, nil, nil)
+	if len(v) != 1 || !strings.Contains(v[0], "faster than ServeTCPJSON") {
+		t.Errorf("want wire speedup-floor violation, got %v", v)
+	}
+}
+
+func TestGateTCPNsOpExempt(t *testing.T) {
+	base := wireReport(300000, 400000, 3000, 50000)
+	base.Benchmarks[0].Metrics["B/op"] = 96
+	// A 2x ns/op swing on the TCP round-trip benches is runner noise and
+	// must not fire the cross-run band (they are policed by the within-run
+	// pair and the absolute bounds instead)...
+	rep := wireReport(300000, 400000, 6000, 100000)
+	rep.Benchmarks[0].Metrics["B/op"] = 96
+	if v := gate(base, rep, 0.15, nil, nil, nil); len(v) != 0 {
+		t.Errorf("TCP ns/op jitter must be exempt, got %v", v)
+	}
+	// ...but allocation growth is deterministic and stays banded.
+	rep.Benchmarks[0].Metrics["B/op"] = 200
+	v := gate(base, rep, 0.15, nil, nil, nil)
+	if len(v) != 1 || !strings.Contains(v[0], "B/op") {
+		t.Errorf("want ServeTCPWire B/op violation, got %v", v)
+	}
+}
+
+func TestGateMetricBounds(t *testing.T) {
+	bounds := []metricBound{
+		{bench: "ServeTCPWire", unit: "req/s", floor: 30000},
+		{bench: "ServeTCPWire", unit: "p99-ns", ceiling: 25e6},
+	}
+	ok := wireReport(300000, 400000, 3000, 50000)
+	if v := gate(ok, ok, 10, nil, nil, bounds); len(v) != 0 {
+		t.Errorf("healthy wire metrics must pass the bounds, got %v", v)
+	}
+	v := gate(ok, wireReport(12000, 400000, 3000, 50000), 10, nil, nil, bounds)
+	if len(v) != 1 || !strings.Contains(v[0], "req/s") || !strings.Contains(v[0], "under floor") {
+		t.Errorf("want req/s floor violation, got %v", v)
+	}
+	v = gate(ok, wireReport(300000, 90e6, 3000, 50000), 10, nil, nil, bounds)
+	if len(v) != 1 || !strings.Contains(v[0], "p99-ns") || !strings.Contains(v[0], "over ceiling") {
+		t.Errorf("want p99 ceiling violation, got %v", v)
+	}
+	// A bounded benchmark (or metric) missing from the report is itself a
+	// violation — renaming a benchmark must not silently disable its gate.
+	v = gate(ok, ok, 10, nil, nil, []metricBound{{bench: "Gone", unit: "req/s", floor: 1}})
+	if len(v) != 1 || !strings.Contains(v[0], "missing from report") {
+		t.Errorf("want missing-benchmark violation, got %v", v)
+	}
+	v = gate(ok, ok, 10, nil, nil, []metricBound{{bench: "ServeTCPJSON", unit: "req/s", floor: 1}})
+	if len(v) != 1 || !strings.Contains(v[0], "does not report") {
+		t.Errorf("want missing-metric violation, got %v", v)
+	}
+	// Zero floor and ceiling disable the bound entirely.
+	off := []metricBound{{bench: "Gone", unit: "req/s"}}
+	if v := gate(ok, ok, 10, nil, nil, off); len(v) != 0 {
+		t.Errorf("disabled bound must not fire, got %v", v)
 	}
 }
 
@@ -177,16 +251,16 @@ func TestGateSweepExactness(t *testing.T) {
 	base, rep := report(t), report(t)
 	base.Sweep = sweepFixture(40)
 	rep.Sweep = sweepFixture(41) // off by a single miss
-	v := gate(base, rep, 0.15, nil, nil)
+	v := gate(base, rep, 0.15, nil, nil, nil)
 	if len(v) != 1 || !strings.Contains(v[0], "lru/file/1TB") {
 		t.Errorf("want exact sweep-cell violation, got %v", v)
 	}
 	rep.Sweep = sweepFixture(40)
-	if v := gate(base, rep, 0.15, nil, nil); len(v) != 0 {
+	if v := gate(base, rep, 0.15, nil, nil, nil); len(v) != 0 {
 		t.Errorf("identical sweeps must pass, got %v", v)
 	}
 	rep.Sweep = nil
-	if v := gate(base, rep, 0.15, nil, nil); len(v) != 1 {
+	if v := gate(base, rep, 0.15, nil, nil, nil); len(v) != 1 {
 		t.Errorf("missing sweep section must fail, got %v", v)
 	}
 }
@@ -196,7 +270,7 @@ func TestGateSweepWorkloadChange(t *testing.T) {
 	base.Sweep = sweepFixture(40)
 	rep.Sweep = sweepFixture(40)
 	rep.Sweep.Scale = 0.05
-	v := gate(base, rep, 0.15, nil, nil)
+	v := gate(base, rep, 0.15, nil, nil, nil)
 	if len(v) != 1 || !strings.Contains(v[0], "workload changed") {
 		t.Errorf("want workload-change violation, got %v", v)
 	}

@@ -4,6 +4,7 @@
 //
 //	filecule-serve -addr :8080 -scale 0.05          # serve a synthetic catalog
 //	filecule-serve -addr :8080 -trace trace.txt     # serve a trace's catalog
+//	filecule-serve -addr :8080 -wire-addr :9091     # also serve filecule-wire/v1
 //	filecule-serve -selftest                        # closed-loop verification
 //	filecule-serve -site a -peers http://b:9090     # federate with another site
 //
@@ -17,6 +18,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -34,11 +36,13 @@ import (
 	"filecule/internal/fed"
 	"filecule/internal/server"
 	"filecule/internal/trace"
+	"filecule/internal/wire"
 )
 
 func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
+		wireAddr = flag.String("wire-addr", "", "also serve the binary wire protocol (filecule-wire/v1) on this TCP address")
 		path     = flag.String("trace", "", "trace file whose catalog backs cache advice (omit to synthesize)")
 		seed     = flag.Int64("seed", 1, "generator seed when synthesizing")
 		scale    = flag.Float64("scale", 0.05, "workload scale when synthesizing")
@@ -89,9 +93,12 @@ func main() {
 	if *selftest {
 		err := error(nil)
 		if dopts != nil {
+			if *wireAddr != "" {
+				fatal(fmt.Errorf("filecule-serve: -selftest supports -wire-addr or -state-dir, not both"))
+			}
 			err = runSelftestDurable(cfg, t, *clients, *batch, *dopts)
 		} else {
-			err = runSelftest(cfg, t, *clients, *batch)
+			err = runSelftest(cfg, t, *clients, *batch, *wireAddr)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "selftest FAILED:", err)
@@ -128,8 +135,26 @@ func main() {
 		fmt.Printf("filecule-serve: listening on %s (catalog: %d files, %d jobs source trace)\n",
 			a, len(t.Files), len(t.Jobs))
 	}()
-	if err := s.ListenAndRun(ctx, *addr, ready); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	listeners := 1
+	errc := make(chan error, 2)
+	go func() { errc <- s.ListenAndRun(ctx, *addr, ready) }()
+	if *wireAddr != "" {
+		listeners++
+		wready := make(chan net.Addr, 1)
+		go func() {
+			fmt.Printf("filecule-serve: wire protocol (filecule-wire/v1) on %s\n", <-wready)
+		}()
+		go func() { errc <- s.ListenAndRunWire(ctx, *wireAddr, wready) }()
+	}
+	failed := false
+	for i := 0; i < listeners; i++ {
+		if err := <-errc; err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed = true
+			stop() // bring the other listener down cleanly
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
 	fmt.Println("filecule-serve: drained and stopped")
@@ -220,8 +245,11 @@ func loadOrGen(path string, seed int64, scale float64) *trace.Trace {
 
 // runSelftest boots the service on a loopback port, replays t from many
 // clients, and cross-checks the served partition against batch
-// identification.
-func runSelftest(cfg server.Config, t *trace.Trace, clients, batch int) error {
+// identification. With wireAddr set, it additionally serves the binary wire
+// protocol on that address, replays over it instead of HTTP, and verifies
+// that both surfaces answer the identical partition — the cross-protocol
+// differential check.
+func runSelftest(cfg server.Config, t *trace.Trace, clients, batch int, wireAddr string) error {
 	fmt.Printf("selftest: %d jobs, %d files, %d clients, batch %d\n",
 		len(t.Jobs), len(t.Files), clients, batch)
 
@@ -235,11 +263,31 @@ func runSelftest(cfg server.Config, t *trace.Trace, clients, batch int) error {
 	base := "http://" + addr.String()
 
 	gen := &server.LoadGen{BaseURL: base, Clients: clients, BatchSize: batch}
+	var wdone chan error
+	if wireAddr != "" {
+		wready := make(chan net.Addr, 1)
+		wdone = make(chan error, 1)
+		go func() { wdone <- s.ListenAndRunWire(ctx, wireAddr, wready) }()
+		select {
+		case a := <-wready:
+			gen.WireAddr = a.String()
+			fmt.Printf("selftest: replaying over filecule-wire/v1 at %s\n", a)
+		case err := <-wdone:
+			return fmt.Errorf("wire listener: %w", err)
+		}
+	}
 	rep, err := gen.Replay(t)
 	if err != nil {
 		return err
 	}
 	fmt.Println(rep)
+
+	if wireAddr != "" {
+		if err := verifyWirePartition(gen.WireAddr, base); err != nil {
+			return err
+		}
+		fmt.Println("wire partition: byte-identical to the HTTP partition")
+	}
 
 	// The served partition must be byte-identical to batch identification
 	// over the same trace, in the service's canonical wire form.
@@ -281,6 +329,48 @@ func runSelftest(cfg server.Config, t *trace.Trace, clients, batch int) error {
 	cancel()
 	if err := <-done; err != nil {
 		return fmt.Errorf("shutdown: %w", err)
+	}
+	if wdone != nil {
+		if err := <-wdone; err != nil {
+			return fmt.Errorf("wire shutdown: %w", err)
+		}
+	}
+	return nil
+}
+
+// verifyWirePartition fetches the partition over both protocols and requires
+// the wire reply, re-encoded in the HTTP surface's canonical JSON, to be
+// byte-identical to GET /v1/partition.
+func verifyWirePartition(wireAddr, base string) error {
+	c, err := wire.Dial(wireAddr, 10*time.Second)
+	if err != nil {
+		return fmt.Errorf("dial wire: %w", err)
+	}
+	defer c.Close()
+	pr, err := c.Partition()
+	if err != nil {
+		return fmt.Errorf("wire partition: %w", err)
+	}
+	body := server.PartitionBody{
+		Observed:  pr.Observed,
+		Filecules: make([]server.FileculeBody, 0, len(pr.Filecules)),
+	}
+	for id, fc := range pr.Filecules {
+		body.Filecules = append(body.Filecules, server.FileculeBody{
+			ID: id, Files: fc.Files, Requests: fc.Requests, Bytes: fc.Bytes,
+		})
+	}
+	fromWire, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	fromHTTP, err := get(base + "/v1/partition")
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(bytes.TrimSpace(fromWire), bytes.TrimSpace(fromHTTP)) {
+		return fmt.Errorf("wire partition differs from HTTP partition (%d vs %d bytes)",
+			len(fromWire), len(fromHTTP))
 	}
 	return nil
 }

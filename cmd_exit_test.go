@@ -77,8 +77,14 @@ func TestCommandExitCodes(t *testing.T) {
 		{"repro unknown experiment", "filecule-repro", append([]string{"-exp", "fig99"}, tiny...), 1},
 		{"swarm missing trace", "filecule-swarm", []string{"-trace", noSuchTrace}, 1},
 		{"serve missing trace", "filecule-serve", []string{"-trace", noSuchTrace}, 1},
+		{"serve unbindable wire addr", "filecule-serve",
+			append([]string{"-selftest", "-wire-addr", "256.256.256.256:1"}, tiny...), 1},
+		{"serve wire addr with durable selftest", "filecule-serve",
+			append([]string{"-selftest", "-wire-addr", "127.0.0.1:0", "-state-dir", t.TempDir()}, tiny...), 1},
 
 		// Success: exit 0.
+		{"serve wire selftest ok", "filecule-serve",
+			append([]string{"-selftest", "-wire-addr", "127.0.0.1:0"}, tiny...), 0},
 		{"gen ok", "filecule-gen", append([]string{"-o", filepath.Join(t.TempDir(), "t.trace")}, tiny...), 0},
 		{"sweep ok", "filecule-cachesim",
 			append([]string{"-sweep", "-policies", "lru", "-grans", "file", "-sizes", "1"}, tiny...), 0},

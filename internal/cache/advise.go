@@ -111,18 +111,90 @@ type unitValidator interface {
 // Advise computes the admission/eviction plan for req under granularity g.
 // It never mutates state: the client applies (or ignores) the plan and
 // reports its new residency on the next call.
+//
+// Advise allocates a fresh plan per call; loops that issue many advice
+// requests (the binary wire protocol's per-connection handler) should hold a
+// Planner instead, which reuses its scratch state and produces identical
+// plans.
 func Advise(g Granularity, req AdviceRequest) (*Advice, error) {
+	return NewPlanner(g).Advise(req)
+}
+
+// Planner computes admission/eviction plans under one granularity, reusing
+// its scratch maps and result slices across calls: the steady-state advise
+// path allocates nothing. The Advice returned by Advise (and every slice it
+// carries) is valid only until the next call. Not safe for concurrent use;
+// give each connection or goroutine its own Planner.
+type Planner struct {
+	g      Granularity
+	val    unitValidator // nil when g cannot validate units
+	lister unitLister    // nil when g cannot enumerate unit members
+
+	resident map[UnitID]int64
+	planned  map[UnitID]bool
+	hit      map[UnitID]bool
+	victims  []ResidentUnit
+	// singles backs the one-file member lists of degenerate (and
+	// lister-less) load units. It is grown to its high-water mark before
+	// planning so appends never reallocate out from under earlier slices.
+	singles []trace.FileID
+	adv     Advice
+}
+
+// NewPlanner returns a Planner over g.
+func NewPlanner(g Granularity) *Planner {
+	pl := &Planner{}
+	pl.Reset(g)
+	return pl
+}
+
+// Reset rebinds the planner to a new granularity (typically after the
+// underlying partition snapshot changed), keeping its scratch allocations.
+func (pl *Planner) Reset(g Granularity) {
+	pl.g = g
+	pl.val, _ = g.(unitValidator)
+	pl.lister, _ = g.(unitLister)
+}
+
+// Granularity returns the granularity the planner is bound to, so callers
+// caching a Planner can detect snapshot changes by identity.
+func (pl *Planner) Granularity() Granularity { return pl.g }
+
+// Advise computes the admission/eviction plan for req. It is the single
+// implementation behind the package-level Advise: a fresh Planner and a
+// reused one produce identical plans for identical inputs.
+func (pl *Planner) Advise(req AdviceRequest) (*Advice, error) {
 	if req.Capacity <= 0 {
 		return nil, fmt.Errorf("cache: advise capacity %d must be > 0", req.Capacity)
 	}
-	val, canValidate := g.(unitValidator)
+	g := pl.g
+	if pl.resident == nil {
+		pl.resident = make(map[UnitID]int64, len(req.Resident))
+		pl.planned = make(map[UnitID]bool, len(req.Files))
+		pl.hit = make(map[UnitID]bool)
+	} else {
+		clear(pl.resident)
+		clear(pl.planned)
+		clear(pl.hit)
+	}
+	if cap(pl.singles) < len(req.Files) {
+		pl.singles = make([]trace.FileID, 0, len(req.Files))
+	}
+	pl.singles = pl.singles[:0]
+	adv := &pl.adv
+	*adv = Advice{
+		Hits:     adv.Hits[:0],
+		Load:     adv.Load[:0],
+		Evict:    adv.Evict[:0],
+		Bypassed: adv.Bypassed[:0],
+	}
 
 	// Recompute resident sizes from the catalog; reject unknown units and
 	// duplicates.
-	resident := make(map[UnitID]int64, len(req.Resident))
+	resident := pl.resident
 	var used int64
 	for _, r := range req.Resident {
-		if canValidate && !val.ValidUnit(r.Unit) {
+		if pl.val != nil && !pl.val.ValidUnit(r.Unit) {
 			return nil, fmt.Errorf("cache: advise: unknown resident unit %d", r.Unit)
 		}
 		if _, dup := resident[r.Unit]; dup {
@@ -133,11 +205,9 @@ func Advise(g Granularity, req AdviceRequest) (*Advice, error) {
 		used += sz
 	}
 
-	adv := &Advice{}
-	planned := make(map[UnitID]bool, len(req.Files))
-	hit := make(map[UnitID]bool)
+	planned, hit := pl.planned, pl.hit
 	for _, f := range req.Files {
-		if canValidate && !val.ValidUnit(degenerate(f)) {
+		if pl.val != nil && !pl.val.ValidUnit(degenerate(f)) {
 			return nil, fmt.Errorf("cache: advise: unknown file %d", f)
 		}
 		unit := g.UnitOf(f)
@@ -174,9 +244,12 @@ func Advise(g Granularity, req AdviceRequest) (*Advice, error) {
 			}
 		}
 		planned[unit] = true
-		files := []trace.FileID{f}
-		if l, ok := g.(unitLister); ok && unit < degenerateBase {
-			files = l.FilesOf(unit)
+		var files []trace.FileID
+		if pl.lister != nil && unit < degenerateBase {
+			files = pl.lister.FilesOf(unit)
+		} else {
+			pl.singles = append(pl.singles, f)
+			files = pl.singles[len(pl.singles)-1 : len(pl.singles) : len(pl.singles)]
 		}
 		adv.Load = append(adv.Load, LoadUnit{Unit: unit, Files: files, Bytes: size})
 		adv.BytesToLoad += size
@@ -186,13 +259,14 @@ func Advise(g Granularity, req AdviceRequest) (*Advice, error) {
 	// plan just touched or loads. Ties on LastAccess break by unit ID for
 	// determinism.
 	if used+adv.BytesToLoad > req.Capacity {
-		victims := make([]ResidentUnit, 0, len(req.Resident))
+		victims := pl.victims[:0]
 		for _, r := range req.Resident {
 			if hit[r.Unit] || planned[r.Unit] {
 				continue
 			}
 			victims = append(victims, r)
 		}
+		pl.victims = victims
 		sort.Slice(victims, func(a, b int) bool {
 			if victims[a].LastAccess != victims[b].LastAccess {
 				return victims[a].LastAccess < victims[b].LastAccess

@@ -43,11 +43,7 @@ type FileculeGranularity struct {
 // identified partition. Files outside the partition (never requested in the
 // identification trace) fall back to degenerate single-file units.
 func NewFileculeGranularity(t *trace.Trace, p *core.Partition) *FileculeGranularity {
-	g := &FileculeGranularity{files: t.Files, part: p, sizes: make([]int64, p.NumFilecules())}
-	for i := range g.sizes {
-		g.sizes[i] = p.Size(t, i)
-	}
-	return g
+	return &FileculeGranularity{files: t.Files, part: p, sizes: p.SizeTable(t)}
 }
 
 // Name implements Granularity.

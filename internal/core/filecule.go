@@ -23,6 +23,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"filecule/internal/trace"
@@ -54,6 +55,11 @@ type Partition struct {
 	// nFiles is the covered-file count when byFile is nil.
 	nFiles  int
 	lazyIdx atomic.Pointer[map[trace.FileID]int]
+
+	// sizeMu guards the per-catalog byte-size table cached by SizeTable.
+	sizeMu  sync.Mutex
+	sizeFor *trace.Trace
+	sizeTab []int64
 }
 
 // NumFilecules returns the number of filecules.
@@ -133,6 +139,27 @@ func (p *Partition) Size(t *trace.Trace, i int) int64 {
 		n += t.Files[f].Size
 	}
 	return n
+}
+
+// SizeTable returns every filecule's byte size under t's catalog, indexed by
+// filecule ID. The table is computed once per (partition, catalog) pair and
+// cached: published partitions are immutable, so every consumer of the same
+// snapshot — JSON encoding, summaries, granularity construction, the binary
+// wire protocol — shares one O(files) pass instead of recomputing sums per
+// filecule. Callers must not mutate the returned slice. Safe for concurrent
+// use.
+func (p *Partition) SizeTable(t *trace.Trace) []int64 {
+	p.sizeMu.Lock()
+	defer p.sizeMu.Unlock()
+	if p.sizeFor == t && p.sizeTab != nil {
+		return p.sizeTab
+	}
+	tab := make([]int64, len(p.Filecules))
+	for i := range p.Filecules {
+		tab[i] = p.Size(t, i)
+	}
+	p.sizeFor, p.sizeTab = t, tab
+	return tab
 }
 
 // Validate checks the structural invariants of the partition: dense IDs,

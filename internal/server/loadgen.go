@@ -12,6 +12,7 @@ import (
 
 	"filecule/internal/stats"
 	"filecule/internal/trace"
+	"filecule/internal/wire"
 )
 
 // LoadGen replays a trace's jobs against a running server from many
@@ -21,11 +22,16 @@ import (
 type LoadGen struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// WireAddr, when non-empty, replays over the binary wire protocol
+	// (filecule-wire/v1) against this TCP address instead of HTTP: each
+	// client holds one persistent connection and does one synchronous
+	// observe or batch round trip per claim. BaseURL is ignored.
+	WireAddr string
 	// Clients is the number of concurrent submitters; <= 0 means 8.
 	Clients int
 	// BatchSize groups jobs per request; <= 1 posts one job per request.
 	BatchSize int
-	// Timeout bounds each HTTP request; zero means 30s.
+	// Timeout bounds each HTTP request or wire round trip; zero means 30s.
 	Timeout time.Duration
 }
 
@@ -122,6 +128,17 @@ func (g *LoadGen) ReplaySource(src trace.Source) (*LoadReport, error) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			var wc *wire.Client
+			if g.WireAddr != "" {
+				var err error
+				wc, err = wire.Dial(g.WireAddr, timeout)
+				if err != nil {
+					atomic.AddInt64(&errs, 1)
+					errOnce.Do(func() { firstErr = fmt.Errorf("dial wire %s: %w", g.WireAddr, err) })
+					return
+				}
+				defer wc.Close()
+			}
 			buf := make([]trace.Job, 0, batch)
 			for {
 				var lo int64
@@ -130,26 +147,18 @@ func (g *LoadGen) ReplaySource(src trace.Source) (*LoadReport, error) {
 					return
 				}
 				hi := lo + int64(len(buf))
-				url, body, err := g.encodeJobs(buf)
-				if err != nil {
-					atomic.AddInt64(&errs, 1)
-					errOnce.Do(func() { firstErr = err })
-					continue
-				}
+				var err error
 				t0 := time.Now()
-				resp, err := hc.Post(url, "application/json", bytes.NewReader(body))
-				atomic.AddInt64(&requests, 1)
-				if err != nil {
-					atomic.AddInt64(&errs, 1)
-					errOnce.Do(func() { firstErr = err })
-					continue
+				if wc != nil {
+					err = g.postWire(wc, buf)
+					atomic.AddInt64(&requests, 1)
+				} else {
+					err = g.postHTTP(hc, buf, &requests)
 				}
-				_, _ = io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode/100 != 2 {
+				if err != nil {
 					atomic.AddInt64(&errs, 1)
 					errOnce.Do(func() {
-						firstErr = fmt.Errorf("jobs %d..%d: HTTP %d", lo, hi-1, resp.StatusCode)
+						firstErr = fmt.Errorf("jobs %d..%d: %w", lo, hi-1, err)
 					})
 					continue
 				}
@@ -177,6 +186,39 @@ func (g *LoadGen) ReplaySource(src trace.Source) (*LoadReport, error) {
 		return rep, fmt.Errorf("loadgen: %d of %d requests failed (first: %v)", errs, requests, firstErr)
 	}
 	return rep, nil
+}
+
+// postHTTP submits one claim of jobs over HTTP/JSON.
+func (g *LoadGen) postHTTP(hc *http.Client, buf []trace.Job, requests *int64) error {
+	url, body, err := g.encodeJobs(buf)
+	if err != nil {
+		return err
+	}
+	resp, err := hc.Post(url, "application/json", bytes.NewReader(body))
+	atomic.AddInt64(requests, 1)
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// postWire submits one claim of jobs as a single wire round trip.
+func (g *LoadGen) postWire(wc *wire.Client, buf []trace.Job) error {
+	if len(buf) == 1 && g.BatchSize <= 1 {
+		_, err := wc.Observe(buf[0].Files)
+		return err
+	}
+	jobs := make([][]trace.FileID, len(buf))
+	for i := range buf {
+		jobs[i] = buf[i].Files
+	}
+	_, err := wc.Batch(jobs)
+	return err
 }
 
 // encodeJobs builds the request URL and JSON body for a claim of jobs.

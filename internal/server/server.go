@@ -563,7 +563,7 @@ func (s *Server) handleFilecule(w http.ResponseWriter, r *http.Request) {
 func (s *Server) fileculeBody(p *core.Partition, fc *core.Filecule) FileculeBody {
 	b := FileculeBody{ID: fc.ID, Files: fc.Files, Requests: fc.Requests}
 	if s.catTrace != nil {
-		b.Bytes = p.Size(s.catTrace, fc.ID)
+		b.Bytes = p.SizeTable(s.catTrace)[fc.ID]
 	}
 	return b
 }
@@ -573,11 +573,15 @@ func (s *Server) fileculeBody(p *core.Partition, fc *core.Filecule) FileculeBody
 // partitions encode to identical bytes, which the self-test relies on.
 func PartitionJSON(p *core.Partition, observed int64, catalog *trace.Trace) ([]byte, error) {
 	body := PartitionBody{Observed: observed, Filecules: make([]FileculeBody, 0, p.NumFilecules())}
+	var sizes []int64
+	if catalog != nil {
+		sizes = p.SizeTable(catalog)
+	}
 	for i := range p.Filecules {
 		fc := &p.Filecules[i]
 		b := FileculeBody{ID: fc.ID, Files: fc.Files, Requests: fc.Requests}
-		if catalog != nil {
-			b.Bytes = p.Size(catalog, fc.ID)
+		if sizes != nil {
+			b.Bytes = sizes[i]
 		}
 		body.Filecules = append(body.Filecules, b)
 	}
@@ -603,6 +607,10 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 		Filecules: p.NumFilecules(),
 		Files:     p.NumFiles(),
 	}
+	var sizes []int64
+	if s.catTrace != nil {
+		sizes = p.SizeTable(s.catTrace)
+	}
 	for i := range p.Filecules {
 		n := p.Filecules[i].NumFiles()
 		if n == 1 {
@@ -611,8 +619,8 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 		if n > sum.LargestFiles {
 			sum.LargestFiles = n
 		}
-		if s.catTrace != nil {
-			sum.CoveredBytes += p.Size(s.catTrace, i)
+		if sizes != nil {
+			sum.CoveredBytes += sizes[i]
 		}
 	}
 	if p.NumFilecules() > 0 {

@@ -170,6 +170,14 @@ func NewPayload(p []byte) *Payload {
 	return &Payload{b: binBuf{b: p, pos: 1}}
 }
 
+// Reset repositions the cursor over a new payload (after the kind byte) and
+// clears any sticky error, so frame-per-request consumers like the wire
+// protocol can reuse one cursor for a connection's lifetime instead of
+// allocating per frame.
+func (p *Payload) Reset(payload []byte) {
+	p.b = binBuf{b: payload, pos: 1}
+}
+
 // Err returns the first decode failure, or nil.
 func (p *Payload) Err() error { return p.b.err }
 

@@ -1,0 +1,243 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"filecule/internal/cache"
+	"filecule/internal/trace"
+)
+
+// Client is a filecule-wire/v1 connection. The Send*/Flush/Recv* primitives
+// expose the protocol's FIFO pipelining directly: write any number of
+// requests, flush once, then read the replies in order. The Observe/Batch/
+// Advise/Partition wrappers do one synchronous round trip each.
+//
+// A Client is not safe for concurrent use; open one per goroutine (the
+// protocol is cheap enough that connections need not be shared).
+type Client struct {
+	conn    net.Conn
+	bw      *bufio.Writer
+	cr      *trace.ChunkReader
+	pending []byte // request kinds awaiting replies, FIFO
+	timeout time.Duration
+	out     []byte // pooled request encode buffer
+	err     error  // sticky: set once the stream is unusable
+}
+
+// Dial connects to a wire server and sends the protocol magic. timeout
+// bounds each synchronous receive (and the dial itself); <= 0 means 30s.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := NewClient(conn, timeout)
+	if _, err := c.bw.WriteString(Magic); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClient wraps an established connection (magic not yet sent — Dial sends
+// it; tests using net.Pipe-like transports must write it themselves or use
+// Dial).
+func NewClient(conn net.Conn, timeout time.Duration) *Client {
+	return &Client{
+		conn:    conn,
+		bw:      bufio.NewWriterSize(conn, 64<<10),
+		cr:      trace.NewChunkReader(bufio.NewReaderSize(conn, 64<<10)),
+		timeout: timeout,
+	}
+}
+
+// Close closes the connection. Outstanding pipelined replies are abandoned.
+func (c *Client) Close() error {
+	c.poison(fmt.Errorf("wire: client closed"))
+	return c.conn.Close()
+}
+
+func (c *Client) poison(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+func (c *Client) send(payload []byte, wantReply byte) error {
+	if c.err != nil {
+		return c.err
+	}
+	if err := trace.WriteChunk(c.bw, payload); err != nil {
+		c.poison(err)
+		return err
+	}
+	c.pending = append(c.pending, wantReply)
+	return nil
+}
+
+// SendObserve pipelines an 'O' request. Pair with RecvObserve.
+func (c *Client) SendObserve(files []trace.FileID) error {
+	c.out = AppendObserveRequest(c.out[:0], files)
+	return c.send(c.out, KindObserveResult)
+}
+
+// SendBatch pipelines a 'B' request. Pair with RecvObserve.
+func (c *Client) SendBatch(jobs [][]trace.FileID) error {
+	c.out = AppendBatchRequest(c.out[:0], jobs)
+	return c.send(c.out, KindObserveResult)
+}
+
+// SendAdvise pipelines an 'A' request. Pair with RecvAdvice.
+func (c *Client) SendAdvise(req cache.AdviceRequest) error {
+	c.out = AppendAdviseRequest(c.out[:0], req)
+	return c.send(c.out, KindAdviceResult)
+}
+
+// SendPartition pipelines a 'P' request. Pair with RecvPartition.
+func (c *Client) SendPartition() error {
+	c.out = AppendPartitionRequest(c.out[:0])
+	return c.send(c.out, KindPartitionResult)
+}
+
+// Flush writes all pipelined requests to the connection.
+func (c *Client) Flush() error {
+	if c.err != nil {
+		return c.err
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.poison(err)
+		return err
+	}
+	return nil
+}
+
+// recvFrame reads the next response frame and checks it answers the oldest
+// pipelined request. An 'e' frame is returned as *RemoteError with the
+// connection still usable; framing or ordering failures poison the client.
+func (c *Client) recvFrame(want byte) (*trace.Payload, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	if len(c.pending) == 0 || c.pending[0] != want {
+		err := fmt.Errorf("wire: receive out of order: no pipelined request awaits kind %q", want)
+		c.poison(err)
+		return nil, err
+	}
+	c.pending = c.pending[:copy(c.pending, c.pending[1:])]
+	if c.timeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.timeout))
+	}
+	kind, payload, err := c.cr.ReadChunk()
+	if err != nil {
+		c.poison(fmt.Errorf("wire: read reply: %w", err))
+		return nil, c.err
+	}
+	pl := trace.NewPayload(payload)
+	if kind == KindError {
+		err := decodeError(pl)
+		if _, remote := err.(*RemoteError); !remote {
+			c.poison(err)
+		}
+		return nil, err
+	}
+	if kind != want {
+		err := fmt.Errorf("wire: reply kind %q, want %q", kind, want)
+		c.poison(err)
+		return nil, err
+	}
+	return pl, nil
+}
+
+// RecvObserve reads the reply to the oldest pipelined observe or batch.
+func (c *Client) RecvObserve() (ObserveReply, error) {
+	pl, err := c.recvFrame(KindObserveResult)
+	if err != nil {
+		return ObserveReply{}, err
+	}
+	r, err := decodeObserveReply(pl)
+	if err != nil {
+		c.poison(err)
+	}
+	return r, err
+}
+
+// RecvAdvice reads the reply to the oldest pipelined advise.
+func (c *Client) RecvAdvice() (*AdviceReply, error) {
+	pl, err := c.recvFrame(KindAdviceResult)
+	if err != nil {
+		return nil, err
+	}
+	r, err := decodeAdviceReply(pl)
+	if err != nil {
+		c.poison(err)
+		return nil, err
+	}
+	return r, nil
+}
+
+// RecvPartition reads the reply to the oldest pipelined partition request.
+func (c *Client) RecvPartition() (*PartitionReply, error) {
+	pl, err := c.recvFrame(KindPartitionResult)
+	if err != nil {
+		return nil, err
+	}
+	r, err := decodePartitionReply(pl)
+	if err != nil {
+		c.poison(err)
+		return nil, err
+	}
+	return r, nil
+}
+
+// Observe does one synchronous observe round trip.
+func (c *Client) Observe(files []trace.FileID) (ObserveReply, error) {
+	if err := c.SendObserve(files); err != nil {
+		return ObserveReply{}, err
+	}
+	if err := c.Flush(); err != nil {
+		return ObserveReply{}, err
+	}
+	return c.RecvObserve()
+}
+
+// Batch does one synchronous batch round trip.
+func (c *Client) Batch(jobs [][]trace.FileID) (ObserveReply, error) {
+	if err := c.SendBatch(jobs); err != nil {
+		return ObserveReply{}, err
+	}
+	if err := c.Flush(); err != nil {
+		return ObserveReply{}, err
+	}
+	return c.RecvObserve()
+}
+
+// Advise does one synchronous advise round trip.
+func (c *Client) Advise(req cache.AdviceRequest) (*AdviceReply, error) {
+	if err := c.SendAdvise(req); err != nil {
+		return nil, err
+	}
+	if err := c.Flush(); err != nil {
+		return nil, err
+	}
+	return c.RecvAdvice()
+}
+
+// Partition does one synchronous partition round trip.
+func (c *Client) Partition() (*PartitionReply, error) {
+	if err := c.SendPartition(); err != nil {
+		return nil, err
+	}
+	if err := c.Flush(); err != nil {
+		return nil, err
+	}
+	return c.RecvPartition()
+}
+
+// Pending returns the number of pipelined requests awaiting replies.
+func (c *Client) Pending() int { return len(c.pending) }

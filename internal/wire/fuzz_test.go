@@ -1,0 +1,81 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+
+	"filecule/internal/cache"
+	"filecule/internal/trace"
+)
+
+// fuzzStream builds one valid post-magic request stream, the shape seeds
+// mutate from.
+func fuzzStream(payloads ...[]byte) []byte {
+	var buf bytes.Buffer
+	for _, p := range payloads {
+		_ = trace.WriteChunk(&buf, p)
+	}
+	return buf.Bytes()
+}
+
+// FuzzWireProto feeds arbitrary post-magic connection bytes through the full
+// decode→handle→encode path. The contract under fuzzing: never panic, answer
+// every complete frame, name the byte offset when framing breaks, and emit
+// only well-formed response frames that the client-side decoders accept.
+func FuzzWireProto(f *testing.F) {
+	f.Add(fuzzStream(AppendObserveRequest(nil, []trace.FileID{0, 1, 2})))
+	f.Add(fuzzStream(
+		AppendObserveRequest(nil, []trace.FileID{0, 1, 2}),
+		AppendObserveRequest(nil, []trace.FileID{2, 1, 0, 2}),
+		AppendPartitionRequest(nil)))
+	f.Add(fuzzStream(AppendBatchRequest(nil, [][]trace.FileID{{0, 1}, {5, 6, 7}, {}})))
+	f.Add(fuzzStream(AppendAdviseRequest(nil, cache.AdviceRequest{
+		Capacity: 1000,
+		Files:    []trace.FileID{0, 1, 2, 9},
+		Resident: []cache.ResidentUnit{{Unit: 0, LastAccess: 3}, {Unit: 1 << 33, LastAccess: -1}},
+	})))
+	f.Add(fuzzStream([]byte{KindObserve, 0xff, 0xff}))                  // malformed payload
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff})                         // broken framing
+	f.Add(fuzzStream(AppendObserveRequest(nil, []trace.FileID{3}))[:3]) // truncated frame
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		s := &Server{Backend: newMemBackend(16, 10), MaxFiles: 16, MaxBatchJobs: 64}
+		var out bytes.Buffer
+		err := s.serveStream(&connState{},
+			bufio.NewReader(bytes.NewReader(in)), bufio.NewWriter(&out), nil)
+		if err != nil && !strings.Contains(err.Error(), "byte offset") {
+			t.Fatalf("framing error does not name the byte offset: %v", err)
+		}
+
+		// Every response frame must decode cleanly with the client decoders.
+		cr := trace.NewChunkReader(bytes.NewReader(out.Bytes()))
+		for {
+			kind, payload, rerr := cr.ReadChunk()
+			if rerr != nil {
+				break
+			}
+			pl := trace.NewPayload(payload)
+			var derr error
+			switch kind {
+			case KindObserveResult:
+				_, derr = decodeObserveReply(pl)
+			case KindAdviceResult:
+				_, derr = decodeAdviceReply(pl)
+			case KindPartitionResult:
+				_, derr = decodePartitionReply(pl)
+			case KindError:
+				e := decodeError(pl)
+				if _, ok := e.(*RemoteError); !ok {
+					derr = e
+				}
+			default:
+				t.Fatalf("server emitted unknown response kind %q", kind)
+			}
+			if derr != nil {
+				t.Fatalf("server emitted undecodable %q response: %v", kind, derr)
+			}
+		}
+	})
+}

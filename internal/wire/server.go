@@ -1,0 +1,358 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"filecule/internal/cache"
+	"filecule/internal/core"
+	"filecule/internal/trace"
+)
+
+// Backend is what a wire Server serves from. internal/server implements it
+// over its monitor/durability/advice stack so both protocol surfaces answer
+// from exactly the same state and decision kernels — the property the
+// differential tests pin.
+type Backend interface {
+	// Observe folds one job. An error is an internal failure (WAL append),
+	// answered as code 500; the job was not applied.
+	Observe(files []trace.FileID) error
+	// ObserveBatch folds several jobs atomically with respect to durability.
+	ObserveBatch(jobs [][]trace.FileID) error
+	// Counts reports ingestion progress for observe acknowledgements.
+	Counts() (observed int64, filecules int)
+	// Granularity returns the advice granularity for the current snapshot.
+	// An error means advice is unavailable (no catalog), answered as 422.
+	// Implementations cache the granularity per snapshot, so consecutive
+	// calls return the identical value until the partition changes.
+	Granularity() (cache.Granularity, error)
+	// PartitionState returns the current snapshot, the observed count, and
+	// the catalog for byte sizing (nil when the server has no catalog).
+	PartitionState() (p *core.Partition, observed int64, catalog *trace.Trace)
+}
+
+// Server serves filecule-wire/v1 over persistent TCP connections. Each
+// connection is handled by one goroutine with fully pooled decode/encode
+// state: the steady-state observe path performs zero allocations per
+// request.
+type Server struct {
+	Backend Backend
+	// MaxFiles bounds request file IDs to [0, MaxFiles); <= 0 accepts any
+	// non-negative int32 ID, mirroring the catalog-less HTTP surface.
+	MaxFiles int
+	// MaxBatchJobs caps jobs per 'B' request; <= 0 means DefaultMaxBatchJobs.
+	MaxBatchJobs int
+	// MaxJobFiles caps one job's expanded file list; <= 0 means
+	// DefaultMaxJobFiles.
+	MaxJobFiles int
+	// IdleTimeout bounds the wait for the next request frame (and the
+	// arrival of a frame's bytes once started — the slowloris guard);
+	// <= 0 means 120s.
+	IdleTimeout time.Duration
+	// Metrics, when set, records every request under routes
+	// "wire_observe", "wire_observe_batch", "wire_advise" and
+	// "wire_partition" with an HTTP-aligned status code.
+	Metrics func(route string, code int, d time.Duration)
+}
+
+func (s *Server) maxID() int64 {
+	if s.MaxFiles > 0 {
+		return int64(s.MaxFiles)
+	}
+	return maxAnyFileID
+}
+
+func (s *Server) maxBatch() int {
+	if s.MaxBatchJobs > 0 {
+		return s.MaxBatchJobs
+	}
+	return DefaultMaxBatchJobs
+}
+
+func (s *Server) maxJobFiles() int {
+	if s.MaxJobFiles > 0 {
+		return s.MaxJobFiles
+	}
+	return DefaultMaxJobFiles
+}
+
+func (s *Server) idle() time.Duration {
+	if s.IdleTimeout > 0 {
+		return s.IdleTimeout
+	}
+	return 120 * time.Second
+}
+
+// Serve accepts connections on l until ctx is cancelled, then closes the
+// listener and every open connection. A binary client observing a closed
+// connection simply reconnects; there is no drain protocol. Returns nil on
+// clean shutdown.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	var (
+		mu    sync.Mutex
+		conns = make(map[net.Conn]struct{})
+		wg    sync.WaitGroup
+	)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			l.Close()
+			mu.Lock()
+			for c := range conns {
+				c.Close()
+			}
+			mu.Unlock()
+		case <-done:
+		}
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			wg.Wait()
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		mu.Lock()
+		conns[conn] = struct{}{}
+		mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				mu.Lock()
+				delete(conns, conn)
+				mu.Unlock()
+				conn.Close()
+			}()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// connState is the per-connection pool: every buffer a request decode or
+// response encode needs, reused frame after frame.
+type connState struct {
+	pl       trace.Payload
+	files    []trace.FileID
+	jobFiles []trace.FileID // backing store for a batch's file lists
+	jobEnds  []int          // end offset of each job within jobFiles
+	jobs     [][]trace.FileID
+	resident []cache.ResidentUnit
+	fcs      []fcView
+	out      []byte
+	planner  *cache.Planner
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(s.idle()))
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var magic [len(Magic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil || string(magic[:]) != Magic {
+		var out []byte
+		out = appendError(out, CodeBadRequest, fmt.Sprintf("bad connection magic, want %q", Magic))
+		bw := bufio.NewWriter(conn)
+		trace.WriteChunk(bw, out)
+		bw.Flush()
+		return
+	}
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	arm := func() { conn.SetReadDeadline(time.Now().Add(s.idle())) }
+	s.serveStream(&connState{}, br, bw, arm)
+}
+
+// serveStream runs the post-magic frame loop: read a request frame,
+// dispatch, append the response, and flush once all buffered input is
+// drained (so a pipelined burst of requests is answered with one write).
+// arm, when non-nil, re-arms the connection read deadline before each
+// frame. The returned error is nil on clean EOF.
+func (s *Server) serveStream(st *connState, br *bufio.Reader, bw *bufio.Writer, arm func()) error {
+	cr := trace.NewChunkReader(br)
+	for {
+		if arm != nil {
+			arm()
+		}
+		off := cr.Offset()
+		kind, payload, err := cr.ReadChunk()
+		if err == io.EOF {
+			return bw.Flush()
+		}
+		if err != nil {
+			// The frame boundary is lost; answer once and hang up.
+			st.out = appendError(st.out[:0], CodeBadRequest, err.Error())
+			trace.WriteChunk(bw, st.out)
+			bw.Flush()
+			return err
+		}
+		t0 := time.Now()
+		resp, route, code := s.handle(st, kind, payload, off)
+		if len(resp) > trace.MaxChunkPayload {
+			resp = appendError(st.out[:0], CodeInternal,
+				fmt.Sprintf("response exceeds the %d-byte frame bound", trace.MaxChunkPayload))
+			code = CodeInternal
+		}
+		if err := trace.WriteChunk(bw, resp); err != nil {
+			return err
+		}
+		if s.Metrics != nil {
+			s.Metrics(route, code, time.Since(t0))
+		}
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// handle dispatches one request frame and returns the response payload
+// (valid until the next call), the metrics route, and the HTTP-aligned
+// status code. It never panics — the FuzzWireProto contract.
+func (s *Server) handle(st *connState, kind byte, payload []byte, off int64) ([]byte, string, int) {
+	st.pl.Reset(payload)
+	switch kind {
+	case KindObserve:
+		return s.handleObserve(st, off)
+	case KindObserveBatch:
+		return s.handleBatch(st, off)
+	case KindAdvise:
+		return s.handleAdvise(st, off)
+	case KindPartition:
+		return s.handlePartition(st)
+	default:
+		return s.errResp(st, CodeBadRequest, "wire_unknown",
+			"request frame at byte offset %d: unknown kind %q", off, kind), "wire_unknown", CodeBadRequest
+	}
+}
+
+// errResp formats an error response into the pooled buffer.
+func (s *Server) errResp(st *connState, code int, _ string, format string, args ...any) []byte {
+	st.out = appendError(st.out[:0], code, fmt.Sprintf(format, args...))
+	return st.out
+}
+
+// reqErr finalizes a request decode, converting a sticky cursor error or
+// trailing bytes into a 400 naming the frame's byte offset.
+func (st *connState) reqErr(off int64) error {
+	if err := st.pl.Err(); err != nil {
+		return fmt.Errorf("request frame at byte offset %d: %w", off, err)
+	}
+	if n := st.pl.Remaining(); n != 0 {
+		return fmt.Errorf("request frame at byte offset %d: %d trailing bytes", off, n)
+	}
+	return nil
+}
+
+func (s *Server) handleObserve(st *connState, off int64) ([]byte, string, int) {
+	const route = "wire_observe"
+	st.files = st.pl.FileRuns(st.files[:0], s.maxID(), s.maxJobFiles())
+	if err := st.reqErr(off); err != nil {
+		return s.errResp(st, CodeBadRequest, route, "%v", err), route, CodeBadRequest
+	}
+	if err := s.Backend.Observe(st.files); err != nil {
+		return s.errResp(st, CodeInternal, route, "wal append: %v", err), route, CodeInternal
+	}
+	observed, filecules := s.Backend.Counts()
+	st.out = appendObserveResult(st.out[:0], observed, filecules)
+	return st.out, route, 200
+}
+
+func (s *Server) handleBatch(st *connState, off int64) ([]byte, string, int) {
+	const route = "wire_observe_batch"
+	n := st.pl.Count("job")
+	if err := st.pl.Err(); err == nil && n > s.maxBatch() {
+		return s.errResp(st, CodeBadRequest, route,
+			"batch of %d jobs exceeds limit %d", n, s.maxBatch()), route, CodeBadRequest
+	}
+	st.jobFiles = st.jobFiles[:0]
+	st.jobEnds = st.jobEnds[:0]
+	for i := 0; i < n && st.pl.Err() == nil; i++ {
+		st.jobFiles = st.pl.FileRuns(st.jobFiles, s.maxID(), s.maxJobFiles())
+		st.jobEnds = append(st.jobEnds, len(st.jobFiles))
+	}
+	if err := st.reqErr(off); err != nil {
+		return s.errResp(st, CodeBadRequest, route, "%v", err), route, CodeBadRequest
+	}
+	// Re-slice after the full decode: appends may have grown jobFiles, so
+	// job views are only stable now.
+	st.jobs = st.jobs[:0]
+	prev := 0
+	for _, end := range st.jobEnds {
+		st.jobs = append(st.jobs, st.jobFiles[prev:end:end])
+		prev = end
+	}
+	if err := s.Backend.ObserveBatch(st.jobs); err != nil {
+		return s.errResp(st, CodeInternal, route, "wal append: %v", err), route, CodeInternal
+	}
+	observed, filecules := s.Backend.Counts()
+	st.out = appendObserveResult(st.out[:0], observed, filecules)
+	return st.out, route, 200
+}
+
+func (s *Server) handleAdvise(st *connState, off int64) ([]byte, string, int) {
+	const route = "wire_advise"
+	capacity := int64(st.pl.Uvarint())
+	st.files = st.pl.FileRuns(st.files[:0], s.maxID(), s.maxJobFiles())
+	st.resident = st.resident[:0]
+	for n := st.pl.Count("resident unit"); n > 0 && st.pl.Err() == nil; n-- {
+		st.resident = append(st.resident, cache.ResidentUnit{
+			Unit:       cache.UnitID(st.pl.Uvarint()),
+			LastAccess: st.pl.Zvarint(),
+		})
+	}
+	if err := st.reqErr(off); err != nil {
+		return s.errResp(st, CodeBadRequest, route, "%v", err), route, CodeBadRequest
+	}
+	g, err := s.Backend.Granularity()
+	if err != nil {
+		return s.errResp(st, CodeUnavailable, route, "%v", err), route, CodeUnavailable
+	}
+	if st.planner == nil {
+		st.planner = cache.NewPlanner(g)
+	} else if st.planner.Granularity() != g {
+		st.planner.Reset(g)
+	}
+	adv, err := st.planner.Advise(cache.AdviceRequest{
+		Capacity: capacity,
+		Files:    st.files,
+		Resident: st.resident,
+	})
+	if err != nil {
+		return s.errResp(st, CodeBadRequest, route, "%v", err), route, CodeBadRequest
+	}
+	st.out = appendAdviceResult(st.out[:0], adv)
+	return st.out, route, 200
+}
+
+func (s *Server) handlePartition(st *connState) ([]byte, string, int) {
+	const route = "wire_partition"
+	// A 'P' payload is the bare kind byte; tolerate nothing else.
+	if st.pl.Remaining() != 0 {
+		return s.errResp(st, CodeBadRequest, route,
+			"partition request carries %d unexpected bytes", st.pl.Remaining()), route, CodeBadRequest
+	}
+	p, observed, catalog := s.Backend.PartitionState()
+	var sizes []int64
+	if catalog != nil {
+		sizes = p.SizeTable(catalog)
+	}
+	st.fcs = st.fcs[:0]
+	for i := range p.Filecules {
+		fc := &p.Filecules[i]
+		v := fcView{files: fc.Files, requests: fc.Requests}
+		if sizes != nil {
+			v.bytes = sizes[i]
+		}
+		st.fcs = append(st.fcs, v)
+	}
+	st.out = appendPartitionResult(st.out[:0], st.fcs, observed)
+	return st.out, route, 200
+}

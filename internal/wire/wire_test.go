@@ -1,0 +1,461 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"filecule/internal/cache"
+	"filecule/internal/core"
+	"filecule/internal/trace"
+)
+
+// memBackend is a self-contained Backend over a monitor and a fixed catalog,
+// mirroring the adapter internal/server builds over its own stack.
+type memBackend struct {
+	mon *core.Monitor
+	cat *trace.Trace // nil disables advice and byte sizing
+
+	mu      sync.Mutex
+	granFor *core.Partition
+	gran    cache.Granularity
+
+	observeErr error // injected failure for the 500 path
+}
+
+func newMemBackend(nFiles int, size int64) *memBackend {
+	files := make([]trace.File, nFiles)
+	for i := range files {
+		files[i] = trace.File{ID: trace.FileID(i), Name: fmt.Sprintf("f%d", i), Size: size}
+	}
+	return &memBackend{mon: core.NewMonitor(), cat: &trace.Trace{Files: files}}
+}
+
+func (b *memBackend) Observe(files []trace.FileID) error {
+	if b.observeErr != nil {
+		return b.observeErr
+	}
+	b.mon.Observe(files)
+	return nil
+}
+
+func (b *memBackend) ObserveBatch(jobs [][]trace.FileID) error {
+	if b.observeErr != nil {
+		return b.observeErr
+	}
+	b.mon.ObserveBatch(jobs)
+	return nil
+}
+
+func (b *memBackend) Counts() (int64, int) {
+	return b.mon.Observed(), b.mon.NumFilecules()
+}
+
+func (b *memBackend) Granularity() (cache.Granularity, error) {
+	if b.cat == nil {
+		return nil, fmt.Errorf("no catalog")
+	}
+	p := b.mon.Snapshot()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.granFor != p {
+		b.gran = cache.NewFileculeGranularity(b.cat, p)
+		b.granFor = p
+	}
+	return b.gran, nil
+}
+
+func (b *memBackend) PartitionState() (*core.Partition, int64, *trace.Trace) {
+	return b.mon.Snapshot(), b.mon.Observed(), b.cat
+}
+
+// runStream feeds raw post-magic request bytes through serveStream and
+// returns the raw response bytes and the stream error.
+func runStream(t *testing.T, s *Server, in []byte) ([]byte, error) {
+	t.Helper()
+	var out bytes.Buffer
+	err := s.serveStream(&connState{},
+		bufio.NewReader(bytes.NewReader(in)), bufio.NewWriter(&out), nil)
+	return out.Bytes(), err
+}
+
+// frames splits raw response bytes into decoded (kind, payload) frames.
+func frames(t *testing.T, raw []byte) (kinds []byte, payloads [][]byte) {
+	t.Helper()
+	cr := trace.NewChunkReader(bytes.NewReader(raw))
+	for {
+		kind, payload, err := cr.ReadChunk()
+		if err != nil {
+			return kinds, payloads
+		}
+		kinds = append(kinds, kind)
+		payloads = append(payloads, append([]byte(nil), payload...))
+	}
+}
+
+func chunk(t *testing.T, payload []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteChunk(&buf, payload); err != nil {
+		t.Fatalf("WriteChunk: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestObserveRoundTrip(t *testing.T) {
+	s := &Server{Backend: newMemBackend(10, 100)}
+	var in []byte
+	in = append(in, chunk(t, AppendObserveRequest(nil, []trace.FileID{0, 1, 2}))...)
+	in = append(in, chunk(t, AppendObserveRequest(nil, []trace.FileID{0, 1, 2}))...)
+	in = append(in, chunk(t, AppendObserveRequest(nil, []trace.FileID{0, 5}))...)
+	raw, err := runStream(t, s, in)
+	if err != nil {
+		t.Fatalf("serveStream: %v", err)
+	}
+	kinds, payloads := frames(t, raw)
+	if len(kinds) != 3 {
+		t.Fatalf("got %d frames, want 3", len(kinds))
+	}
+	wants := []ObserveReply{
+		{Observed: 1, Filecules: 1},
+		{Observed: 2, Filecules: 1},
+		{Observed: 3, Filecules: 3}, // {0}, {1,2}, {5}
+	}
+	for i, k := range kinds {
+		if k != KindObserveResult {
+			t.Fatalf("frame %d kind %q, want 'o'", i, k)
+		}
+		got, err := decodeObserveReply(trace.NewPayload(payloads[i]))
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got != wants[i] {
+			t.Errorf("frame %d = %+v, want %+v", i, got, wants[i])
+		}
+	}
+}
+
+func TestBatchAndPartitionRoundTrip(t *testing.T) {
+	b := newMemBackend(10, 100)
+	s := &Server{Backend: b}
+	var in []byte
+	in = append(in, chunk(t, AppendBatchRequest(nil, [][]trace.FileID{
+		{0, 1, 2}, {0, 1, 2}, {3},
+	}))...)
+	in = append(in, chunk(t, AppendPartitionRequest(nil))...)
+	raw, err := runStream(t, s, in)
+	if err != nil {
+		t.Fatalf("serveStream: %v", err)
+	}
+	kinds, payloads := frames(t, raw)
+	if len(kinds) != 2 || kinds[0] != KindObserveResult || kinds[1] != KindPartitionResult {
+		t.Fatalf("frames = %q, want \"op\"", kinds)
+	}
+	or, err := decodeObserveReply(trace.NewPayload(payloads[0]))
+	if err != nil || or.Observed != 3 || or.Filecules != 2 {
+		t.Fatalf("observe reply %+v err %v, want 3 observed 2 filecules", or, err)
+	}
+	pr, err := decodePartitionReply(trace.NewPayload(payloads[1]))
+	if err != nil {
+		t.Fatalf("partition reply: %v", err)
+	}
+	if pr.Observed != 3 || len(pr.Filecules) != 2 {
+		t.Fatalf("partition = %+v, want observed 3, 2 filecules", pr)
+	}
+	// Canonical order: {0,1,2} then {3}; catalog sizes 100/file.
+	fc0, fc1 := pr.Filecules[0], pr.Filecules[1]
+	if len(fc0.Files) != 3 || fc0.Requests != 2 || fc0.Bytes != 300 {
+		t.Errorf("filecule 0 = %+v, want 3 files, 2 requests, 300 bytes", fc0)
+	}
+	if len(fc1.Files) != 1 || fc1.Requests != 1 || fc1.Bytes != 100 {
+		t.Errorf("filecule 1 = %+v, want 1 file, 1 request, 100 bytes", fc1)
+	}
+}
+
+func TestAdviseMatchesDirectPlanner(t *testing.T) {
+	b := newMemBackend(8, 50)
+	s := &Server{Backend: b}
+	b.mon.ObserveBatch([][]trace.FileID{{0, 1}, {0, 1}, {2, 3}})
+
+	req := cache.AdviceRequest{
+		Capacity: 150,
+		Files:    []trace.FileID{0, 1, 2},
+		Resident: []cache.ResidentUnit{{Unit: 1, LastAccess: 5}},
+	}
+	var in []byte
+	in = append(in, chunk(t, AppendAdviseRequest(nil, req))...)
+	raw, err := runStream(t, s, in)
+	if err != nil {
+		t.Fatalf("serveStream: %v", err)
+	}
+	kinds, payloads := frames(t, raw)
+	if len(kinds) != 1 || kinds[0] != KindAdviceResult {
+		t.Fatalf("frames = %q, want \"a\"", kinds)
+	}
+	got, err := decodeAdviceReply(trace.NewPayload(payloads[0]))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	g, err := b.Granularity()
+	if err != nil {
+		t.Fatalf("granularity: %v", err)
+	}
+	want, err := cache.Advise(g, req)
+	if err != nil {
+		t.Fatalf("direct advise: %v", err)
+	}
+	if len(got.Hits) != len(want.Hits) || len(got.Load) != len(want.Load) ||
+		len(got.Evict) != len(want.Evict) || len(got.Bypassed) != len(want.Bypassed) ||
+		got.BytesToLoad != want.BytesToLoad || got.BytesToEvict != want.BytesToEvict {
+		t.Fatalf("wire advice %+v != direct advice %+v", got, want)
+	}
+	for i := range want.Load {
+		if got.Load[i].Unit != want.Load[i].Unit || got.Load[i].Bytes != want.Load[i].Bytes {
+			t.Errorf("load[%d] = %+v, want %+v", i, got.Load[i], want.Load[i])
+		}
+	}
+}
+
+func TestMalformedPayloadKeepsConnection(t *testing.T) {
+	s := &Server{Backend: newMemBackend(4, 10)}
+	var in []byte
+	in = append(in, chunk(t, []byte{KindObserve, 0xff})...) // truncated varint
+	in = append(in, chunk(t, AppendObserveRequest(nil, []trace.FileID{1}))...)
+	raw, err := runStream(t, s, in)
+	if err != nil {
+		t.Fatalf("serveStream: %v (payload errors must not kill the stream)", err)
+	}
+	kinds, payloads := frames(t, raw)
+	if len(kinds) != 2 || kinds[0] != KindError || kinds[1] != KindObserveResult {
+		t.Fatalf("frames = %q, want \"eo\"", kinds)
+	}
+	rerr := decodeError(trace.NewPayload(payloads[0]))
+	re, ok := rerr.(*RemoteError)
+	if !ok {
+		t.Fatalf("decodeError = %v, want *RemoteError", rerr)
+	}
+	if re.Code != CodeBadRequest || !strings.Contains(re.Msg, "byte offset") {
+		t.Errorf("error = %+v, want 400 naming the byte offset", re)
+	}
+}
+
+func TestFileIDOutOfCatalogRejected(t *testing.T) {
+	s := &Server{Backend: newMemBackend(4, 10), MaxFiles: 4}
+	raw, err := runStream(t, s, chunk(t, AppendObserveRequest(nil, []trace.FileID{7})))
+	if err != nil {
+		t.Fatalf("serveStream: %v", err)
+	}
+	kinds, payloads := frames(t, raw)
+	if len(kinds) != 1 || kinds[0] != KindError {
+		t.Fatalf("frames = %q, want \"e\"", kinds)
+	}
+	re := decodeError(trace.NewPayload(payloads[0])).(*RemoteError)
+	if re.Code != CodeBadRequest {
+		t.Errorf("code = %d, want 400", re.Code)
+	}
+	if got, _ := s.Backend.Counts(); got != 0 {
+		t.Errorf("observed = %d after rejected job, want 0", got)
+	}
+}
+
+func TestBrokenFramingClosesWithFinalError(t *testing.T) {
+	s := &Server{Backend: newMemBackend(4, 10)}
+	good := chunk(t, AppendObserveRequest(nil, []trace.FileID{1}))
+	corrupt := append([]byte(nil), good...)
+	corrupt[len(corrupt)-1] ^= 0xff // flip a CRC byte
+	in := append(append([]byte(nil), good...), corrupt...)
+	raw, err := runStream(t, s, in)
+	if err == nil {
+		t.Fatal("serveStream returned nil on corrupt framing, want error")
+	}
+	kinds, payloads := frames(t, raw)
+	if len(kinds) != 2 || kinds[0] != KindObserveResult || kinds[1] != KindError {
+		t.Fatalf("frames = %q, want \"oe\"", kinds)
+	}
+	re := decodeError(trace.NewPayload(payloads[1])).(*RemoteError)
+	if !strings.Contains(re.Msg, "byte offset") {
+		t.Errorf("final error %q does not name the byte offset", re.Msg)
+	}
+}
+
+func TestBatchOverLimitRejected(t *testing.T) {
+	s := &Server{Backend: newMemBackend(4, 10), MaxBatchJobs: 2}
+	jobs := [][]trace.FileID{{0}, {1}, {2}}
+	raw, err := runStream(t, s, chunk(t, AppendBatchRequest(nil, jobs)))
+	if err != nil {
+		t.Fatalf("serveStream: %v", err)
+	}
+	kinds, payloads := frames(t, raw)
+	if len(kinds) != 1 || kinds[0] != KindError {
+		t.Fatalf("frames = %q, want \"e\"", kinds)
+	}
+	re := decodeError(trace.NewPayload(payloads[0])).(*RemoteError)
+	if re.Code != CodeBadRequest || !strings.Contains(re.Msg, "exceeds limit 2") {
+		t.Errorf("error = %+v, want batch-limit rejection", re)
+	}
+}
+
+func TestUnknownKindRejected(t *testing.T) {
+	s := &Server{Backend: newMemBackend(4, 10)}
+	raw, err := runStream(t, s, chunk(t, []byte{'Z'}))
+	if err != nil {
+		t.Fatalf("serveStream: %v", err)
+	}
+	kinds, _ := frames(t, raw)
+	if len(kinds) != 1 || kinds[0] != KindError {
+		t.Fatalf("frames = %q, want \"e\"", kinds)
+	}
+}
+
+// TestObserveHandleAllocs pins the zero-allocation contract of the hot
+// observe path: once a connection's pools are warm and the engine has seen
+// the job shape, handling an 'O' frame allocates nothing.
+func TestObserveHandleAllocs(t *testing.T) {
+	s := &Server{Backend: newMemBackend(64, 10)}
+	payload := AppendObserveRequest(nil, []trace.FileID{3, 4, 5, 6, 7})
+	st := &connState{}
+	// Warm: first calls grow pools and create the engine's blocks.
+	for i := 0; i < 3; i++ {
+		s.handle(st, payload[0], payload, 0)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if _, _, code := s.handle(st, payload[0], payload, 0); code != 200 {
+			t.Fatalf("handle code %d", code)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("observe handle allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+func TestClientServerOverTCP(t *testing.T) {
+	b := newMemBackend(16, 25)
+	s := &Server{Backend: b, MaxFiles: 16}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, l) }()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+
+	c, err := Dial(l.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	// Pipelined burst: N observes, one flush, N receives in order.
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := c.SendObserve([]trace.FileID{0, 1, trace.FileID(i % 16)}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		r, err := c.RecvObserve()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if r.Observed != int64(i+1) {
+			t.Fatalf("reply %d observed = %d, want %d (FIFO order broken)", i, r.Observed, i+1)
+		}
+	}
+
+	// A RemoteError (bad file ID) must not poison the connection.
+	if _, err := c.Observe([]trace.FileID{99}); err == nil {
+		t.Fatal("observe of out-of-catalog file succeeded, want RemoteError")
+	} else if _, ok := err.(*RemoteError); !ok {
+		t.Fatalf("err = %v, want *RemoteError", err)
+	}
+	r, err := c.Observe([]trace.FileID{2})
+	if err != nil {
+		t.Fatalf("observe after RemoteError: %v", err)
+	}
+	if r.Observed != n+1 {
+		t.Errorf("observed = %d, want %d", r.Observed, n+1)
+	}
+
+	// Sync advise and partition round trips.
+	adv, err := c.Advise(cache.AdviceRequest{Capacity: 100, Files: []trace.FileID{0, 1}})
+	if err != nil {
+		t.Fatalf("advise: %v", err)
+	}
+	if len(adv.Load) == 0 || adv.BytesToLoad == 0 {
+		t.Errorf("advice = %+v, want a load plan", adv)
+	}
+	p, err := c.Partition()
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	if p.Observed != n+1 || len(p.Filecules) == 0 {
+		t.Errorf("partition = observed %d with %d filecules, want %d observed", p.Observed, len(p.Filecules), n+1)
+	}
+}
+
+func TestBadMagicAnswersError(t *testing.T) {
+	s := &Server{Backend: newMemBackend(4, 10)}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, l) }()
+	defer func() { cancel(); <-done }()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET / HTTP/1.1\r\n\r\n")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	cr := trace.NewChunkReader(conn)
+	kind, payload, err := cr.ReadChunk()
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if kind != KindError {
+		t.Fatalf("kind = %q, want 'e'", kind)
+	}
+	re := decodeError(trace.NewPayload(payload)).(*RemoteError)
+	if re.Code != CodeBadRequest || !strings.Contains(re.Msg, "magic") {
+		t.Errorf("error = %+v, want bad-magic 400", re)
+	}
+}
+
+func TestObserveBackendErrorAnswers500(t *testing.T) {
+	b := newMemBackend(4, 10)
+	b.observeErr = fmt.Errorf("disk full")
+	s := &Server{Backend: b}
+	raw, err := runStream(t, s, chunk(t, AppendObserveRequest(nil, []trace.FileID{0})))
+	if err != nil {
+		t.Fatalf("serveStream: %v", err)
+	}
+	kinds, payloads := frames(t, raw)
+	if len(kinds) != 1 || kinds[0] != KindError {
+		t.Fatalf("frames = %q, want \"e\"", kinds)
+	}
+	re := decodeError(trace.NewPayload(payloads[0])).(*RemoteError)
+	if re.Code != CodeInternal || !strings.Contains(re.Msg, "disk full") {
+		t.Errorf("error = %+v, want 500 carrying the cause", re)
+	}
+}
