@@ -50,6 +50,10 @@ type Server struct {
 	// MaxJobFiles caps one job's expanded file list; <= 0 means
 	// DefaultMaxJobFiles.
 	MaxJobFiles int
+	// MaxBatchFiles caps the total expanded file IDs across one 'B'
+	// request, bounding the run-length amplification of a whole batch;
+	// <= 0 means DefaultMaxBatchFiles.
+	MaxBatchFiles int
 	// IdleTimeout bounds the wait for the next request frame (and the
 	// arrival of a frame's bytes once started — the slowloris guard);
 	// <= 0 means 120s.
@@ -79,6 +83,13 @@ func (s *Server) maxJobFiles() int {
 		return s.MaxJobFiles
 	}
 	return DefaultMaxJobFiles
+}
+
+func (s *Server) maxBatchFiles() int {
+	if s.MaxBatchFiles > 0 {
+		return s.MaxBatchFiles
+	}
+	return DefaultMaxBatchFiles
 }
 
 func (s *Server) idle() time.Duration {
@@ -122,6 +133,14 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 			return err
 		}
 		mu.Lock()
+		// Re-check cancellation under mu: a connection Accept returned just
+		// before shutdown may otherwise register after the closer goroutine
+		// has already swept the map, leaving it open until the idle timeout.
+		if ctx.Err() != nil {
+			mu.Unlock()
+			conn.Close()
+			continue
+		}
 		conns[conn] = struct{}{}
 		mu.Unlock()
 		wg.Add(1)
@@ -274,8 +293,18 @@ func (s *Server) handleBatch(st *connState, off int64) ([]byte, string, int) {
 	}
 	st.jobFiles = st.jobFiles[:0]
 	st.jobEnds = st.jobEnds[:0]
+	// Per-job decodes draw from a shrinking batch-wide budget, so the total
+	// expansion of one 'B' frame is capped regardless of how tightly its
+	// run-length encoding compresses: a job may use at most what the batch
+	// cap has left. A job that trips the shrunken budget fails the decode
+	// with a cursor error naming the limit, answered 400 below.
+	maxTotal := s.maxBatchFiles()
 	for i := 0; i < n && st.pl.Err() == nil; i++ {
-		st.jobFiles = st.pl.FileRuns(st.jobFiles, s.maxID(), s.maxJobFiles())
+		budget := maxTotal - len(st.jobFiles)
+		if perJob := s.maxJobFiles(); budget > perJob {
+			budget = perJob
+		}
+		st.jobFiles = st.pl.FileRuns(st.jobFiles, s.maxID(), budget)
 		st.jobEnds = append(st.jobEnds, len(st.jobFiles))
 	}
 	if err := st.reqErr(off); err != nil {

@@ -100,6 +100,14 @@ const DefaultMaxJobFiles = 1 << 22
 // batch limit.
 const DefaultMaxBatchJobs = 10000
 
+// DefaultMaxBatchFiles caps the total expanded file IDs across one 'B'
+// request. The per-job and per-batch caps alone are not enough: run-length
+// encoding lets ~6 bytes expand to a full job's worth of IDs, so a ~70 KB
+// frame could otherwise legally decode to jobs × jobFiles ≈ 4e10 IDs. A
+// 32 MiB JSON batch body spends ≥ 2 bytes per ID, bounding it to ~16M
+// files; this is the binary equivalent.
+const DefaultMaxBatchFiles = 1 << 24
+
 // --- request encoders (client side; also the fuzz seed builders) ---
 
 // AppendObserveRequest appends an 'O' request payload for one job.
@@ -255,7 +263,7 @@ func decodeObserveReply(pl *trace.Payload) (ObserveReply, error) {
 
 func decodeAdviceReply(pl *trace.Payload) (*AdviceReply, error) {
 	r := &AdviceReply{}
-	for n := pl.Count("hit"); n > 0; n-- {
+	for n := pl.Count("hit"); n > 0 && pl.Err() == nil; n-- {
 		r.Hits = append(r.Hits, cache.UnitID(pl.Uvarint()))
 	}
 	for n := pl.Count("load unit"); n > 0 && pl.Err() == nil; n-- {
@@ -263,7 +271,7 @@ func decodeAdviceReply(pl *trace.Payload) (*AdviceReply, error) {
 		lu.Files = pl.FileRuns(nil, maxAnyFileID, DefaultMaxJobFiles)
 		r.Load = append(r.Load, lu)
 	}
-	for n := pl.Count("evict"); n > 0; n-- {
+	for n := pl.Count("evict"); n > 0 && pl.Err() == nil; n-- {
 		r.Evict = append(r.Evict, cache.UnitID(pl.Uvarint()))
 	}
 	r.Bypassed = pl.FileRuns(nil, maxAnyFileID, DefaultMaxJobFiles)

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"encoding/binary"
 	"fmt"
 	"net"
 	"strings"
@@ -301,6 +302,74 @@ func TestBatchOverLimitRejected(t *testing.T) {
 	}
 }
 
+// TestBatchTotalExpansionCapped pins the batch-wide decode budget: the
+// per-job cap alone would let run-length encoding expand a tiny 'B' frame
+// to jobs × jobFiles IDs, so the total across all jobs must also be capped.
+func TestBatchTotalExpansionCapped(t *testing.T) {
+	s := &Server{Backend: newMemBackend(64, 10), MaxBatchFiles: 10}
+
+	// 12 total files over three jobs: exceeds the batch cap even though
+	// each job is well under the per-job cap.
+	over := [][]trace.FileID{{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}, {10, 11}}
+	raw, err := runStream(t, s, chunk(t, AppendBatchRequest(nil, over)))
+	if err != nil {
+		t.Fatalf("serveStream: %v", err)
+	}
+	kinds, payloads := frames(t, raw)
+	if len(kinds) != 1 || kinds[0] != KindError {
+		t.Fatalf("frames = %q, want \"e\"", kinds)
+	}
+	re := decodeError(trace.NewPayload(payloads[0])).(*RemoteError)
+	if re.Code != CodeBadRequest {
+		t.Errorf("code = %d, want 400", re.Code)
+	}
+	if got, _ := s.Backend.Counts(); got != 0 {
+		t.Errorf("observed = %d after rejected batch, want 0", got)
+	}
+
+	// Exactly at the cap is fine.
+	at := [][]trace.FileID{{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}}
+	raw, err = runStream(t, s, chunk(t, AppendBatchRequest(nil, at)))
+	if err != nil {
+		t.Fatalf("serveStream: %v", err)
+	}
+	kinds, _ = frames(t, raw)
+	if len(kinds) != 1 || kinds[0] != KindObserveResult {
+		t.Fatalf("frames = %q, want \"o\" for a batch at the cap", kinds)
+	}
+}
+
+// TestBatchAmplificationFrameRejected replays the review's attack shape: a
+// frame whose run-length encoding is a few bytes per job but whose decoded
+// form would be jobs × maxJobFiles IDs. It must be answered 400 without the
+// server materializing more than the batch budget.
+func TestBatchAmplificationFrameRejected(t *testing.T) {
+	s := &Server{Backend: newMemBackend(0, 10), MaxJobFiles: 1 << 10, MaxBatchFiles: 1 << 12}
+	jobs := 100
+	payload := []byte{KindObserveBatch}
+	payload = binary.AppendUvarint(payload, uint64(jobs))
+	for i := 0; i < jobs; i++ {
+		payload = binary.AppendUvarint(payload, 1)        // one run
+		payload = binary.AppendVarint(payload, 0)         // start delta 0
+		payload = binary.AppendUvarint(payload, uint64(1<<10)) // max-length run
+	}
+	raw, err := runStream(t, s, chunk(t, payload))
+	if err != nil {
+		t.Fatalf("serveStream: %v", err)
+	}
+	kinds, payloads := frames(t, raw)
+	if len(kinds) != 1 || kinds[0] != KindError {
+		t.Fatalf("frames = %q, want \"e\"", kinds)
+	}
+	re := decodeError(trace.NewPayload(payloads[0])).(*RemoteError)
+	if re.Code != CodeBadRequest || !strings.Contains(re.Msg, "byte offset") {
+		t.Errorf("error = %+v, want 400 naming the byte offset", re)
+	}
+	if got, _ := s.Backend.Counts(); got != 0 {
+		t.Errorf("observed = %d after rejected batch, want 0", got)
+	}
+}
+
 func TestUnknownKindRejected(t *testing.T) {
 	s := &Server{Backend: newMemBackend(4, 10)}
 	raw, err := runStream(t, s, chunk(t, []byte{'Z'}))
@@ -440,6 +509,99 @@ func TestBadMagicAnswersError(t *testing.T) {
 	if re.Code != CodeBadRequest || !strings.Contains(re.Msg, "magic") {
 		t.Errorf("error = %+v, want bad-magic 400", re)
 	}
+}
+
+// lateConnListener returns one connection only after the listener has been
+// Closed, reproducing the shutdown race where Accept wins against ctx
+// cancellation and the connection would otherwise register after the closer
+// goroutine has already swept the map.
+type lateConnListener struct {
+	conn   net.Conn
+	closed chan struct{}
+	once   sync.Once
+	served bool
+}
+
+func (l *lateConnListener) Accept() (net.Conn, error) {
+	if l.served {
+		return nil, net.ErrClosed
+	}
+	l.served = true
+	<-l.closed
+	// Give the shutdown goroutine time to finish sweeping the (empty)
+	// connection map before handing over the late connection.
+	time.Sleep(20 * time.Millisecond)
+	return l.conn, nil
+}
+
+func (l *lateConnListener) Close() error {
+	l.once.Do(func() { close(l.closed) })
+	return nil
+}
+
+func (l *lateConnListener) Addr() net.Addr { return &net.TCPAddr{IP: net.IPv4zero} }
+
+// TestShutdownClosesConnAcceptedDuringCancel pins that a connection accepted
+// concurrently with ctx cancellation is closed immediately rather than left
+// to time out against the idle deadline (which would stall Serve's wg.Wait
+// for up to that long).
+func TestShutdownClosesConnAcceptedDuringCancel(t *testing.T) {
+	server, client := net.Pipe()
+	defer client.Close()
+	l := &lateConnListener{conn: server, closed: make(chan struct{})}
+	s := &Server{Backend: newMemBackend(4, 10)} // default 120s idle timeout
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, l) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after cancel; late-accepted conn leaked past the shutdown sweep")
+	}
+	client.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := client.Read(make([]byte, 1)); err == nil {
+		t.Error("read on the late-accepted conn succeeded, want closed")
+	} else if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+		t.Error("late-accepted conn still open after shutdown (read timed out)")
+	}
+}
+
+// TestAdviceReplyDecodeStopsOnStickyError pins that every count-driven reply
+// loop stops at the first decode error rather than appending junk entries up
+// to the claimed count (a hostile reply could otherwise drive hundreds of MB
+// of allocation from one max-size frame).
+func TestAdviceReplyDecodeStopsOnStickyError(t *testing.T) {
+	junk := bytes.Repeat([]byte{0x80}, 40) // never-terminating varint
+	t.Run("hits", func(t *testing.T) {
+		var pl []byte
+		pl = binary.AppendUvarint(pl, 40)
+		pl = append(pl, junk...)
+		r, err := decodeAdviceReply(trace.NewPayload(pl))
+		if err == nil {
+			t.Fatal("decode of malformed reply succeeded")
+		}
+		if len(r.Hits) > 1 {
+			t.Errorf("decode appended %d hits after the error, want <= 1", len(r.Hits))
+		}
+	})
+	t.Run("evict", func(t *testing.T) {
+		var pl []byte
+		pl = binary.AppendUvarint(pl, 0) // no hits
+		pl = binary.AppendUvarint(pl, 0) // no load units
+		pl = binary.AppendUvarint(pl, 40)
+		pl = append(pl, junk...)
+		r, err := decodeAdviceReply(trace.NewPayload(pl))
+		if err == nil {
+			t.Fatal("decode of malformed reply succeeded")
+		}
+		if len(r.Evict) > 1 {
+			t.Errorf("decode appended %d evicts after the error, want <= 1", len(r.Evict))
+		}
+	})
 }
 
 func TestObserveBackendErrorAnswers500(t *testing.T) {
