@@ -11,14 +11,14 @@ BENCHDIR ?= .bench
 # identification engine's observe/snapshot pairs, the serving hot path, and
 # the trace-codec decode pair. The Large sweep variants are excluded by the
 # $$ anchors.
-BENCHPAT ?= SweepEngine$$|SweepSequential$$|CacheReplay|Server|Observe|Snapshot|DecodeText$$|DecodeBin$$|ServeTCP
+BENCHPAT ?= SweepEngine$$|SweepSequential$$|CacheReplay|Server|Observe|Snapshot|DecodeText$$|DecodeBin$$|DecodeMmap$$|MapIterate$$|ServeTCP
 BENCH_TOLERANCE ?= 0.15
 # Pinned linter versions, run via `go run` so go.mod stays dependency-free.
 STATICCHECK ?= honnef.co/go/tools/cmd/staticcheck@2025.1.1
 GOVULNCHECK ?= golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
 .PHONY: all build fmt-check vet test race lint fuzz-smoke kill-recover chaos bench \
-	selftest ci bench-json bench-gate bench-baseline
+	selftest ci bench-json bench-gate bench-baseline mmap-large
 
 all: ci
 
@@ -53,6 +53,7 @@ lint:
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzTraceCodec -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -run=^$$ -fuzz=FuzzBinRoundTrip -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run=^$$ -fuzz=FuzzMmapDecode -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -run=^$$ -fuzz=FuzzEnginePrefix -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzServerHandlers -fuzztime=$(FUZZTIME) ./internal/server
 	$(GO) test -run=^$$ -fuzz=FuzzAdviseConsistency -fuzztime=$(FUZZTIME) ./internal/server
@@ -80,6 +81,14 @@ chaos:
 bench:
 	$(GO) test -run=^$$ -bench=. -benchmem .
 
+# Scale differential for the mmap substrate: generate a multi-GiB
+# filecule-bin/v1 trace (2 GiB default; MMAP_LARGE_BYTES overrides) and
+# replay it through the mapped cursor and the streamed decoder in lockstep.
+# Memory stays bounded, so the only real requirement is disk: point TMPDIR
+# at a disk-backed directory when /tmp is a small tmpfs.
+mmap-large:
+	$(GO) test -tags slow -run TestMapLargeDifferential -timeout 30m -v ./internal/trace
+
 # Assemble the machine-readable benchmark report (BENCH_sweep.json): gated
 # benchmarks plus the full-grid sweep at bench scale, whose miss rates are
 # exact and machine-independent.
@@ -94,9 +103,10 @@ bench-json:
 # Gate the fresh report against the committed baseline: fail on >15% ns/op
 # or B/op regression, a sub-3x sweep speedup, a sub-4x online-observe
 # speedup over the Refiner, a sub-2x binary-over-text decode speedup, a
-# sub-3x wire-over-JSON serving speedup, a WAL-on observe more than 10x the
-# bare engine, wire throughput/p99 outside the absolute CI bounds, or any
-# sweep miss-rate drift.
+# mapped decode slower than 0.9x the streaming decode, a sub-3x
+# wire-over-JSON serving speedup, a WAL-on observe more than 10x the bare
+# engine, wire throughput/p99 outside the absolute CI bounds, a mapped
+# per-job hot loop that allocates, or any sweep miss-rate drift.
 bench-gate: bench-json
 	$(GO) run ./cmd/filecule-benchgate -report BENCH_sweep.json \
 		-baseline BENCH_baseline.json -tolerance $(BENCH_TOLERANCE)

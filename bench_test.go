@@ -18,6 +18,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -238,6 +240,81 @@ func BenchmarkDecodeText(b *testing.B) { benchDecode(b, trace.Write, trace.Read)
 // The benchgate enforces a floor on DecodeBin/DecodeText (bin must stay at
 // least 2x faster than text on the same trace).
 func BenchmarkDecodeBin(b *testing.B) { benchDecode(b, trace.WriteBin, trace.ReadBin) }
+
+// benchBinFile writes the bench trace as filecule-bin/v1 to a temp file and
+// returns its path and size. Shared by the mmap decode/iterate benches.
+func benchBinFile(b *testing.B) (string, int64) {
+	b.Helper()
+	t := benchRunner.Trace()
+	path := filepath.Join(b.TempDir(), "bench.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := trace.WriteBin(f, t); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return path, fi.Size()
+}
+
+// BenchmarkDecodeMmap measures the zero-copy mapped decode of the same
+// filecule-bin/v1 content from a real file (page cache warm after the first
+// iteration): chunk index walk, lazy CRC verification, and the parallel
+// decode reading columns straight off the mapping. The benchgate enforces a
+// floor on DecodeBin/DecodeMmap — mapping must stay faster than streaming
+// the identical bytes through the buffered chunk reader.
+func BenchmarkDecodeMmap(b *testing.B) {
+	path, size := benchBinFile(b)
+	b.SetBytes(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.ReadFile(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFileSink keeps the compiler from eliding the per-job file-list decode
+// in BenchmarkMapIterate.
+var benchFileSink int64
+
+// BenchmarkMapIterate measures steady-state per-job iteration over a mapped
+// trace — the sweep/replay access pattern. One iteration is one job; the
+// cursor restarts when the trace is exhausted, so chunk-decode costs are
+// amortized exactly as a sweep amortizes them. The benchgate bounds
+// allocs/op: the mapped hot loop must stay allocation-free outside chunk
+// boundaries.
+func BenchmarkMapIterate(b *testing.B) {
+	path, _ := benchBinFile(b)
+	m, err := trace.OpenMapping(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	src := m.Source()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := src.Next()
+		if err == io.EOF {
+			src.Close()
+			src = m.Source()
+			j, err = src.Next()
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchFileSink += int64(len(j.Files))
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
 
 // --- cache-grid sweep engine (internal/sim) ---
 

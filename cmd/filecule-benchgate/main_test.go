@@ -133,6 +133,40 @@ func TestGateDecodeSpeedupFloor(t *testing.T) {
 	}
 }
 
+func TestGateMmapDecodeSpeedupFloor(t *testing.T) {
+	mk := func(bin, mmap float64) *Report {
+		return &Report{Schema: BenchSchema, Benchmarks: []Benchmark{
+			{Name: "DecodeBin", Iterations: 1, Metrics: map[string]float64{"ns/op": bin}},
+			{Name: "DecodeMmap", Iterations: 1, Metrics: map[string]float64{"ns/op": mmap}},
+		}}
+	}
+	pairs := []speedupPair{{fast: "DecodeMmap", slow: "DecodeBin", floor: 0.9}}
+	// A single-core tie (ratio 1.0) must pass the sub-1 floor.
+	if v := gate(mk(1000, 1000), mk(1000, 1000), 0.15, pairs, nil, nil); len(v) != 0 {
+		t.Errorf("mapped decode tying streaming must pass a 0.9 floor, got %v", v)
+	}
+	v := gate(mk(1000, 1000), mk(1000, 1300), 10, pairs, nil, nil)
+	if len(v) != 1 || !strings.Contains(v[0], "faster than DecodeBin") {
+		t.Errorf("want mmap speedup-floor violation, got %v", v)
+	}
+}
+
+func TestGateMapIterateAllocsCeiling(t *testing.T) {
+	mk := func(allocs float64) *Report {
+		return &Report{Schema: BenchSchema, Benchmarks: []Benchmark{
+			{Name: "MapIterate", Iterations: 1, Metrics: map[string]float64{"ns/op": 700, "allocs/op": allocs}},
+		}}
+	}
+	bounds := []metricBound{{bench: "MapIterate", unit: "allocs/op", ceiling: 1}}
+	if v := gate(mk(0), mk(0), 0.15, nil, nil, bounds); len(v) != 0 {
+		t.Errorf("allocation-free map iteration must pass, got %v", v)
+	}
+	v := gate(mk(0), mk(3), 10, nil, nil, bounds)
+	if len(v) != 1 || !strings.Contains(v[0], "over ceiling") {
+		t.Errorf("want allocs/op ceiling violation, got %v", v)
+	}
+}
+
 func TestGateWalOverheadCeiling(t *testing.T) {
 	mk := func(bare, wrapped float64) *Report {
 		return &Report{Schema: BenchSchema, Benchmarks: []Benchmark{

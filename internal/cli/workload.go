@@ -58,9 +58,11 @@ func (w Workload) checkFormat() error {
 
 // Open returns a streaming Source over the workload: a codec-auto-detected
 // file source (v1 text, filecule-bin/v1, or gzip framing of either) when
-// Path is set, else the streaming synthetic generator. Closing the source
-// closes the file. Memory stays bounded by the catalog regardless of how
-// many jobs the stream carries.
+// Path is set, else the streaming synthetic generator. Regular
+// filecule-bin/v1 files are served off an mmap (trace.Open); everything
+// else streams. Closing the source releases the file or mapping. Memory
+// stays bounded by the catalog regardless of how many jobs the stream
+// carries.
 func (w Workload) Open() (trace.Source, error) {
 	if err := w.checkFormat(); err != nil {
 		return nil, err
@@ -68,22 +70,14 @@ func (w Workload) Open() (trace.Source, error) {
 	if w.Path == "" {
 		return synth.NewSource(synth.DZero(w.Seed, w.Scale))
 	}
-	f, err := os.Open(w.Path)
-	if err != nil {
-		return nil, err
-	}
-	src, err := trace.NewSource(f)
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
-	return &fileSource{Source: src, f: f}, nil
+	return trace.Open(w.Path)
 }
 
 // Load materializes the workload: codec-auto-detected parsing when Path is
-// set, else synth.Generate (jobs sorted by start time). Tools whose
-// analyses need the whole trace (splits, request streams, experiments) use
-// this; single-pass consumers should prefer Open.
+// set (mapped parallel decode for regular bin files, streamed otherwise —
+// trace.ReadFile), else synth.Generate (jobs sorted by start time). Tools
+// whose analyses need the whole trace (splits, request streams,
+// experiments) use this; single-pass consumers should prefer Open.
 func (w Workload) Load() (*trace.Trace, error) {
 	if err := w.checkFormat(); err != nil {
 		return nil, err
@@ -91,26 +85,7 @@ func (w Workload) Load() (*trace.Trace, error) {
 	if w.Path == "" {
 		return synth.Generate(synth.DZero(w.Seed, w.Scale))
 	}
-	f, err := os.Open(w.Path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return trace.ReadAuto(f)
-}
-
-// fileSource couples a Source with the file backing it.
-type fileSource struct {
-	trace.Source
-	f *os.File
-}
-
-func (s *fileSource) Close() error {
-	err := s.Source.Close()
-	if cerr := s.f.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	return trace.ReadFile(w.Path)
 }
 
 // Formats lists the trace codecs tools accept for -format.

@@ -149,12 +149,12 @@ func Open(opts Options) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
-		f, path, err := createWalFile(opts.Dir, 0, 0)
+		f, path, logical, err := createWalFile(opts.Dir, 0, 0, opts.SegmentBytes)
 		if err != nil {
 			return nil, err
 		}
 		d.eng, d.cache, d.lastStats = eng, cache, stats
-		d.wal = newWAL(f, path, walPosition{dir: opts.Dir}, opts.SegmentBytes, opts.SyncCommit, opts.SyncInterval)
+		d.wal = newWAL(f, path, walPosition{dir: opts.Dir}, logical, opts.SegmentBytes, opts.SyncCommit, opts.SyncInterval)
 		d.recovery = Recovery{Fresh: true}
 	} else {
 		if err := d.recover(opts, ckpts, wals); err != nil {
@@ -270,13 +270,14 @@ func (d *Engine) recover(opts Options, ckpts []uint64, wals map[uint64][]int) er
 		// Reopen (or recreate) the newest segment for appending.
 		var f *os.File
 		var path string
+		var logical int64
 		topSegs := wals[top]
 		seg := 0
 		if len(topSegs) > 0 {
 			seg = topSegs[len(topSegs)-1]
 		}
 		if len(topSegs) == 0 || recreateSeg >= 0 {
-			f, path, err = createWalSeg(d.dir, top, seg, eng.Observed())
+			f, path, logical, err = createWalSeg(d.dir, top, seg, eng.Observed(), opts.SegmentBytes)
 			if err != nil {
 				return err
 			}
@@ -286,6 +287,14 @@ func (d *Engine) recover(opts Options, ckpts []uint64, wals map[uint64][]int) er
 			if err != nil {
 				return fmt.Errorf("durable: reopen %s: %w", path, err)
 			}
+			// Replay either consumed the whole file or truncated its tail
+			// above, so here the stat size is the logical append offset.
+			fi, serr := f.Stat()
+			if serr != nil {
+				f.Close()
+				return fmt.Errorf("durable: %w", serr)
+			}
+			logical = fi.Size()
 		}
 		d.eng = eng
 		d.epoch = top
@@ -296,7 +305,7 @@ func (d *Engine) recover(opts Options, ckpts []uint64, wals map[uint64][]int) er
 			epochBase: epochBase,
 			epochJobs: eng.Observed() - epochBase,
 		}
-		d.wal = newWAL(f, path, pos, opts.SegmentBytes, opts.SyncCommit, opts.SyncInterval)
+		d.wal = newWAL(f, path, pos, logical, opts.SegmentBytes, opts.SyncCommit, opts.SyncInterval)
 		d.recovery.Observed = eng.Observed()
 		return nil
 	}
@@ -353,12 +362,12 @@ func (d *Engine) Checkpoint() error {
 	}
 	st := d.eng.ExportState()
 	epoch := d.epoch + 1
-	f, path, err := createWalFile(d.dir, epoch, st.Observed)
+	f, path, logical, err := createWalFile(d.dir, epoch, st.Observed, d.wal.segBytes)
 	if err != nil {
 		d.mu.Unlock()
 		return err
 	}
-	if err := d.wal.Rotate(f, path, epoch, st.Observed); err != nil {
+	if err := d.wal.Rotate(f, path, epoch, st.Observed, logical); err != nil {
 		d.mu.Unlock()
 		return err
 	}

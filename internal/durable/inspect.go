@@ -189,8 +189,13 @@ func Inspect(dir string) (*Report, error) {
 			info.Jobs = jobs
 			if err != nil {
 				if newestTail && validTo > int64(len(walMagic)) {
-					info.Note = fmt.Sprintf("torn tail: %v; recovery truncates %d bytes past offset %d",
-						err, info.Bytes-validTo, validTo)
+					if zeroTail(path, validTo) {
+						info.Note = fmt.Sprintf("preallocated tail: %d zero bytes past offset %d; recovery truncates them",
+							info.Bytes-validTo, validTo)
+					} else {
+						info.Note = fmt.Sprintf("torn tail: %v; recovery truncates %d bytes past offset %d",
+							err, info.Bytes-validTo, validTo)
+					}
 				} else if newestTail {
 					info.Note = fmt.Sprintf("unusable header (%v); recovery recreates this segment", err)
 				} else {
@@ -202,6 +207,36 @@ func Inspect(dir string) (*Report, error) {
 		}
 	}
 	return r, nil
+}
+
+// zeroTail reports whether every byte of path from off to the end is zero —
+// the signature of a preallocated segment the writer had not yet filled or
+// truncated when the process died, as opposed to a torn write (which ends
+// in a partial frame of real bytes before any zeros).
+func zeroTail(path string, off int64) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		return false
+	}
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := f.Read(buf)
+		for _, b := range buf[:n] {
+			if b != 0 {
+				return false
+			}
+		}
+		if err == io.EOF {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+	}
 }
 
 // readWalHeader opens one WAL segment read-only and parses just its magic

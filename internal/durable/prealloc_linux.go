@@ -1,0 +1,18 @@
+//go:build linux
+
+package durable
+
+import (
+	"os"
+	"syscall"
+)
+
+// preallocate reserves size bytes of backing store for f (mode 0, so the
+// file's reported size grows to size immediately). WAL segments are
+// preallocated to SegmentBytes at creation so appends never wait on block
+// allocation and the file's extents stay contiguous; the writer truncates
+// back to the real length when the segment is retired. Best-effort: on
+// filesystems without fallocate the caller proceeds unpreallocated.
+func preallocate(f *os.File, size int64) error {
+	return syscall.Fallocate(int(f.Fd()), 0, 0, size)
+}

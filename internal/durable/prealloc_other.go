@@ -1,0 +1,9 @@
+//go:build !linux
+
+package durable
+
+import "os"
+
+// preallocate is a no-op where fallocate is not portably available: the
+// WAL works identically, segments just grow on demand.
+func preallocate(f *os.File, size int64) error { return nil }

@@ -174,7 +174,7 @@ type wal struct {
 	f           *os.File
 	path        string
 	pos         walPosition
-	fileBytes   int64          // size of the open segment file
+	fileBytes   int64          // logical append offset of the open segment (not the stat size, which preallocation inflates)
 	pendIDs     []trace.FileID // flat arena of the accumulating batch's file lists
 	pendLens    []int          // per-job list lengths within pendIDs
 	spareIDs    []trace.FileID // committer-returned buffers for the next batch
@@ -198,27 +198,27 @@ type wal struct {
 }
 
 // newWAL returns a writer over f (already positioned at its append point,
-// magic and header written) and starts the committer. segBytes <= 0
-// disables segment rolling.
-func newWAL(f *os.File, path string, pos walPosition, segBytes int64, strict bool, interval time.Duration) *wal {
+// magic and header written) and starts the committer. fileBytes is the
+// logical append offset — the caller knows it exactly, and the stat size
+// cannot be trusted once segments are preallocated. segBytes <= 0 disables
+// segment rolling.
+func newWAL(f *os.File, path string, pos walPosition, fileBytes, segBytes int64, strict bool, interval time.Duration) *wal {
 	if interval <= 0 {
 		interval = 50 * time.Millisecond
 	}
 	w := &wal{
-		strict:   strict,
-		interval: interval,
-		segBytes: segBytes,
-		f:        f,
-		path:     path,
-		pos:      pos,
-		seq:      1, // batch 0 is "already synced": nothing
-		kick:     make(chan struct{}, 1),
-		kickSync: make(chan struct{}, 1),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
-	}
-	if fi, err := f.Stat(); err == nil {
-		w.fileBytes = fi.Size()
+		strict:    strict,
+		interval:  interval,
+		segBytes:  segBytes,
+		f:         f,
+		path:      path,
+		pos:       pos,
+		fileBytes: fileBytes,
+		seq:       1, // batch 0 is "already synced": nothing
+		kick:      make(chan struct{}, 1),
+		kickSync:  make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
 	}
 	w.cond = sync.NewCond(&w.mu)
 	go w.run()
@@ -299,35 +299,48 @@ func (w *wal) SyncNow() error {
 
 // Rotate swaps in a new epoch's first segment (magic and header already
 // written and synced by the caller; base is the new epoch's base observed
-// -count). The caller must have quiesced appends and called SyncNow; the
-// old file is closed here.
-func (w *wal) Rotate(f *os.File, path string, epoch uint64, base int64) error {
+// -count, fileBytes the new file's logical size). The caller must have
+// quiesced appends and called SyncNow; the old file is truncated to its
+// logical length and closed here — once the new epoch exists the old
+// segment is no longer "newest", and recovery treats a leftover
+// preallocated zero tail below the newest segment as fatal corruption.
+func (w *wal) Rotate(f *os.File, path string, epoch uint64, base, fileBytes int64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if len(w.pendLens) != 0 {
 		return fmt.Errorf("durable: wal rotate with %d unsynced jobs pending", len(w.pendLens))
 	}
-	err := w.f.Close()
+	err := w.f.Truncate(w.fileBytes)
+	if serr := w.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
 	w.f, w.path = f, path
 	w.pos = walPosition{dir: w.pos.dir, epoch: epoch, epochBase: base}
-	w.fileBytes = 0
-	if fi, serr := f.Stat(); serr == nil {
-		w.fileBytes = fi.Size()
-	}
+	w.fileBytes = fileBytes
 	if err != nil && w.err == nil {
 		w.err = err
 	}
 	return err
 }
 
-// Close stops the committer, flushes and syncs the final batch, and closes
-// the file.
+// Close stops the committer, flushes and syncs the final batch, trims the
+// preallocated tail so the file ends at its last frame, and closes the
+// file.
 func (w *wal) Close() error {
 	close(w.stop)
 	<-w.done
 	err := w.SyncNow()
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if terr := w.f.Truncate(w.fileBytes); err == nil {
+		err = terr
+	}
+	if serr := w.f.Sync(); err == nil {
+		err = serr
+	}
 	if cerr := w.f.Close(); err == nil {
 		err = cerr
 	}
@@ -430,11 +443,16 @@ func (w *wal) flush(sync bool) {
 }
 
 // roll closes out the current segment and opens the next one, under the
-// mutex so it cannot race a Rotate. The old segment is fsynced first —
-// recovery treats damage in a non-last segment as corruption, so a segment
-// must be fully durable before its successor exists on disk. That fsync
-// makes every written batch durable, so synced counters advance too.
+// mutex so it cannot race a Rotate. The old segment is truncated to its
+// logical length and fsynced first — recovery treats damage in a non-last
+// segment as corruption, so a segment must be fully durable, with its
+// preallocated zero tail gone, before its successor exists on disk. That
+// fsync makes every written batch durable, so synced counters advance too.
 func (w *wal) roll() {
+	if err := w.f.Truncate(w.fileBytes); err != nil {
+		w.err = fmt.Errorf("durable: wal %s: %w", w.path, err)
+		return
+	}
 	if err := w.f.Sync(); err != nil {
 		w.err = fmt.Errorf("durable: wal %s: %w", w.path, err)
 		return
@@ -443,7 +461,7 @@ func (w *wal) roll() {
 	w.synced.Add(w.writtenJobs)
 	w.writtenJobs = 0
 
-	f, path, err := createWalSeg(w.pos.dir, w.pos.epoch, w.pos.seg+1, w.pos.epochBase+w.pos.epochJobs)
+	f, path, logical, err := createWalSeg(w.pos.dir, w.pos.epoch, w.pos.seg+1, w.pos.epochBase+w.pos.epochJobs, w.segBytes)
 	if err != nil {
 		w.err = err
 		return
@@ -453,10 +471,7 @@ func (w *wal) roll() {
 	}
 	w.f, w.path = f, path
 	w.pos.seg++
-	w.fileBytes = 0
-	if fi, err := f.Stat(); err == nil {
-		w.fileBytes = fi.Size()
-	}
+	w.fileBytes = logical
 }
 
 // Err returns the sticky failure, if any.
@@ -467,19 +482,29 @@ func (w *wal) Err() error {
 }
 
 // createWalFile creates an epoch's first segment, dir/wal-<epoch>.
-func createWalFile(dir string, epoch uint64, base int64) (*os.File, string, error) {
-	return createWalSeg(dir, epoch, 0, base)
+func createWalFile(dir string, epoch uint64, base, preBytes int64) (*os.File, string, int64, error) {
+	return createWalSeg(dir, epoch, 0, base, preBytes)
 }
 
 // createWalSeg creates segment seg of an epoch's WAL with magic and header
 // written and fsynced, and the directory entry fsynced, returning the open
-// file positioned for appends. base is the observed-count the segment
-// starts at: the epoch base plus the jobs in the segments before it.
-func createWalSeg(dir string, epoch uint64, seg int, base int64) (*os.File, string, error) {
+// file positioned for appends together with its logical size. base is the
+// observed-count the segment starts at: the epoch base plus the jobs in the
+// segments before it. preBytes > 0 preallocates that much backing store up
+// front so appends never stall on block allocation; a crash before the
+// header write leaves a file of zeros, which recovery already classifies
+// as "unusable header" and recreates.
+func createWalSeg(dir string, epoch uint64, seg int, base, preBytes int64) (*os.File, string, int64, error) {
 	path := walSegPath(dir, epoch, seg)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
-		return nil, "", err
+		return nil, "", 0, err
+	}
+	if preBytes > 0 {
+		// Best-effort: filesystems without fallocate just grow the file on
+		// demand, and the writer truncates back to the logical length when
+		// the segment is retired either way.
+		_ = preallocate(f, preBytes)
 	}
 	hdr := []byte{walKindHeader}
 	hdr = binary.AppendUvarint(hdr, epoch)
@@ -491,13 +516,13 @@ func createWalSeg(dir string, epoch uint64, seg int, base int64) (*os.File, stri
 	if err != nil {
 		f.Close()
 		os.Remove(path)
-		return nil, "", fmt.Errorf("durable: create %s: %w", path, err)
+		return nil, "", 0, fmt.Errorf("durable: create %s: %w", path, err)
 	}
 	if err := syncDir(dir); err != nil {
 		f.Close()
-		return nil, "", err
+		return nil, "", 0, err
 	}
-	return f, path, nil
+	return f, path, int64(len(buf)), nil
 }
 
 // walReplay streams one WAL file into apply, batch-atomically: a chunk's

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"filecule/internal/trace"
+)
+
+// TestSweepMapSourceMatchesStreamed is the mmap substrate's acceptance
+// differential at the sweep level: running the Figure-10 grid off a
+// mapped bin file must produce bit-identical miss rates to the streamed
+// decode of the same bytes. Miss rates are exact functions of the job
+// stream, so any divergence means the mapped cursor reordered, dropped,
+// or altered a job.
+func TestSweepMapSourceMatchesStreamed(t *testing.T) {
+	tr, _, _ := workload(t)
+	cfg := SweepConfig{
+		Scale:        diffScale,
+		CapacitiesTB: []float64{1, 10, 100},
+	}
+
+	path := filepath.Join(t.TempDir(), "trace.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteBin(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	mapped, err := trace.Open(path)
+	if err != nil {
+		t.Fatalf("trace.Open: %v", err)
+	}
+	defer mapped.Close()
+	got, err := SweepSource(mapped, cfg)
+	if err != nil {
+		t.Fatalf("SweepSource(mapped): %v", err)
+	}
+
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	streamed, err := trace.NewSource(rf)
+	if err != nil {
+		t.Fatalf("trace.NewSource: %v", err)
+	}
+	defer streamed.Close()
+	want, err := SweepSource(streamed, cfg)
+	if err != nil {
+		t.Fatalf("SweepSource(streamed): %v", err)
+	}
+
+	if got.Jobs != want.Jobs || got.Files != want.Files ||
+		got.Filecules != want.Filecules || got.Requests != want.Requests {
+		t.Errorf("header (jobs %d files %d fc %d reqs %d) != (%d %d %d %d)",
+			got.Jobs, got.Files, got.Filecules, got.Requests,
+			want.Jobs, want.Files, want.Filecules, want.Requests)
+	}
+	diffCells(t, "mapped", got, want)
+}

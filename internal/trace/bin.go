@@ -149,7 +149,7 @@ func NewBinWriter(w io.Writer, files []File, users []User, sites []Site) (*BinWr
 		}
 	}
 	bw := &BinWriter{
-		w:       bufio.NewWriterSize(w, 1<<20),
+		w:       newBufWriter(w),
 		files:   files,
 		users:   users,
 		sites:   sites,
@@ -1142,10 +1142,7 @@ type BinSource struct {
 // NewBinSource reads the magic and catalog chunk from r and returns a
 // Source positioned before the first job.
 func NewBinSource(r io.Reader) (*BinSource, error) {
-	br, ok := r.(*bufio.Reader)
-	if !ok {
-		br = bufio.NewReaderSize(r, 1<<20)
-	}
+	br := newBufReader(r)
 	var magic [len(binMagic)]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("trace: bin: bad magic: %w", err)
@@ -1268,10 +1265,7 @@ func (s *BinSource) Close() error {
 // sharing), so chunks are decoded in line with buffers reused across the
 // stream. This is the fast cold-replay path the decode benchmarks measure.
 func ReadBin(r io.Reader) (*Trace, error) {
-	br, ok := r.(*bufio.Reader)
-	if !ok {
-		br = bufio.NewReaderSize(r, 1<<20)
-	}
+	br := newBufReader(r)
 	var magic [len(binMagic)]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("trace: bin: bad magic: %w", err)

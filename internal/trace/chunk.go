@@ -84,11 +84,7 @@ type ChunkReader struct {
 // stream begins with a magic line, consume it from r before calling (the
 // reader's offsets are then relative to the end of the magic).
 func NewChunkReader(r io.Reader) *ChunkReader {
-	br, ok := r.(*bufio.Reader)
-	if !ok {
-		br = bufio.NewReaderSize(r, 1<<20)
-	}
-	return &ChunkReader{br: br}
+	return &ChunkReader{br: newBufReader(r)}
 }
 
 // Offset returns the stream offset of the next unread frame — after a

@@ -51,7 +51,7 @@ type TextWriter struct {
 // NewTextWriter writes the header and catalog records and returns a writer
 // ready to accept jobs.
 func NewTextWriter(w io.Writer, files []File, users []User, sites []Site) (*TextWriter, error) {
-	bw := bufio.NewWriterSize(w, 1<<20)
+	bw := newBufWriter(w)
 	fmt.Fprintln(bw, formatHeader)
 	for i := range sites {
 		s := &sites[i]

@@ -25,7 +25,7 @@ func WriteGzip(w io.Writer, t *Trace) error {
 // gzip-compressed stream of either. Binary input takes the parallel
 // chunk-decode path (ReadBin).
 func ReadAuto(r io.Reader) (*Trace, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
+	br := newBufReader(r)
 	magic, err := br.Peek(2)
 	if err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
 		zr, err := gzip.NewReader(br)
@@ -33,7 +33,7 @@ func ReadAuto(r io.Reader) (*Trace, error) {
 			return nil, err
 		}
 		defer zr.Close()
-		return readPlain(bufio.NewReaderSize(zr, 1<<16))
+		return readPlain(newBufReader(zr))
 	}
 	return readPlain(br)
 }
@@ -54,7 +54,7 @@ func isBinMagic(br *bufio.Reader) bool {
 // with the filecule-bin magic, "text" otherwise — transparently looking
 // through gzip framing. It consumes r; reopen the stream to parse it.
 func DetectFormat(r io.Reader) (string, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
+	br := newBufReader(r)
 	magic, err := br.Peek(2)
 	if err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
 		zr, err := gzip.NewReader(br)
@@ -62,7 +62,7 @@ func DetectFormat(r io.Reader) (string, error) {
 			return "", err
 		}
 		defer zr.Close()
-		br = bufio.NewReaderSize(zr, 1<<16)
+		br = newBufReader(zr)
 	}
 	if isBinMagic(br) {
 		return "bin", nil
@@ -75,14 +75,14 @@ func DetectFormat(r io.Reader) (string, error) {
 // gzip framing of either is unwrapped transparently. Closing the returned
 // source also closes the gzip reader when one was opened.
 func NewSource(r io.Reader) (Source, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
+	br := newBufReader(r)
 	magic, err := br.Peek(2)
 	if err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
 		zr, err := gzip.NewReader(br)
 		if err != nil {
 			return nil, err
 		}
-		src, err := newPlainSource(bufio.NewReaderSize(zr, 1<<16))
+		src, err := newPlainSource(newBufReader(zr))
 		if err != nil {
 			zr.Close()
 			return nil, err

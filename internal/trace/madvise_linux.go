@@ -1,0 +1,14 @@
+//go:build linux
+
+package trace
+
+import "syscall"
+
+// madviseSequential hints the kernel that the mapping will be read front
+// to back, so readahead runs ahead of the decode cursors. Purely advisory:
+// failures are ignored — the mapping works either way.
+func madviseSequential(data []byte) {
+	if len(data) > 0 {
+		_ = syscall.Madvise(data, syscall.MADV_SEQUENTIAL)
+	}
+}

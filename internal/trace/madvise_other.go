@@ -1,0 +1,6 @@
+//go:build !linux
+
+package trace
+
+// madviseSequential is a no-op where Madvise is not portably available.
+func madviseSequential(data []byte) {}

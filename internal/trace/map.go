@@ -1,0 +1,607 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The mmap substrate: a filecule-bin/v1 file on disk IS the decoded
+// representation, minus varint expansion. Instead of streaming the bytes
+// through a bufio copy and a chunk-payload copy (ChunkReader) — or, on the
+// parallel path, one heap copy per chunk payload — a Mapping maps the file
+// once and decodes every chunk in place:
+//
+//   - The chunk frames are indexed in one cheap pass at open time (length
+//     prefixes only, no checksums), so the job chunks are addressable and
+//     the stream structure — catalog, jobs, end, clean EOF — is validated
+//     before the first job is decoded.
+//   - CRC32C is verified lazily, per chunk, on first touch. The catalog
+//     and end chunks are touched at open (their contents gate everything
+//     else); job chunks are checked by whichever cursor reaches them
+//     first, and re-reads of a hot trace skip the checksum entirely.
+//   - Job file-lists expand from the mapped run-length bytes straight into
+//     the decoder's arena: no intermediate payload buffer exists anywhere
+//     on the mapped path.
+//   - Parallel materialization (ReadMap) hands disjoint chunk-index ranges
+//     to per-worker cursors, each with its own interner and reused column
+//     buffers, writing into one pre-sized job slice — no channels, no
+//     payload copies, no reassembly sort.
+//
+// Decoded jobs do not alias the mapping (strings are copied on intern,
+// file lists live in heap arenas), so traces and cloned jobs stay valid
+// after Close. Only decoding itself needs the mapping alive.
+
+// Mapping is a read-only memory map of a filecule-bin/v1 file with its
+// chunk frames indexed and its catalogs decoded. It serves any number of
+// sequential cursors (Source) and parallel materializations (ReadMap);
+// all of them share one lazy CRC ledger. Close unmaps; it is the caller's
+// contract that no cursor is mid-Next when that happens.
+type Mapping struct {
+	data  []byte
+	files []File
+	users []User
+	sites []Site
+	total int64 // job count declared by the end chunk
+
+	chunks   []mapChunk
+	verified []atomic.Bool // lazy CRC ledger, one flag per job chunk
+
+	closed atomic.Bool
+}
+
+// mapChunk locates one job-chunk payload inside the mapping. off is the
+// frame's start offset relative to the end of the magic line — the same
+// coordinate system ChunkReader reports — so mapped and streamed decodes
+// fail with identical positions.
+type mapChunk struct {
+	start, end int // payload bounds within data; CRC is data[end:end+4]
+	off        int64
+}
+
+// mapFrame walks one chunk frame at absolute position pos, returning the
+// payload bounds and the position after the frame. Errors mirror
+// ChunkReader exactly, including the frame-start offsets.
+func mapFrame(data []byte, pos int) (start, end, next int, err error) {
+	off := int64(pos - len(binMagic))
+	n, w := binary.Uvarint(data[pos:])
+	if w == 0 {
+		return 0, 0, 0, &ChunkError{Offset: off, Err: fmt.Errorf("bad chunk length: %w", errTornLength)}
+	}
+	if w < 0 {
+		return 0, 0, 0, &ChunkError{Offset: off, Err: fmt.Errorf("bad chunk length: varint overflows 64 bits")}
+	}
+	if n == 0 || n > MaxChunkPayload {
+		return 0, 0, 0, &ChunkError{Offset: off, Err: fmt.Errorf("chunk payload length %d out of range", n)}
+	}
+	start = pos + w
+	if start > len(data) || uint64(len(data)-start) < n {
+		var kind byte
+		if start < len(data) {
+			kind = data[start]
+		}
+		return 0, 0, 0, &ChunkError{Offset: off, Kind: kind,
+			Err: fmt.Errorf("truncated chunk payload: %w", io.ErrUnexpectedEOF)}
+	}
+	end = start + int(n)
+	if len(data)-end < 4 {
+		return 0, 0, 0, &ChunkError{Offset: off, Kind: data[start],
+			Err: fmt.Errorf("truncated chunk CRC: %w", io.ErrUnexpectedEOF)}
+	}
+	return start, end, end + 4, nil
+}
+
+// crcCheck verifies one payload against its trailing frame checksum.
+func crcCheck(data []byte, start, end int, off int64) error {
+	got := crc32.Checksum(data[start:end], binCRC)
+	want := binary.LittleEndian.Uint32(data[end : end+4])
+	if got != want {
+		return fmt.Errorf("trace: bin: %w", &ChunkError{Offset: off, Kind: data[start],
+			Err: fmt.Errorf("chunk CRC mismatch (got %08x, want %08x)", got, want)})
+	}
+	return nil
+}
+
+// newMapping indexes and validates an already-mapped filecule-bin/v1
+// byte range. It owns data on success; on error the caller unmaps.
+func newMapping(data []byte) (*Mapping, error) {
+	if len(data) < len(binMagic) || string(data[:len(binMagic)]) != binMagic {
+		return nil, fmt.Errorf("trace: bin: bad magic")
+	}
+	m := &Mapping{data: data}
+
+	pos := len(binMagic)
+	if pos == len(data) {
+		return nil, fmt.Errorf("trace: bin: missing catalog chunk")
+	}
+	start, end, next, err := mapFrame(data, pos)
+	if err != nil {
+		return nil, fmt.Errorf("trace: bin: %w", err)
+	}
+	if data[start] != binChunkKindCatalog {
+		return nil, fmt.Errorf("trace: bin: first chunk kind %q, want catalog", data[start])
+	}
+	if err := crcCheck(data, start, end, int64(pos-len(binMagic))); err != nil {
+		return nil, err
+	}
+	if m.files, m.users, m.sites, err = decodeBinCatalog(data[start:end]); err != nil {
+		return nil, err
+	}
+	pos = next
+
+	sawEnd := false
+	for pos < len(data) {
+		if sawEnd {
+			return nil, fmt.Errorf("trace: bin: data after end chunk")
+		}
+		start, end, next, err = mapFrame(data, pos)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bin: %w", err)
+		}
+		switch data[start] {
+		case binChunkKindJobs:
+			m.chunks = append(m.chunks, mapChunk{start: start, end: end, off: int64(pos - len(binMagic))})
+		case binChunkKindEnd:
+			if err := crcCheck(data, start, end, int64(pos-len(binMagic))); err != nil {
+				return nil, err
+			}
+			total, err := decodeBinEnd(data[start:end])
+			if err != nil {
+				return nil, err
+			}
+			m.total = int64(total)
+			sawEnd = true
+		case binChunkKindCatalog:
+			return nil, fmt.Errorf("trace: bin: duplicate catalog chunk")
+		default:
+			return nil, fmt.Errorf("trace: bin: unknown chunk kind %q", data[start])
+		}
+		pos = next
+	}
+	if !sawEnd {
+		return nil, fmt.Errorf("trace: bin: truncated stream (missing end chunk)")
+	}
+	m.verified = make([]atomic.Bool, len(m.chunks))
+	return m, nil
+}
+
+// verifyChunk checks job chunk i's CRC on first touch. Racing verifiers
+// both hash and both store true — idempotent, so no synchronization
+// beyond the flag is needed.
+func (m *Mapping) verifyChunk(i int) error {
+	if m.verified[i].Load() {
+		return nil
+	}
+	c := m.chunks[i]
+	if err := crcCheck(m.data, c.start, c.end, c.off); err != nil {
+		return err
+	}
+	m.verified[i].Store(true)
+	return nil
+}
+
+// Files returns the file catalog (shared, read-only).
+func (m *Mapping) Files() []File { return m.files }
+
+// Users returns the user catalog (shared, read-only).
+func (m *Mapping) Users() []User { return m.users }
+
+// Sites returns the site catalog (shared, read-only).
+func (m *Mapping) Sites() []Site { return m.sites }
+
+// Jobs returns the job count declared by the end chunk.
+func (m *Mapping) Jobs() int64 { return m.total }
+
+// Close unmaps the file. Idempotent. Cursors and ReadMap calls must have
+// finished; decoded traces and jobs remain valid.
+func (m *Mapping) Close() error {
+	if m.closed.Swap(true) {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	return munmapFile(data)
+}
+
+// Source returns a fresh sequential cursor over the mapping. The cursor
+// does not own the mapping: closing it does not unmap, and several
+// cursors may drain the same Mapping (each is single-goroutine, per the
+// Source contract, but distinct cursors are independent).
+func (m *Mapping) Source() *MapSource {
+	return &MapSource{m: m, names: make(map[string]string)}
+}
+
+// MapSource streams jobs straight off a Mapping: per chunk it verifies
+// the CRC (first touch only), decodes the columns in place, and hands out
+// jobs with the same invalidation contract as BinSource — a job and its
+// slices die when Next crosses into the following chunk.
+type MapSource struct {
+	m       *Mapping
+	ownsMap bool
+
+	chunk binJobChunk
+	idx   int
+	ci    int // next chunk index within m.chunks
+	job   Job
+	names map[string]string
+
+	seen   int64
+	err    error
+	closed bool
+}
+
+// Files returns the file catalog.
+func (s *MapSource) Files() []File { return s.m.files }
+
+// Users returns the user catalog.
+func (s *MapSource) Users() []User { return s.m.users }
+
+// Sites returns the site catalog.
+func (s *MapSource) Sites() []Site { return s.m.sites }
+
+func (s *MapSource) intern(b []byte) string {
+	if v, ok := s.names[string(b)]; ok {
+		return v
+	}
+	v := string(b)
+	s.names[v] = v
+	return v
+}
+
+// Next returns the next job. The job and its slices are invalidated by
+// the Next call that crosses into the following chunk.
+func (s *MapSource) Next() (*Job, error) {
+	if s.closed {
+		return nil, fmt.Errorf("trace: source is closed")
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	for s.idx >= s.chunk.n {
+		if s.ci >= len(s.m.chunks) {
+			if s.seen != s.m.total {
+				s.err = fmt.Errorf("trace: bin: end chunk declares %d jobs, stream had %d", s.m.total, s.seen)
+				return nil, s.err
+			}
+			s.err = io.EOF
+			return nil, io.EOF
+		}
+		if err := s.m.verifyChunk(s.ci); err != nil {
+			s.err = err
+			return nil, err
+		}
+		c := s.m.chunks[s.ci]
+		// Jobs alias the chunk's file-ID arena only until the next chunk
+		// replaces it, so the arena is reused like every other buffer.
+		if err := s.chunk.decode(s.m.data[c.start:c.end], len(s.m.files), len(s.m.users), len(s.m.sites), s.intern); err != nil {
+			s.err = err
+			return nil, err
+		}
+		if s.chunk.firstID != s.seen {
+			s.err = fmt.Errorf("trace: bin: job chunk starts at ID %d, want %d", s.chunk.firstID, s.seen)
+			return nil, s.err
+		}
+		s.ci++
+		s.idx = 0
+	}
+	s.chunk.fill(&s.job, s.idx)
+	s.idx++
+	s.seen++
+	return &s.job, nil
+}
+
+// Close marks the cursor closed and, when the cursor was opened through
+// Open (which hands it sole ownership), unmaps the file.
+func (s *MapSource) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.ownsMap {
+		return s.m.Close()
+	}
+	return nil
+}
+
+// ReadMap materializes the mapping into a validated Trace. With more than
+// one CPU the job chunks are decoded by a worker pool: the end chunk's
+// total pre-sizes the job slice, a cheap header pre-scan assigns each
+// chunk its row range, and workers claim chunk indexes off an atomic
+// cursor — per-worker column buffers and interners, zero payload copies,
+// rows written directly into place.
+func ReadMap(m *Mapping) (*Trace, error) {
+	var t *Trace
+	var err error
+	if runtime.GOMAXPROCS(0) > 1 && len(m.chunks) > 1 {
+		t, err = readMapParallel(m)
+	} else {
+		t, err = readMapSerial(m)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// readMapSerial mirrors readBinSerial: one cursor, one interner, buffers
+// reused across chunks, fresh file-ID arena per chunk (jobs alias it).
+func readMapSerial(m *Mapping) (*Trace, error) {
+	t := &Trace{Files: m.files, Users: m.users, Sites: m.sites}
+	names := make(map[string]string)
+	intern := func(b []byte) string {
+		if v, ok := names[string(b)]; ok {
+			return v
+		}
+		v := string(b)
+		names[v] = v
+		return v
+	}
+	var c binJobChunk
+	for i := range m.chunks {
+		if err := m.verifyChunk(i); err != nil {
+			return nil, err
+		}
+		mc := m.chunks[i]
+		c.listArena = make([]FileID, 0, len(c.listArena))
+		if err := c.decode(m.data[mc.start:mc.end], len(m.files), len(m.users), len(m.sites), intern); err != nil {
+			return nil, err
+		}
+		if c.firstID != int64(len(t.Jobs)) {
+			return nil, fmt.Errorf("trace: bin: job chunk starts at ID %d, want %d", c.firstID, len(t.Jobs))
+		}
+		base := len(t.Jobs)
+		if cap(t.Jobs)-base >= c.n {
+			t.Jobs = t.Jobs[:base+c.n]
+		} else {
+			t.Jobs = append(t.Jobs, make([]Job, c.n)...)
+		}
+		for i := 0; i < c.n; i++ {
+			c.fill(&t.Jobs[base+i], i)
+		}
+	}
+	if int64(len(t.Jobs)) != m.total {
+		return nil, fmt.Errorf("trace: bin: end chunk declares %d jobs, stream had %d", m.total, len(t.Jobs))
+	}
+	return t, nil
+}
+
+func readMapParallel(m *Mapping) (*Trace, error) {
+	// Header pre-scan: each job chunk opens with its row count and first
+	// job ID, so the whole layout — which rows belong to which chunk — is
+	// known before any column is decoded. The values are read ahead of
+	// CRC verification, so they are re-checked against the verified
+	// decode below; a corrupt header can misroute work but never
+	// mis-assemble a trace.
+	type hdr struct {
+		n     int
+		first int64
+	}
+	hdrs := make([]hdr, len(m.chunks))
+	var cum int64
+	for i, c := range m.chunks {
+		p := m.data[c.start:c.end]
+		pos := 1
+		n, w := binary.Uvarint(p[pos:])
+		if w <= 0 || n > uint64(len(p)) {
+			if err := m.verifyChunk(i); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("trace: bin: job chunk: job count exceeds chunk payload")
+		}
+		pos += w
+		first, w := binary.Uvarint(p[pos:])
+		if w <= 0 || first > uint64(maxBinAbsStart) {
+			if err := m.verifyChunk(i); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("trace: bin: job chunk: first job ID out of range")
+		}
+		if int64(first) != cum {
+			// Before reporting mis-ordered chunks, give CRC the chance to
+			// call the bytes corrupt instead — the streamed decoder would.
+			if err := m.verifyChunk(i); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("trace: bin: job chunk starts at ID %d, want %d", first, cum)
+		}
+		hdrs[i] = hdr{n: int(n), first: int64(first)}
+		cum += int64(n)
+	}
+	if cum != m.total {
+		for i := range m.chunks {
+			if err := m.verifyChunk(i); err != nil {
+				return nil, err
+			}
+		}
+		return nil, fmt.Errorf("trace: bin: end chunk declares %d jobs, stream had %d", m.total, cum)
+	}
+
+	t := &Trace{Files: m.files, Users: m.users, Sites: m.sites, Jobs: make([]Job, cum)}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	if workers > len(m.chunks) {
+		workers = len(m.chunks)
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		mu     sync.Mutex
+		decErr error
+		wg     sync.WaitGroup
+	)
+	setErr := func(err error) {
+		mu.Lock()
+		if decErr == nil {
+			decErr = err
+		}
+		mu.Unlock()
+		failed.Store(true)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var c binJobChunk
+			names := make(map[string]string)
+			intern := func(b []byte) string {
+				if v, ok := names[string(b)]; ok {
+					return v
+				}
+				v := string(b)
+				names[v] = v
+				return v
+			}
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(m.chunks) {
+					return
+				}
+				if err := m.verifyChunk(i); err != nil {
+					setErr(err)
+					return
+				}
+				mc := m.chunks[i]
+				c.listArena = make([]FileID, 0, len(c.listArena))
+				if err := c.decode(m.data[mc.start:mc.end], len(m.files), len(m.users), len(m.sites), intern); err != nil {
+					setErr(err)
+					return
+				}
+				if c.n != hdrs[i].n || c.firstID != hdrs[i].first {
+					setErr(fmt.Errorf("trace: bin: job chunk starts at ID %d, want %d", c.firstID, hdrs[i].first))
+					return
+				}
+				base := hdrs[i].first
+				for r := 0; r < c.n; r++ {
+					c.fill(&t.Jobs[base+int64(r)], r)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if decErr != nil {
+		return nil, decErr
+	}
+	return t, nil
+}
+
+// tryMap attempts to map f as a filecule-bin/v1 file. ok=false means f is
+// not eligible for the mapped path (not a regular file, too small to hold
+// the magic, mmap unavailable, or not bin-encoded) and the caller should
+// fall back to the streamed decoder — nothing has been read from f. A
+// non-nil error means f IS a bin file and it is broken.
+func tryMap(f *os.File) (m *Mapping, ok bool, err error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	size := fi.Size()
+	if !fi.Mode().IsRegular() || size < int64(len(binMagic)) || size != int64(int(size)) {
+		return nil, false, nil
+	}
+	data, err := mmapFile(int(f.Fd()), int(size))
+	if err != nil {
+		// Filesystems without mmap support degrade to streaming, same as
+		// unsupported platforms.
+		return nil, false, nil
+	}
+	if string(data[:len(binMagic)]) != binMagic {
+		_ = munmapFile(data)
+		return nil, false, nil
+	}
+	madviseSequential(data)
+	m, err = newMapping(data)
+	if err != nil {
+		_ = munmapFile(data)
+		return nil, false, err
+	}
+	return m, true, nil
+}
+
+// OpenMapping maps path, which must be a regular filecule-bin/v1 file on
+// a platform with mmap. Callers that can degrade to streaming should use
+// Open or ReadFile instead, which fall back transparently.
+func OpenMapping(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, ok, err := tryMap(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if !ok {
+		return nil, fmt.Errorf("%s: trace: not mappable (need a regular filecule-bin/v1 file and an mmap-capable platform)", path)
+	}
+	return m, nil
+}
+
+// Open opens a trace file as a streaming Source through the fastest
+// available substrate: a regular filecule-bin/v1 file is mmapped (zero
+// copies, lazy CRC), everything else — text, gzip, pipes and other
+// non-regular files, platforms without mmap — takes the streamed
+// auto-detecting path of NewSource. Closing the source releases the
+// mapping or the file.
+func Open(path string) (Source, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	m, ok, err := tryMap(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if ok {
+		f.Close() // the mapping outlives the descriptor
+		src := m.Source()
+		src.ownsMap = true
+		return src, nil
+	}
+	src, err := NewSource(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &closerSource{Source: src, c: f}, nil
+}
+
+// ReadFile materializes a trace file: mapped parallel decode (ReadMap)
+// for regular filecule-bin/v1 files, streamed ReadAuto for everything
+// else. The returned trace does not reference the mapping.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	m, ok, err := tryMap(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if ok {
+		f.Close()
+		defer m.Close()
+		t, err := ReadMap(m)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return t, nil
+	}
+	defer f.Close()
+	t, err := ReadAuto(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}

@@ -1,0 +1,14 @@
+//go:build unix
+
+package trace
+
+import "syscall"
+
+// mmapFile maps length bytes of the open file fd read-only and shared.
+// The mapping outlives the descriptor, so callers may close fd as soon as
+// the call returns.
+func mmapFile(fd int, length int) ([]byte, error) {
+	return syscall.Mmap(fd, 0, length, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(data []byte) error { return syscall.Munmap(data) }

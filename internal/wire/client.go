@@ -105,6 +105,18 @@ func (c *Client) SendPartition() error {
 	return c.send(c.out, KindPartitionResult)
 }
 
+// SendSummary pipelines an 'S' request. Pair with RecvSummary.
+func (c *Client) SendSummary() error {
+	c.out = AppendSummaryRequest(c.out[:0])
+	return c.send(c.out, KindSummaryResult)
+}
+
+// SendFilecule pipelines an 'F' lookup. Pair with RecvFilecule.
+func (c *Client) SendFilecule(f trace.FileID) error {
+	c.out = AppendFileculeRequest(c.out[:0], f)
+	return c.send(c.out, KindFileculeResult)
+}
+
 // Flush writes all pipelined requests to the connection.
 func (c *Client) Flush() error {
 	if c.err != nil {
@@ -195,6 +207,35 @@ func (c *Client) RecvPartition() (*PartitionReply, error) {
 	return r, nil
 }
 
+// RecvSummary reads the reply to the oldest pipelined summary request.
+func (c *Client) RecvSummary() (SummaryReply, error) {
+	pl, err := c.recvFrame(KindSummaryResult)
+	if err != nil {
+		return SummaryReply{}, err
+	}
+	r, err := decodeSummaryReply(pl)
+	if err != nil {
+		c.poison(err)
+	}
+	return r, err
+}
+
+// RecvFilecule reads the reply to the oldest pipelined filecule lookup. A
+// file observed in no job comes back as a *RemoteError with code 404, the
+// connection still usable.
+func (c *Client) RecvFilecule() (*FileculeLookupReply, error) {
+	pl, err := c.recvFrame(KindFileculeResult)
+	if err != nil {
+		return nil, err
+	}
+	r, err := decodeFileculeReply(pl)
+	if err != nil {
+		c.poison(err)
+		return nil, err
+	}
+	return r, nil
+}
+
 // Observe does one synchronous observe round trip.
 func (c *Client) Observe(files []trace.FileID) (ObserveReply, error) {
 	if err := c.SendObserve(files); err != nil {
@@ -237,6 +278,28 @@ func (c *Client) Partition() (*PartitionReply, error) {
 		return nil, err
 	}
 	return c.RecvPartition()
+}
+
+// Summary does one synchronous summary round trip.
+func (c *Client) Summary() (SummaryReply, error) {
+	if err := c.SendSummary(); err != nil {
+		return SummaryReply{}, err
+	}
+	if err := c.Flush(); err != nil {
+		return SummaryReply{}, err
+	}
+	return c.RecvSummary()
+}
+
+// Filecule does one synchronous per-file lookup round trip.
+func (c *Client) Filecule(f trace.FileID) (*FileculeLookupReply, error) {
+	if err := c.SendFilecule(f); err != nil {
+		return nil, err
+	}
+	if err := c.Flush(); err != nil {
+		return nil, err
+	}
+	return c.RecvFilecule()
 }
 
 // Pending returns the number of pipelined requests awaiting replies.

@@ -36,6 +36,11 @@ func FuzzWireProto(f *testing.F) {
 		Files:    []trace.FileID{0, 1, 2, 9},
 		Resident: []cache.ResidentUnit{{Unit: 0, LastAccess: 3}, {Unit: 1 << 33, LastAccess: -1}},
 	})))
+	f.Add(fuzzStream(
+		AppendObserveRequest(nil, []trace.FileID{0, 1, 2}),
+		AppendSummaryRequest(nil),
+		AppendFileculeRequest(nil, 1),
+		AppendFileculeRequest(nil, 15))) // 15: observed in no job -> 404
 	f.Add(fuzzStream([]byte{KindObserve, 0xff, 0xff}))                  // malformed payload
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff})                         // broken framing
 	f.Add(fuzzStream(AppendObserveRequest(nil, []trace.FileID{3}))[:3]) // truncated frame
@@ -65,6 +70,10 @@ func FuzzWireProto(f *testing.F) {
 				_, derr = decodeAdviceReply(pl)
 			case KindPartitionResult:
 				_, derr = decodePartitionReply(pl)
+			case KindSummaryResult:
+				_, derr = decodeSummaryReply(pl)
+			case KindFileculeResult:
+				_, derr = decodeFileculeReply(pl)
 			case KindError:
 				e := decodeError(pl)
 				if _, ok := e.(*RemoteError); !ok {

@@ -246,6 +246,10 @@ func (s *Server) handle(st *connState, kind byte, payload []byte, off int64) ([]
 		return s.handleAdvise(st, off)
 	case KindPartition:
 		return s.handlePartition(st)
+	case KindSummary:
+		return s.handleSummary(st)
+	case KindFilecule:
+		return s.handleFilecule(st, off)
 	default:
 		return s.errResp(st, CodeBadRequest, "wire_unknown",
 			"request frame at byte offset %d: unknown kind %q", off, kind), "wire_unknown", CodeBadRequest
@@ -383,5 +387,61 @@ func (s *Server) handlePartition(st *connState) ([]byte, string, int) {
 		st.fcs = append(st.fcs, v)
 	}
 	st.out = appendPartitionResult(st.out[:0], st.fcs, observed)
+	return st.out, route, 200
+}
+
+func (s *Server) handleSummary(st *connState) ([]byte, string, int) {
+	const route = "wire_summary"
+	// An 'S' payload is the bare kind byte; tolerate nothing else.
+	if st.pl.Remaining() != 0 {
+		return s.errResp(st, CodeBadRequest, route,
+			"summary request carries %d unexpected bytes", st.pl.Remaining()), route, CodeBadRequest
+	}
+	p, observed, catalog := s.Backend.PartitionState()
+	r := SummaryReply{Observed: observed, Filecules: p.NumFilecules(), Files: p.NumFiles()}
+	var sizes []int64
+	if catalog != nil {
+		sizes = p.SizeTable(catalog)
+	}
+	for i := range p.Filecules {
+		n := p.Filecules[i].NumFiles()
+		if n == 1 {
+			r.Monatomic++
+		}
+		if n > r.LargestFiles {
+			r.LargestFiles = n
+		}
+		if sizes != nil {
+			r.CoveredBytes += sizes[i]
+		}
+	}
+	if p.NumFilecules() > 0 {
+		r.MeanFilesPerGroup = float64(p.NumFiles()) / float64(p.NumFilecules())
+	}
+	st.out = appendSummaryResult(st.out[:0], &r)
+	return st.out, route, 200
+}
+
+func (s *Server) handleFilecule(st *connState, off int64) ([]byte, string, int) {
+	const route = "wire_filecule"
+	id := st.pl.Uvarint()
+	if st.pl.Err() == nil && int64(id) >= s.maxID() {
+		return s.errResp(st, CodeBadRequest, route,
+			"file ID %d out of range [0, %d)", id, s.maxID()), route, CodeBadRequest
+	}
+	if err := st.reqErr(off); err != nil {
+		return s.errResp(st, CodeBadRequest, route, "%v", err), route, CodeBadRequest
+	}
+	p, _, catalog := s.Backend.PartitionState()
+	fc := p.FileculeOf(trace.FileID(id))
+	if fc == nil {
+		return s.errResp(st, CodeNotFound, route,
+			"file %d not observed in any job", id), route, CodeNotFound
+	}
+	var bytes int64
+	if catalog != nil {
+		bytes = p.SizeTable(catalog)[fc.ID]
+	}
+	st.out = appendFileculeResult(st.out[:0], fc.ID, fc.Requests, bytes, fc.Files)
 	return st.out, route, 200
 }

@@ -30,6 +30,8 @@
 //	'A' advise          uvarint(capacityBytes), fileRuns,
 //	                    uvarint(nresident), nresident × (uvarint(unit), zvarint(lastAccess))
 //	'P' partition       (empty)
+//	'S' summary         (empty)
+//	'F' filecule        uvarint(fileID)
 //
 // Response kinds:
 //
@@ -41,6 +43,11 @@
 //	'p' partition       uvarint(observed), uvarint(nfilecules),
 //	                    nfilecules × (uvarint(requests), uvarint(bytes), fileRuns)
 //	                    (filecule IDs are the 0-based position, canonical order)
+//	's' summary         uvarint(observed), uvarint(filecules), uvarint(files),
+//	                    uvarint(monatomic), meanFilesPerFilecule
+//	                    (IEEE-754 bits, 8B LE), uvarint(largestFiles),
+//	                    uvarint(coveredBytes)
+//	'f' filecule        uvarint(id), uvarint(requests), uvarint(bytes), fileRuns
 //	'e' error           uvarint(code), uvarint(len), len × msg bytes
 //
 // Malformed request payloads (bad varints, out-of-range file IDs, trailing
@@ -48,13 +55,14 @@
 // byte offset in the message and keeps the connection. Broken framing
 // (truncation, CRC mismatch, oversized chunks) is unrecoverable — the frame
 // boundary itself is lost — so the server answers one final 'e' and closes.
-// Error codes align with the HTTP surface: 400 bad request, 422 advice
-// unavailable, 500 internal.
+// Error codes align with the HTTP surface: 400 bad request, 404 file not
+// observed, 422 advice unavailable, 500 internal.
 package wire
 
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 
 	"filecule/internal/cache"
 	"filecule/internal/trace"
@@ -69,6 +77,8 @@ const (
 	KindObserveBatch = 'B'
 	KindAdvise       = 'A'
 	KindPartition    = 'P'
+	KindSummary      = 'S'
+	KindFilecule     = 'F'
 )
 
 // Response kinds.
@@ -76,6 +86,8 @@ const (
 	KindObserveResult   = 'o'
 	KindAdviceResult    = 'a'
 	KindPartitionResult = 'p'
+	KindSummaryResult   = 's'
+	KindFileculeResult  = 'f'
 	KindError           = 'e'
 )
 
@@ -83,6 +95,7 @@ const (
 // JSON surface would answer for the same failure.
 const (
 	CodeBadRequest  = 400
+	CodeNotFound    = 404
 	CodeUnavailable = 422
 	CodeInternal    = 500
 )
@@ -144,6 +157,17 @@ func AppendPartitionRequest(dst []byte) []byte {
 	return append(dst, KindPartition)
 }
 
+// AppendSummaryRequest appends an 'S' request payload.
+func AppendSummaryRequest(dst []byte) []byte {
+	return append(dst, KindSummary)
+}
+
+// AppendFileculeRequest appends an 'F' per-file filecule lookup payload.
+func AppendFileculeRequest(dst []byte, f trace.FileID) []byte {
+	dst = append(dst, KindFilecule)
+	return binary.AppendUvarint(dst, uint64(f))
+}
+
 // --- response encoders (server side) ---
 
 func appendObserveResult(dst []byte, observed int64, filecules int) []byte {
@@ -196,6 +220,29 @@ type fcView struct {
 	bytes    int64
 }
 
+// appendSummaryResult encodes an 's' response. The mean travels as its
+// exact IEEE-754 bits so a client re-encoding it (e.g. the differential
+// test's JSON round trip) reproduces the HTTP surface byte for byte.
+func appendSummaryResult(dst []byte, r *SummaryReply) []byte {
+	dst = append(dst, KindSummaryResult)
+	dst = binary.AppendUvarint(dst, uint64(r.Observed))
+	dst = binary.AppendUvarint(dst, uint64(r.Filecules))
+	dst = binary.AppendUvarint(dst, uint64(r.Files))
+	dst = binary.AppendUvarint(dst, uint64(r.Monatomic))
+	dst = trace.AppendUint64(dst, math.Float64bits(r.MeanFilesPerGroup))
+	dst = binary.AppendUvarint(dst, uint64(r.LargestFiles))
+	return binary.AppendUvarint(dst, uint64(r.CoveredBytes))
+}
+
+// appendFileculeResult encodes an 'f' response for one filecule.
+func appendFileculeResult(dst []byte, id, requests int, bytes int64, files []trace.FileID) []byte {
+	dst = append(dst, KindFileculeResult)
+	dst = binary.AppendUvarint(dst, uint64(id))
+	dst = binary.AppendUvarint(dst, uint64(requests))
+	dst = binary.AppendUvarint(dst, uint64(bytes))
+	return trace.AppendFileRuns(dst, files)
+}
+
 func appendError(dst []byte, code int, msg string) []byte {
 	dst = append(dst, KindError)
 	dst = binary.AppendUvarint(dst, uint64(code))
@@ -237,6 +284,26 @@ type PartitionReply struct {
 
 // FeculeReply is one filecule row; its ID is its index in the reply.
 type FeculeReply struct {
+	Files    []trace.FileID
+	Requests int
+	Bytes    int64
+}
+
+// SummaryReply mirrors the JSON SummaryBody: partition shape statistics.
+type SummaryReply struct {
+	Observed          int64
+	Filecules         int
+	Files             int
+	Monatomic         int
+	MeanFilesPerGroup float64
+	LargestFiles      int
+	CoveredBytes      int64
+}
+
+// FileculeLookupReply is the decoded 'f' response: the filecule containing
+// one looked-up file, with its canonical ID.
+type FileculeLookupReply struct {
+	ID       int
 	Files    []trace.FileID
 	Requests int
 	Bytes    int64
@@ -289,6 +356,28 @@ func decodePartitionReply(pl *trace.Payload) (*PartitionReply, error) {
 		r.Filecules = append(r.Filecules, fc)
 	}
 	return r, replyErr(pl, "partition")
+}
+
+func decodeSummaryReply(pl *trace.Payload) (SummaryReply, error) {
+	var r SummaryReply
+	r.Observed = int64(pl.Uvarint())
+	r.Filecules = int(pl.Uvarint())
+	r.Files = int(pl.Uvarint())
+	r.Monatomic = int(pl.Uvarint())
+	r.MeanFilesPerGroup = math.Float64frombits(pl.Uint64())
+	r.LargestFiles = int(pl.Uvarint())
+	r.CoveredBytes = int64(pl.Uvarint())
+	return r, replyErr(pl, "summary")
+}
+
+func decodeFileculeReply(pl *trace.Payload) (*FileculeLookupReply, error) {
+	r := &FileculeLookupReply{
+		ID:       int(pl.Uvarint()),
+		Requests: int(pl.Uvarint()),
+		Bytes:    int64(pl.Uvarint()),
+	}
+	r.Files = pl.FileRuns(nil, maxAnyFileID, maxAnyFileID)
+	return r, replyErr(pl, "filecule")
 }
 
 func decodeError(pl *trace.Payload) error {

@@ -349,8 +349,8 @@ func TestBatchAmplificationFrameRejected(t *testing.T) {
 	payload := []byte{KindObserveBatch}
 	payload = binary.AppendUvarint(payload, uint64(jobs))
 	for i := 0; i < jobs; i++ {
-		payload = binary.AppendUvarint(payload, 1)        // one run
-		payload = binary.AppendVarint(payload, 0)         // start delta 0
+		payload = binary.AppendUvarint(payload, 1)             // one run
+		payload = binary.AppendVarint(payload, 0)              // start delta 0
 		payload = binary.AppendUvarint(payload, uint64(1<<10)) // max-length run
 	}
 	raw, err := runStream(t, s, chunk(t, payload))
