@@ -11,14 +11,14 @@ BENCHDIR ?= .bench
 # identification engine's observe/snapshot pairs, the serving hot path, and
 # the trace-codec decode pair. The Large sweep variants are excluded by the
 # $$ anchors.
-BENCHPAT ?= SweepEngine$$|SweepSequential$$|CacheReplay|Server|Observe|Snapshot|DecodeText$$|DecodeBin$$|DecodeMmap$$|MapIterate$$|ServeTCP
+BENCHPAT ?= SweepEngine$$|SweepSequential$$|CacheReplay|Server|Observe|Snapshot|DecodeText$$|DecodeBin$$|DecodeMmap$$|DecodeKV$$|MapIterate$$|ServeTCP
 BENCH_TOLERANCE ?= 0.15
 # Pinned linter versions, run via `go run` so go.mod stays dependency-free.
 STATICCHECK ?= honnef.co/go/tools/cmd/staticcheck@2025.1.1
 GOVULNCHECK ?= golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
 .PHONY: all build fmt-check vet test race lint fuzz-smoke kill-recover chaos bench \
-	selftest ci bench-json bench-gate bench-baseline mmap-large
+	selftest sweep-smoke ci bench-json bench-gate bench-baseline mmap-large
 
 all: ci
 
@@ -62,6 +62,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzSiteSplit -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzFedExchange -fuzztime=$(FUZZTIME) ./internal/fed
 	$(GO) test -run=^$$ -fuzz=FuzzWireProto -fuzztime=$(FUZZTIME) ./internal/wire
+	$(GO) test -run=^$$ -fuzz=FuzzKVTrace -fuzztime=$(FUZZTIME) ./internal/workload
 
 # Crash-safety differentials: SIGKILL a race-built filecule-serve at
 # randomized points and verify recovery never loses an acknowledged observe
@@ -121,5 +122,17 @@ bench-baseline: bench-json
 selftest:
 	$(GO) run ./cmd/filecule-serve -selftest
 
-ci: fmt-check vet build race fuzz-smoke kill-recover chaos
+# Cross-workload sweep smoke: the Figure-10 cache sweep must run green on
+# every adapter the registry serves (DZero, XRootD-style, shaped DZero, and
+# a generated KV-cache CSV), pinning the "no tool constructs a source
+# outside the registry" refactor end to end.
+sweep-smoke:
+	mkdir -p $(BENCHDIR)
+	$(GO) run ./cmd/filecule-cachesim -sweep -workload dzero,seed=1,scale=0.002
+	$(GO) run ./cmd/filecule-cachesim -sweep -workload xrootd,seed=1,scale=0.002
+	$(GO) run ./cmd/filecule-cachesim -sweep -workload "dzero,seed=1,scale=0.002,shape=burst,rps-start=5,rps-target=50,slot=30s"
+	$(GO) run ./cmd/filecule-gen -kv-csv 5000 -kv-keys 400 -seed 1 -o $(BENCHDIR)/smoke-kv.csv
+	$(GO) run ./cmd/filecule-cachesim -sweep -workload "kv-csv,path=$(BENCHDIR)/smoke-kv.csv,window=16"
+
+ci: fmt-check vet build race fuzz-smoke sweep-smoke kill-recover chaos
 	@echo "ci: all green"

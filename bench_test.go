@@ -34,6 +34,7 @@ import (
 	"filecule/internal/synth"
 	"filecule/internal/trace"
 	"filecule/internal/wire"
+	"filecule/internal/workload"
 )
 
 // benchScale keeps the full `go test -bench=.` run under a couple of
@@ -314,6 +315,40 @@ func BenchmarkMapIterate(b *testing.B) {
 		benchFileSink += int64(len(j.Files))
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchmarkDecodeKV measures steady-state row decode of the KV-cache CSV
+// adapter (op classification, size parsing, field splitting) over an
+// in-memory Meta-style trace. One iteration is one row; the reader restarts
+// when the CSV is exhausted, amortizing setup exactly as the two-pass open
+// amortizes it. The benchgate bounds allocs/op: the row decode path must
+// stay allocation-free.
+func BenchmarkDecodeKV(b *testing.B) {
+	var csv bytes.Buffer
+	if err := workload.GenKVCSV(&csv, 1, 5000, 200_000); err != nil {
+		b.Fatal(err)
+	}
+	data := csv.Bytes()
+	kr, err := workload.NewKVReader(bytes.NewReader(data))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var row workload.KVRow
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := kr.Next(&row)
+		if err == io.EOF {
+			if kr, err = workload.NewKVReader(bytes.NewReader(data)); err == nil {
+				err = kr.Next(&row)
+			}
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchFileSink += row.Size
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rows/s")
 }
 
 // --- cache-grid sweep engine (internal/sim) ---

@@ -16,7 +16,6 @@ import (
 
 	"filecule/internal/cli"
 	"filecule/internal/experiments"
-	"filecule/internal/synth"
 )
 
 var characterization = []string{
@@ -25,32 +24,31 @@ var characterization = []string{
 }
 
 func main() {
-	var (
-		path   = flag.String("trace", "", "trace file to analyze (omit to synthesize)")
-		seed   = flag.Int64("seed", 1, "generator seed when synthesizing")
-		scale  = flag.Float64("scale", 0.05, "workload scale when synthesizing")
-		format = flag.String("format", "", "assert the trace file's codec (text or bin; default auto-detect)")
-		exp    = flag.String("exp", "", "single characterization to print (default: all)")
-	)
+	wf := cli.AddWorkloadFlags(flag.CommandLine, 0.05)
+	exp := flag.String("exp", "", "single characterization to print (default: all)")
 	flag.Parse()
 
+	wl := wf.Workload()
 	var r *experiments.Runner
-	if *path != "" {
-		t, err := cli.Workload{Path: *path, Format: *format}.Load()
-		if err != nil {
-			fatal(err)
-		}
-		r = experiments.NewForTrace(t, *scale)
-	} else {
-		if *format != "" {
-			if err := cli.CheckFormat(*format); err != nil {
+	if wl.IsSynthetic() {
+		// The synthetic fast path generates inside the runner (splits and
+		// derived streams share the generator), bit-identical to every
+		// prior release.
+		if wl.Format != "" {
+			if err := cli.CheckFormat(wl.Format); err != nil {
 				fatal(err)
 			}
 		}
-		if _, err := synth.Generate(synth.DZero(*seed, 0.001)); err != nil {
+		if _, err := (cli.Workload{Seed: wl.Seed, Scale: 0.001}).Load(); err != nil {
 			fatal(err) // fail fast on bad config before the big run
 		}
-		r = experiments.New(experiments.Config{Seed: *seed, Scale: *scale})
+		r = experiments.New(experiments.Config{Seed: wl.Seed, Scale: wl.Scale})
+	} else {
+		t, err := wl.Load()
+		if err != nil {
+			fatal(err)
+		}
+		r = experiments.NewForTrace(t, wl.ScaleHint())
 	}
 
 	ids := characterization

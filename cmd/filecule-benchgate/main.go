@@ -71,6 +71,7 @@ func run(args []string, stdout io.Writer) error {
 		decodeFloor  = fs.Float64("decode-speedup-floor", 2, "required DecodeBin over DecodeText wall-clock ratio (0 disables)")
 		mmapFloor    = fs.Float64("mmap-decode-speedup-floor", 0.9, "required DecodeMmap over DecodeBin wall-clock ratio (0 disables)")
 		mapAllocs    = fs.Float64("map-iterate-allocs-ceiling", 1, "allowed MapIterate allocs/op (0 disables)")
+		kvAllocs     = fs.Float64("kv-decode-allocs-ceiling", 1, "allowed DecodeKV allocs/op (0 disables)")
 		wireFloor    = fs.Float64("wire-speedup-floor", 3, "required ServeTCPWire over ServeTCPJSON wall-clock ratio (0 disables)")
 		walCeiling   = fs.Float64("wal-overhead-ceiling", 10, "allowed ObserveWAL over ObserveEngine slowdown ratio (0 disables)")
 		wireRPS      = fs.Float64("wire-rps-floor", 30000, "required ServeTCPWire req/s on a 1-vCPU runner (0 disables)")
@@ -141,6 +142,8 @@ func run(args []string, stdout io.Writer) error {
 		// Machine-independent: the mapped per-job hot loop amortizes chunk
 		// decode to zero allocations per job, and must stay that way.
 		{bench: "MapIterate", unit: "allocs/op", ceiling: *mapAllocs},
+		// The KV CSV row decoder pins its zero-allocation steady state.
+		{bench: "DecodeKV", unit: "allocs/op", ceiling: *kvAllocs},
 	})
 	if len(violations) > 0 {
 		for _, v := range violations {

@@ -23,7 +23,6 @@ import (
 	"filecule/internal/experiments"
 	"filecule/internal/report"
 	"filecule/internal/sim"
-	"filecule/internal/trace"
 )
 
 func main() {
@@ -36,11 +35,8 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	// ExitOnError keeps the conventional usage-error exit code 2.
 	fs := flag.NewFlagSet("filecule-cachesim", flag.ExitOnError)
+	wf := cli.AddWorkloadFlags(fs, 0.05)
 	var (
-		path     = fs.String("trace", "", "trace file (omit to synthesize)")
-		seed     = fs.Int64("seed", 1, "generator seed when synthesizing")
-		scale    = fs.Float64("scale", 0.05, "workload scale; also scales cache sizes")
-		format   = fs.String("format", "", "assert the trace file's codec (text or bin; default auto-detect)")
 		sizes    = fs.String("sizes", "", "comma-separated cache sizes in full-scale TB (default: the paper's 7 sizes)")
 		policy   = fs.String("policy", "lru", "eviction policy: lru, fifo, lfu, size, gds, gdsf, landlord, bundle")
 		ablation = fs.Bool("ablation", false, "run the full policy-zoo ablation instead of a sweep")
@@ -56,10 +52,13 @@ func run(args []string, stdout io.Writer) error {
 		return err // unreachable with ExitOnError; kept for safety
 	}
 
-	wl := cli.Workload{Path: *path, Seed: *seed, Scale: *scale, Format: *format}
+	wl := wf.Workload()
+	// Cache sizes scale with the workload so miss-rate curves stay
+	// comparable across scales.
+	effScale := wl.ScaleHint()
 
 	if *sweep {
-		return runSweep(wl, *scale, *sizes, *policies, *grans, *workers, *table, *out, stdout)
+		return runSweep(wl, effScale, *sizes, *policies, *grans, *workers, *table, *out, stdout)
 	}
 
 	t, err := wl.Load()
@@ -67,7 +66,7 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	r := experiments.NewForTrace(t, *scale)
+	r := experiments.NewForTrace(t, effScale)
 	if *ablation {
 		res, err := r.Run("ablation")
 		if err != nil {
@@ -85,10 +84,10 @@ func run(args []string, stdout io.Writer) error {
 	p := core.Identify(t)
 	reqs := t.Requests()
 	tb := report.NewTable(
-		fmt.Sprintf("%s miss rates (cache sizes scaled by %g)", *policy, *scale),
+		fmt.Sprintf("%s miss rates (cache sizes scaled by %g)", *policy, effScale),
 		"cache TB (full scale)", "file miss", "filecule miss", "gain")
 	for _, tbs := range sizeList {
-		capBytes := int64(tbs * *scale * (1 << 40))
+		capBytes := int64(tbs * effScale * (1 << 40))
 		if capBytes < 1<<20 {
 			capBytes = 1 << 20
 		}
@@ -129,17 +128,12 @@ func runSweep(wl cli.Workload, scale float64, sizes, policies, grans string, wor
 		cfg.Granularities = splitList(grans)
 	}
 
-	var src trace.Source
-	if wl.Path == "" {
-		t, err := wl.Load()
-		if err != nil {
-			return err
-		}
-		src = trace.NewTraceSource(t)
-	} else {
-		if src, err = wl.Open(); err != nil {
-			return err
-		}
+	// OpenOrdered holds the start-order replay contract: unshaped synthetics
+	// materialize start-sorted (tie-order stability pins the benchmark
+	// baseline), recorded files and ordered streams replay as-is.
+	src, err := wl.OpenOrdered()
+	if err != nil {
+		return err
 	}
 	defer src.Close()
 	res, err := sim.SweepSource(src, cfg)

@@ -1,12 +1,15 @@
-// Command filecule-gen generates a synthetic DZero-like trace calibrated to
-// the paper's published workload statistics, or converts an existing trace
-// between codecs. Output is the v1 text format or the filecule-bin/v1
-// binary columnar format:
+// Command filecule-gen generates a synthetic trace from any registered
+// workload adapter (DZero by default), converts an existing trace between
+// codecs, or writes a synthetic Meta-format KV-cache CSV. Output is the v1
+// text format or the filecule-bin/v1 binary columnar format:
 //
 //	filecule-gen -scale 0.05 -seed 7 -o trace.txt
 //	filecule-gen -scale 0.05 -format bin -o trace.bin
 //	filecule-gen -convert trace.txt -format bin -o trace.bin
 //	filecule-gen -scale 1 -stream -format bin -o full.bin   # bounded memory
+//	filecule-gen -workload xrootd,seed=3,scale=0.1 -format bin -o x.bin
+//	filecule-gen -workload dzero,seed=1,scale=0.05,shape=burst -o burst.txt
+//	filecule-gen -kv-csv 100000 -kv-keys 5000 -o kv.csv    # KV trace input
 //
 // By default the synthetic trace is materialized and written sorted by job
 // start time (byte-identical across runs of the same seed). With -stream,
@@ -16,6 +19,7 @@
 package main
 
 import (
+	"compress/gzip"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +27,7 @@ import (
 
 	"filecule/internal/cli"
 	"filecule/internal/trace"
+	"filecule/internal/workload"
 )
 
 func main() {
@@ -40,14 +45,19 @@ func run(args []string, stderr io.Writer) error {
 		out     = fs.String("o", "-", "output path ('-' for stdout)")
 		gz      = fs.Bool("gz", false, "gzip-compress the output")
 		format  = fs.String("format", "text", "output codec: text or bin")
-		convert = fs.String("convert", "", "re-encode this trace instead of synthesizing")
-		stream  = fs.Bool("stream", false, "stream jobs straight to the encoder (bounded memory, generation order)")
+		convert = fs.String("convert", "", "re-encode this trace instead of synthesizing (alias for -workload file,path=...)")
+		stream  = fs.Bool("stream", false, "stream jobs straight to the encoder (bounded memory, adapter stream order)")
+		spec    = fs.String("workload", "", cli.WorkloadHelp())
+		kvRows  = fs.Int("kv-csv", 0, "write a synthetic Meta-format KV-cache CSV with this many rows instead of a trace")
+		kvKeys  = fs.Int("kv-keys", 1000, "distinct keys in the synthetic KV-cache CSV")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err // unreachable with ExitOnError; kept for safety
 	}
-	if err := cli.CheckFormat(*format); err != nil {
-		return err
+	if *kvRows == 0 {
+		if err := cli.CheckFormat(*format); err != nil {
+			return err
+		}
 	}
 
 	w := io.Writer(os.Stdout)
@@ -61,16 +71,28 @@ func run(args []string, stderr io.Writer) error {
 		w = f
 	}
 
+	// Path (-convert) and Spec conflicts are caught by the shared resolver.
+	wl := cli.Workload{Spec: *spec, Path: *convert, Seed: *seed, Scale: *scale}
+
 	var jobs, files, users, sites int
 	var err error
 	switch {
-	case *convert != "":
-		jobs, files, users, sites, err = copyStream(w, cli.Workload{Path: *convert}, *format, *gz)
-	case *stream:
-		jobs, files, users, sites, err = copyStream(w, cli.Workload{Seed: *seed, Scale: *scale}, *format, *gz)
+	case *kvRows != 0:
+		out := io.Writer(w)
+		var zw *gzip.Writer
+		if *gz {
+			zw = gzip.NewWriter(w)
+			out = zw
+		}
+		err = workload.GenKVCSV(out, *seed, *kvKeys, *kvRows)
+		if err == nil && zw != nil {
+			err = zw.Close()
+		}
+	case *stream || *convert != "":
+		jobs, files, users, sites, err = copyStream(w, wl, *format, *gz)
 	default:
 		var t *trace.Trace
-		t, err = cli.Workload{Seed: *seed, Scale: *scale}.Load()
+		t, err = wl.Load()
 		if err == nil {
 			err = cli.WriteTrace(w, t, *format, *gz)
 		}
@@ -91,8 +113,12 @@ func run(args []string, stderr io.Writer) error {
 			return err
 		}
 	}
-	fmt.Fprintf(stderr, "wrote %d jobs, %d files, %d users, %d sites (%s)\n",
-		jobs, files, users, sites, *format)
+	if *kvRows != 0 {
+		fmt.Fprintf(stderr, "wrote %d KV-cache CSV rows over %d keys\n", *kvRows, *kvKeys)
+	} else {
+		fmt.Fprintf(stderr, "wrote %d jobs, %d files, %d users, %d sites (%s)\n",
+			jobs, files, users, sites, *format)
+	}
 	return nil
 }
 

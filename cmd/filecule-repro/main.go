@@ -20,16 +20,14 @@ import (
 )
 
 func main() {
+	wf := cli.AddWorkloadFlags(flag.CommandLine, experiments.DefaultConfig().Scale)
 	var (
-		exp    = flag.String("exp", "", "experiment ID to run (default: all)")
-		path   = flag.String("trace", "", "trace file to reproduce against (omit to synthesize)")
-		seed   = flag.Int64("seed", 1, "workload generator seed")
-		scale  = flag.Float64("scale", experiments.DefaultConfig().Scale, "workload scale (1 = full paper scale)")
-		format = flag.String("format", "", "assert the trace file's codec (text or bin; default auto-detect)")
-		list   = flag.Bool("list", false, "list experiment IDs and exit")
-		csv    = flag.String("csv", "", "also dump every table as CSV into this directory")
+		exp  = flag.String("exp", "", "experiment ID to run (default: all)")
+		list = flag.Bool("list", false, "list experiment IDs and exit")
+		csv  = flag.String("csv", "", "also dump every table as CSV into this directory")
 	)
 	flag.Parse()
+	wl := wf.Workload()
 
 	if *list {
 		for _, id := range experiments.All() {
@@ -40,21 +38,21 @@ func main() {
 	}
 
 	var r *experiments.Runner
-	if *path != "" {
-		t, err := cli.Workload{Path: *path, Format: *format}.Load()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		r = experiments.NewForTrace(t, *scale)
-	} else {
-		if *format != "" {
-			if err := cli.CheckFormat(*format); err != nil {
+	if wl.IsSynthetic() {
+		if wl.Format != "" {
+			if err := cli.CheckFormat(wl.Format); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 		}
-		r = experiments.New(experiments.Config{Seed: *seed, Scale: *scale})
+		r = experiments.New(experiments.Config{Seed: wl.Seed, Scale: wl.Scale})
+	} else {
+		t, err := wl.Load()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		r = experiments.NewForTrace(t, wl.ScaleHint())
 	}
 	var results []*experiments.Result
 	if *exp != "" {
@@ -72,7 +70,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("filecule reproduction report (seed %d, scale %g)\n\n", *seed, *scale)
+		fmt.Printf("filecule reproduction report (seed %d, scale %g)\n\n", wl.Seed, wl.ScaleHint())
 		for _, res := range results {
 			fmt.Print(res.Render())
 			fmt.Println()

@@ -35,6 +35,7 @@ import (
 	"filecule/internal/durable"
 	"filecule/internal/fed"
 	"filecule/internal/server"
+	"filecule/internal/synth"
 	"filecule/internal/trace"
 	"filecule/internal/wire"
 )
@@ -43,12 +44,15 @@ func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
 		wireAddr = flag.String("wire-addr", "", "also serve the binary wire protocol (filecule-wire/v1) on this TCP address")
-		path     = flag.String("trace", "", "trace file whose catalog backs cache advice (omit to synthesize)")
-		seed     = flag.Int64("seed", 1, "generator seed when synthesizing")
-		scale    = flag.Float64("scale", 0.05, "workload scale when synthesizing")
+		wf       = cli.AddWorkloadFlags(flag.CommandLine, 0.05)
 		selftest = flag.Bool("selftest", false, "run the closed-loop load test and exit")
 		clients  = flag.Int("clients", 8, "selftest: concurrent submitters")
 		batch    = flag.Int("batch", 1, "selftest: jobs per request (1 = unbatched)")
+		rpsShape = flag.String("rps-shape", "none", "selftest: offered-load profile (none, ramp, sweep, burst)")
+		rpsStart = flag.Float64("rps-start", 10, "selftest: starting request rate for -rps-shape")
+		rpsTgt   = flag.Float64("rps-target", 100, "selftest: peak request rate for -rps-shape")
+		rpsStep  = flag.Float64("rps-step", 10, "selftest: per-slot rate step for ramp and sweep")
+		rpsSlot  = flag.Duration("rps-slot", time.Second, "selftest: duration of one rate slot")
 		pprof    = flag.Bool("pprof", true, "mount /debug/pprof")
 		shards   = flag.Int("shards", 0, "engine lock stripes (<=0 = auto from GOMAXPROCS)")
 		grace    = flag.Duration("shutdown-grace", 10*time.Second, "request-draining bound on shutdown")
@@ -79,7 +83,14 @@ func main() {
 		fatal(err)
 	}
 
-	t := loadOrGen(*path, *seed, *scale)
+	shape, err := selftestShape(*rpsShape, *rpsStart, *rpsTgt, *rpsStep, *rpsSlot)
+	if err != nil {
+		fatal(err)
+	}
+	t, err := wf.Workload().Load()
+	if err != nil {
+		fatal(err)
+	}
 	cfg := server.Config{
 		Catalog:       t.Files,
 		EnablePprof:   *pprof,
@@ -96,9 +107,9 @@ func main() {
 			if *wireAddr != "" {
 				fatal(fmt.Errorf("filecule-serve: -selftest supports -wire-addr or -state-dir, not both"))
 			}
-			err = runSelftestDurable(cfg, t, *clients, *batch, *dopts)
+			err = runSelftestDurable(cfg, t, *clients, *batch, shape, *dopts)
 		} else {
-			err = runSelftest(cfg, t, *clients, *batch, *wireAddr)
+			err = runSelftest(cfg, t, *clients, *batch, shape, *wireAddr)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "selftest FAILED:", err)
@@ -235,12 +246,15 @@ func printRecovery(dir string, rec durable.Recovery) {
 	}
 }
 
-func loadOrGen(path string, seed int64, scale float64) *trace.Trace {
-	t, err := cli.Workload{Path: path, Seed: seed, Scale: scale}.Load()
+// selftestShape assembles the -rps-* flags into a load profile for the
+// selftest generator; ShapeNone replays closed-loop at full speed as before.
+func selftestShape(mode string, start, target, step float64, slot time.Duration) (synth.Shape, error) {
+	m, err := synth.ParseShapeMode(mode)
 	if err != nil {
-		fatal(err)
+		return synth.Shape{}, err
 	}
-	return t
+	sh := synth.Shape{Mode: m, StartRPS: start, TargetRPS: target, StepRPS: step, Slot: slot}
+	return sh, sh.Validate()
 }
 
 // runSelftest boots the service on a loopback port, replays t from many
@@ -249,7 +263,7 @@ func loadOrGen(path string, seed int64, scale float64) *trace.Trace {
 // protocol on that address, replays over it instead of HTTP, and verifies
 // that both surfaces answer the identical partition — the cross-protocol
 // differential check.
-func runSelftest(cfg server.Config, t *trace.Trace, clients, batch int, wireAddr string) error {
+func runSelftest(cfg server.Config, t *trace.Trace, clients, batch int, shape synth.Shape, wireAddr string) error {
 	fmt.Printf("selftest: %d jobs, %d files, %d clients, batch %d\n",
 		len(t.Jobs), len(t.Files), clients, batch)
 
@@ -262,7 +276,7 @@ func runSelftest(cfg server.Config, t *trace.Trace, clients, batch int, wireAddr
 	addr := <-ready
 	base := "http://" + addr.String()
 
-	gen := &server.LoadGen{BaseURL: base, Clients: clients, BatchSize: batch}
+	gen := &server.LoadGen{BaseURL: base, Clients: clients, BatchSize: batch, Shape: shape}
 	var wdone chan error
 	if wireAddr != "" {
 		wready := make(chan net.Addr, 1)
@@ -380,7 +394,7 @@ func verifyWirePartition(wireAddr, base string) error {
 // admin endpoint, tears the whole stack down, then recovers from the state
 // directory and checks the reconstructed partition is byte-identical to
 // batch identification over the first half before replaying the rest.
-func runSelftestDurable(cfg server.Config, t *trace.Trace, clients, batch int, opts durable.Options) error {
+func runSelftestDurable(cfg server.Config, t *trace.Trace, clients, batch int, shape synth.Shape, opts durable.Options) error {
 	half := len(t.Jobs) / 2
 	firstHalf := &trace.Trace{Files: t.Files, Jobs: t.Jobs[:half]}
 	secondHalf := &trace.Trace{Files: t.Files, Jobs: t.Jobs[half:]}
@@ -392,7 +406,7 @@ func runSelftestDurable(cfg server.Config, t *trace.Trace, clients, batch int, o
 	// Phase 1: replay the first half, checkpoint via the admin endpoint,
 	// shut everything down.
 	err := withDurableServer(cfg, opts, func(base string, d *durable.Engine) error {
-		gen := &server.LoadGen{BaseURL: base, Clients: clients, BatchSize: batch}
+		gen := &server.LoadGen{BaseURL: base, Clients: clients, BatchSize: batch, Shape: shape}
 		if _, err := gen.Replay(firstHalf); err != nil {
 			return err
 		}
@@ -437,7 +451,7 @@ func runSelftestDurable(cfg server.Config, t *trace.Trace, clients, batch int, o
 		}
 		fmt.Printf("recovered partition: byte-identical to core.Identify over first %d jobs\n", half)
 
-		gen := &server.LoadGen{BaseURL: base, Clients: clients, BatchSize: batch}
+		gen := &server.LoadGen{BaseURL: base, Clients: clients, BatchSize: batch, Shape: shape}
 		if _, err := gen.Replay(secondHalf); err != nil {
 			return err
 		}

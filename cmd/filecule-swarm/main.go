@@ -16,19 +16,15 @@ import (
 )
 
 func main() {
-	var (
-		path   = flag.String("trace", "", "trace file (omit to synthesize)")
-		seed   = flag.Int64("seed", 1, "generator seed when synthesizing")
-		scale  = flag.Float64("scale", 0.05, "workload scale when synthesizing")
-		format = flag.String("format", "", "assert the trace file's codec (text or bin; default auto-detect)")
-	)
+	wf := cli.AddWorkloadFlags(flag.CommandLine, 0.05)
 	flag.Parse()
 
-	t, err := cli.Workload{Path: *path, Seed: *seed, Scale: *scale, Format: *format}.Load()
+	wl := wf.Workload()
+	t, err := wl.Load()
 	if err != nil {
 		fatal(err)
 	}
-	r := experiments.NewForTrace(t, *scale)
+	r := experiments.NewForTrace(t, wl.ScaleHint())
 
 	for _, id := range []string{"fig11", "fig12", "swarm"} {
 		res, err := r.Run(id)

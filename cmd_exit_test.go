@@ -109,6 +109,79 @@ func TestCommandExitCodes(t *testing.T) {
 	}
 }
 
+// TestWorkloadSpecExitCodes pins the -workload spec contract across the
+// tools: malformed specs are operational failures (exit 1) with descriptive
+// errors, "-workload help" prints the adapter listing, and every adapter
+// drives the tools to success.
+func TestWorkloadSpecExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds commands; skipped in -short mode")
+	}
+	bins := buildCmds(t, "filecule-gen", "filecule-cachesim", "filecule-analyze")
+
+	dir := t.TempDir()
+	kvCSV := filepath.Join(dir, "kv.csv")
+	if got, out := exitCode(t, bins["filecule-gen"],
+		"-kv-csv", "400", "-kv-keys", "50", "-seed", "3", "-o", kvCSV); got != 0 {
+		t.Fatalf("gen -kv-csv: exit %d\n%s", got, out)
+	}
+
+	sweepArgs := []string{"-sweep", "-policies", "lru", "-grans", "file", "-sizes", "1"}
+	cases := []struct {
+		name    string
+		bin     string
+		args    []string
+		want    int
+		wantSub string
+	}{
+		// Malformed specs: operational failures with descriptive errors.
+		{"unknown adapter", "filecule-cachesim",
+			append([]string{"-workload", "klingon"}, sweepArgs...), 1, "unknown adapter"},
+		{"unknown option", "filecule-cachesim",
+			append([]string{"-workload", "dzero,warp=9"}, sweepArgs...), 1, "unknown option"},
+		{"bad option value", "filecule-cachesim",
+			append([]string{"-workload", "dzero,seed=banana"}, sweepArgs...), 1, "seed"},
+		{"missing key=value", "filecule-analyze",
+			[]string{"-workload", "dzero,seed", "-exp", "table1"}, 1, "not key=value"},
+		{"duplicate option", "filecule-analyze",
+			[]string{"-workload", "dzero,seed=1,seed=2", "-exp", "table1"}, 1, "given twice"},
+		{"kv-csv missing path", "filecule-cachesim",
+			append([]string{"-workload", "kv-csv"}, sweepArgs...), 1, "path"},
+		{"spec conflicts with -trace", "filecule-cachesim",
+			append([]string{"-workload", "dzero,seed=1", "-trace", kvCSV}, sweepArgs...), 1, "conflicts"},
+		{"gen bad spec", "filecule-gen",
+			[]string{"-workload", "xrootd,one-touch=2", "-o", filepath.Join(dir, "x.trace")}, 1, "one-touch"},
+
+		// -workload help prints the adapter listing (exit 1: nothing ran).
+		{"workload help", "filecule-cachesim",
+			append([]string{"-workload", "help"}, sweepArgs...), 1, "kv-csv"},
+
+		// Every adapter drives the tools to success.
+		{"sweep dzero spec", "filecule-cachesim",
+			append([]string{"-workload", "dzero,seed=1,scale=0.001"}, sweepArgs...), 0, ""},
+		{"sweep xrootd spec", "filecule-cachesim",
+			append([]string{"-workload", "xrootd,seed=1,scale=0.002"}, sweepArgs...), 0, ""},
+		{"sweep kv-csv spec", "filecule-cachesim",
+			append([]string{"-workload", "kv-csv,path=" + kvCSV + ",window=8"}, sweepArgs...), 0, ""},
+		{"sweep shaped spec", "filecule-cachesim",
+			append([]string{"-workload", "dzero,seed=1,scale=0.001,shape=burst,rps-start=5,rps-target=50,slot=30s"}, sweepArgs...), 0, ""},
+		{"analyze kv-csv spec", "filecule-analyze",
+			[]string{"-workload", "kv-csv,path=" + kvCSV, "-exp", "table1"}, 0, ""},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			got, out := exitCode(t, bins[tc.bin], tc.args...)
+			if got != tc.want {
+				t.Errorf("%s %v: exit %d, want %d\noutput:\n%s", tc.bin, tc.args, got, tc.want, out)
+			}
+			if tc.wantSub != "" && !strings.Contains(out, tc.wantSub) {
+				t.Errorf("%s %v: output missing %q:\n%s", tc.bin, tc.args, tc.wantSub, out)
+			}
+		})
+	}
+}
+
 // TestDurableExitCodes pins the crash-safety flag contract of
 // filecule-serve: durability misconfiguration and unrecoverable state both
 // exit 1 before serving a single request, and corruption errors name the

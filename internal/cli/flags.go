@@ -1,0 +1,63 @@
+package cli
+
+import (
+	"flag"
+	"strings"
+
+	"filecule/internal/workload"
+)
+
+// Shared flag registration: every tool that consumes a workload registers
+// the same five flags with the same help text through AddWorkloadFlags, so
+// the vocabulary can't drift between cmds. -workload is the primary
+// interface; the legacy flags remain as aliases for the file and dzero
+// adapters.
+
+// Help strings shared verbatim by every cmd.
+const (
+	TraceHelp  = "trace file to replay (alias for -workload file,path=...; omit to synthesize)"
+	SeedHelp   = "generator seed when synthesizing (alias for the dzero/xrootd seed option)"
+	ScaleHelp  = "workload scale when synthesizing (1 = full paper scale)"
+	FormatHelp = "assert the trace file's codec (text or bin; default auto-detect)"
+)
+
+// WorkloadHelp names every registered adapter so the flag help stays in
+// sync with the registry.
+func WorkloadHelp() string {
+	return "workload spec name[,key=value]... — adapters: " +
+		strings.Join(workload.Names(), ", ") +
+		" (-workload help lists every option; overrides -trace/-seed/-scale/-format)"
+}
+
+// WorkloadFlags holds the bound flag values; call Workload after fs.Parse.
+type WorkloadFlags struct {
+	Spec   *string
+	Path   *string
+	Seed   *int64
+	Scale  *float64
+	Format *string
+}
+
+// AddWorkloadFlags registers the shared workload flags on fs (pass
+// flag.CommandLine for tools using the global set) with defScale as the
+// -scale default.
+func AddWorkloadFlags(fs *flag.FlagSet, defScale float64) *WorkloadFlags {
+	return &WorkloadFlags{
+		Spec:   fs.String("workload", "", WorkloadHelp()),
+		Path:   fs.String("trace", "", TraceHelp),
+		Seed:   fs.Int64("seed", 1, SeedHelp),
+		Scale:  fs.Float64("scale", defScale, ScaleHelp),
+		Format: fs.String("format", "", FormatHelp),
+	}
+}
+
+// Workload assembles the parsed flag values into a Workload bundle.
+func (f *WorkloadFlags) Workload() Workload {
+	return Workload{
+		Spec:   *f.Spec,
+		Path:   *f.Path,
+		Seed:   *f.Seed,
+		Scale:  *f.Scale,
+		Format: *f.Format,
+	}
+}

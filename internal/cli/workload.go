@@ -1,26 +1,35 @@
 // Package cli holds the workload plumbing shared by the filecule command
-// line tools: every tool accepts the same -trace/-seed/-scale triple meaning
-// "replay this file, or synthesize", and the same -format vocabulary for
-// writing traces. Centralizing the resolution keeps the tools' behavior —
-// codec auto-detection, gzip handling, error wording — identical.
+// line tools: every tool accepts the same -workload spec (and the legacy
+// -trace/-seed/-scale/-format flags as aliases for it) meaning "construct
+// this job stream", and the same -format vocabulary for writing traces.
+// Centralizing the resolution keeps the tools' behavior — spec grammar,
+// codec auto-detection, gzip handling, error wording — identical. All
+// source construction goes through the internal/workload adapter registry.
 package cli
 
 import (
 	"compress/gzip"
+	"errors"
 	"fmt"
 	"io"
-	"os"
+	"strconv"
+	"strings"
 
-	"filecule/internal/synth"
 	"filecule/internal/trace"
+	"filecule/internal/workload"
 )
 
-// Workload is the shared "load a trace or synthesize one" flag triple.
+// Workload is the shared "construct a job stream" flag bundle: either a
+// -workload adapter spec, or the legacy -trace/-seed/-scale/-format triple,
+// which resolves to the file or dzero adapter.
 type Workload struct {
+	// Spec is the -workload adapter spec ("name,key=val,..."); when set it
+	// wins, and setting Path or Format alongside is an error.
+	Spec string
 	// Path is the trace file; empty means synthesize.
 	Path string
-	// Seed and Scale parameterize the synthetic generator when Path is
-	// empty.
+	// Seed and Scale parameterize the synthetic generator when Spec and
+	// Path are empty.
 	Seed  int64
 	Scale float64
 	// Format, when non-empty, asserts the codec of Path ("text" or
@@ -29,77 +38,113 @@ type Workload struct {
 	Format string
 }
 
-// checkFormat enforces the Format assertion against the file's detected
-// codec.
-func (w Workload) checkFormat() error {
-	if w.Format == "" {
-		return nil
+// resolve maps the flag bundle onto a registry adapter name and option set.
+// Legacy values go through OpenNamed-style pre-split options rather than a
+// spec string, so paths containing commas or '=' survive.
+func (w Workload) resolve() (string, map[string]string, error) {
+	if spec := strings.TrimSpace(w.Spec); spec != "" {
+		if spec == "help" || spec == "list" {
+			return "", nil, errors.New(workload.SpecHelp())
+		}
+		if w.Path != "" || w.Format != "" {
+			return "", nil, fmt.Errorf("-workload conflicts with -trace/-format (fold them into the spec: %q)", w.Spec)
+		}
+		a, opts, err := workload.ParseSpec(w.Spec)
+		if err != nil {
+			return "", nil, err
+		}
+		return a.Name, opts, nil
 	}
-	if err := CheckFormat(w.Format); err != nil {
-		return err
+	if w.Path != "" {
+		opts := map[string]string{"path": w.Path}
+		if w.Format != "" {
+			opts["format"] = w.Format
+		}
+		return "file", opts, nil
 	}
-	if w.Path == "" {
-		return nil
+	if w.Format != "" {
+		// Match the historical behavior: -format without -trace still
+		// validates the codec name.
+		if err := CheckFormat(w.Format); err != nil {
+			return "", nil, err
+		}
 	}
-	f, err := os.Open(w.Path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	got, err := trace.DetectFormat(f)
-	if err != nil {
-		return fmt.Errorf("%s: %w", w.Path, err)
-	}
-	if got != w.Format {
-		return fmt.Errorf("%s: trace is %s, not %s as -format asserts", w.Path, got, w.Format)
-	}
-	return nil
+	return "dzero", map[string]string{
+		"seed":  strconv.FormatInt(w.Seed, 10),
+		"scale": strconv.FormatFloat(w.Scale, 'g', -1, 64),
+	}, nil
 }
 
-// Open returns a streaming Source over the workload: a codec-auto-detected
-// file source (v1 text, filecule-bin/v1, or gzip framing of either) when
-// Path is set, else the streaming synthetic generator. Regular
-// filecule-bin/v1 files are served off an mmap (trace.Open); everything
-// else streams. Closing the source releases the file or mapping. Memory
-// stays bounded by the catalog regardless of how many jobs the stream
-// carries.
+// IsSynthetic reports whether the bundle resolves to a generator rather
+// than a recorded file — tools with a synthetic-only fast path (the
+// experiments runner) branch on this.
+func (w Workload) IsSynthetic() bool {
+	return strings.TrimSpace(w.Spec) == "" && w.Path == ""
+}
+
+// ScaleHint returns the workload's scale for consumers that scale other
+// quantities by it (cache sizes, experiment calibration): the spec's scale
+// option when a spec is given (1 when the adapter has none), else the
+// legacy -scale flag value.
+func (w Workload) ScaleHint() float64 {
+	if strings.TrimSpace(w.Spec) == "" {
+		return w.Scale
+	}
+	_, opts, err := workload.ParseSpec(w.Spec)
+	if err != nil {
+		return 1
+	}
+	if v, ok := opts["scale"]; ok {
+		if f, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return 1
+}
+
+// Open returns a streaming Source over the workload via the adapter
+// registry: codec-auto-detected file replay (mmap-backed for regular bin
+// files), the synthetic generators, or any other registered adapter.
+// Memory stays bounded by the catalog regardless of how many jobs the
+// stream carries.
 func (w Workload) Open() (trace.Source, error) {
-	if err := w.checkFormat(); err != nil {
+	name, opts, err := w.resolve()
+	if err != nil {
 		return nil, err
 	}
-	if w.Path == "" {
-		return synth.NewSource(synth.DZero(w.Seed, w.Scale))
-	}
-	return trace.Open(w.Path)
+	return workload.OpenNamed(name, opts)
 }
 
-// Load materializes the workload: codec-auto-detected parsing when Path is
-// set (mapped parallel decode for regular bin files, streamed otherwise —
-// trace.ReadFile), else synth.Generate (jobs sorted by start time). Tools
-// whose analyses need the whole trace (splits, request streams,
-// experiments) use this; single-pass consumers should prefer Open.
-func (w Workload) Load() (*trace.Trace, error) {
-	if err := w.checkFormat(); err != nil {
+// OpenOrdered returns a Source whose jobs stream in nondecreasing start
+// order — the contract the sweep engine replays under. Adapters whose
+// streams are unordered (unshaped dzero) are materialized start-sorted
+// first; everything else streams.
+func (w Workload) OpenOrdered() (trace.Source, error) {
+	name, opts, err := w.resolve()
+	if err != nil {
 		return nil, err
 	}
-	if w.Path == "" {
-		return synth.Generate(synth.DZero(w.Seed, w.Scale))
+	return workload.OpenOrderedNamed(name, opts)
+}
+
+// Load materializes the workload through the registry: whole-trace parsing
+// for files (mapped parallel decode for regular bin files), synth.Generate
+// for unshaped dzero (jobs sorted by start time), materialize-and-sort for
+// everything else. Tools whose analyses need the whole trace use this;
+// single-pass consumers should prefer Open.
+func (w Workload) Load() (*trace.Trace, error) {
+	name, opts, err := w.resolve()
+	if err != nil {
+		return nil, err
 	}
-	return trace.ReadFile(w.Path)
+	return workload.LoadNamed(name, opts)
 }
 
 // Formats lists the trace codecs tools accept for -format.
-var Formats = []string{"text", "bin"}
+var Formats = workload.Formats
 
 // CheckFormat validates a -format flag value.
-func CheckFormat(format string) error {
-	for _, f := range Formats {
-		if format == f {
-			return nil
-		}
-	}
-	return fmt.Errorf("unknown format %q (have %v)", format, Formats)
-}
+func CheckFormat(format string) error { return workload.CheckFormat(format) }
 
 // NewEncoder returns a streaming encoder writing the chosen codec to w,
 // optionally gzip-framed. Closing the encoder flushes the codec and the

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"filecule/internal/stats"
+	"filecule/internal/synth"
 	"filecule/internal/trace"
 	"filecule/internal/wire"
 )
@@ -33,6 +34,12 @@ type LoadGen struct {
 	BatchSize int
 	// Timeout bounds each HTTP request or wire round trip; zero means 30s.
 	Timeout time.Duration
+	// Shape, when not ShapeNone, paces submission to the RPS schedule
+	// (ramp/sweep/burst, as in the invitro trace synthesizer): the k'th
+	// claimed job is not posted before replay-start + schedule-offset(k),
+	// so offered load follows the profile instead of running closed-loop
+	// flat out.
+	Shape synth.Shape
 }
 
 // LoadReport summarizes one replay.
@@ -94,27 +101,37 @@ func (g *LoadGen) ReplaySource(src trace.Source) (*LoadReport, error) {
 			MaxIdleConnsPerHost: clients * 2,
 		},
 	}
+	if err := g.Shape.Validate(); err != nil {
+		return nil, err
+	}
+	pacer := synth.NewPacer(g.Shape)
 
 	var mu sync.Mutex // guards src and claimed
 	var srcErr error
 	var claimed int64
-	// pull claims up to batch jobs, returning the copies and the stream
-	// offset of the first one.
-	pull := func(buf []trace.Job) ([]trace.Job, int64) {
+	// pull claims up to batch jobs, returning the copies, the stream offset
+	// of the first one, and its not-before submission offset under the RPS
+	// schedule (the pacer advances once per claimed job, serialized by the
+	// same mutex that orders claims).
+	pull := func(buf []trace.Job) ([]trace.Job, int64, time.Duration) {
 		mu.Lock()
 		defer mu.Unlock()
 		buf = buf[:0]
 		lo := claimed
+		notBefore := time.Duration(-1)
 		for len(buf) < batch && srcErr == nil {
 			j, err := src.Next()
 			if err != nil {
 				srcErr = err
 				break
 			}
+			if off := pacer.Next(); notBefore < 0 {
+				notBefore = off
+			}
 			buf = append(buf, trace.CloneJob(j))
 		}
 		claimed += int64(len(buf))
-		return buf, lo
+		return buf, lo, notBefore
 	}
 
 	var requests, errs int64
@@ -142,9 +159,13 @@ func (g *LoadGen) ReplaySource(src trace.Source) (*LoadReport, error) {
 			buf := make([]trace.Job, 0, batch)
 			for {
 				var lo int64
-				buf, lo = pull(buf)
+				var notBefore time.Duration
+				buf, lo, notBefore = pull(buf)
 				if len(buf) == 0 {
 					return
+				}
+				if g.Shape.Mode != synth.ShapeNone {
+					time.Sleep(time.Until(start.Add(notBefore)))
 				}
 				hi := lo + int64(len(buf))
 				var err error

@@ -62,6 +62,7 @@ func (s *Server) WireServer() *wire.Server {
 		MaxFiles:     len(s.cfg.Catalog),
 		MaxBatchJobs: s.cfg.maxBatch(),
 		IdleTimeout:  s.cfg.IdleTimeout,
+		WriteTimeout: s.cfg.WriteTimeout,
 		Metrics:      s.metrics.Observe,
 	}
 }

@@ -58,6 +58,17 @@ type Server struct {
 	// arrival of a frame's bytes once started — the slowloris guard);
 	// <= 0 means 120s.
 	IdleTimeout time.Duration
+	// MaxPipeline bounds the responses a connection may have pending
+	// (answered but not yet flushed to the socket): a client pipelining
+	// more than this many requests without draining responses forces a
+	// flush, which blocks the connection's frame loop until the client
+	// reads — per-connection backpressure instead of unbounded response
+	// queueing. <= 0 means DefaultMaxPipeline.
+	MaxPipeline int
+	// WriteTimeout bounds each flush of buffered responses; a client that
+	// stops draining for this long is disconnected rather than pinning the
+	// server goroutine. <= 0 means 60s.
+	WriteTimeout time.Duration
 	// Metrics, when set, records every request under routes
 	// "wire_observe", "wire_observe_batch", "wire_advise" and
 	// "wire_partition" with an HTTP-aligned status code.
@@ -97,6 +108,24 @@ func (s *Server) idle() time.Duration {
 		return s.IdleTimeout
 	}
 	return 120 * time.Second
+}
+
+// DefaultMaxPipeline is the per-connection bound on answered-but-unflushed
+// pipelined responses when Server.MaxPipeline is unset.
+const DefaultMaxPipeline = 64
+
+func (s *Server) maxPipeline() int {
+	if s.MaxPipeline > 0 {
+		return s.MaxPipeline
+	}
+	return DefaultMaxPipeline
+}
+
+func (s *Server) writeTimeout() time.Duration {
+	if s.WriteTimeout > 0 {
+		return s.WriteTimeout
+	}
+	return 60 * time.Second
 }
 
 // Serve accepts connections on l until ctx is cancelled, then closes the
@@ -171,6 +200,14 @@ type connState struct {
 	planner  *cache.Planner
 }
 
+// connDeadlines re-arms a connection's read deadline before each request
+// frame and its write deadline before each flush of buffered responses.
+// serveStream accepts nil (no deadlines) for in-memory streams and fuzzing.
+type connDeadlines struct {
+	read  func()
+	write func()
+}
+
 func (s *Server) handleConn(conn net.Conn) {
 	conn.SetReadDeadline(time.Now().Add(s.idle()))
 	br := bufio.NewReaderSize(conn, 64<<10)
@@ -179,36 +216,50 @@ func (s *Server) handleConn(conn net.Conn) {
 		var out []byte
 		out = appendError(out, CodeBadRequest, fmt.Sprintf("bad connection magic, want %q", Magic))
 		bw := bufio.NewWriter(conn)
+		conn.SetWriteDeadline(time.Now().Add(s.writeTimeout()))
 		trace.WriteChunk(bw, out)
 		bw.Flush()
 		return
 	}
 	bw := bufio.NewWriterSize(conn, 64<<10)
-	arm := func() { conn.SetReadDeadline(time.Now().Add(s.idle())) }
-	s.serveStream(&connState{}, br, bw, arm)
+	dl := &connDeadlines{
+		read:  func() { conn.SetReadDeadline(time.Now().Add(s.idle())) },
+		write: func() { conn.SetWriteDeadline(time.Now().Add(s.writeTimeout())) },
+	}
+	s.serveStream(&connState{}, br, bw, dl)
 }
 
 // serveStream runs the post-magic frame loop: read a request frame,
 // dispatch, append the response, and flush once all buffered input is
-// drained (so a pipelined burst of requests is answered with one write).
-// arm, when non-nil, re-arms the connection read deadline before each
-// frame. The returned error is nil on clean EOF.
-func (s *Server) serveStream(st *connState, br *bufio.Reader, bw *bufio.Writer, arm func()) error {
+// drained (so a pipelined burst of requests is answered with one write) or
+// once MaxPipeline responses are pending — the per-connection backpressure
+// bound: a hostile pipeliner that never drains blocks on its own
+// connection (and is disconnected by the write deadline) instead of
+// queueing responses without limit. dl, when non-nil, re-arms the
+// connection deadlines. The returned error is nil on clean EOF.
+func (s *Server) serveStream(st *connState, br *bufio.Reader, bw *bufio.Writer, dl *connDeadlines) error {
 	cr := trace.NewChunkReader(br)
+	flush := func() error {
+		if dl != nil {
+			dl.write()
+		}
+		return bw.Flush()
+	}
+	pending := 0
 	for {
-		if arm != nil {
-			arm()
+		if dl != nil {
+			dl.read()
 		}
 		off := cr.Offset()
 		kind, payload, err := cr.ReadChunk()
 		if err == io.EOF {
-			return bw.Flush()
+			return flush()
 		}
 		if err != nil {
 			// The frame boundary is lost; answer once and hang up.
 			st.out = appendError(st.out[:0], CodeBadRequest, err.Error())
 			trace.WriteChunk(bw, st.out)
-			bw.Flush()
+			flush()
 			return err
 		}
 		t0 := time.Now()
@@ -224,10 +275,12 @@ func (s *Server) serveStream(st *connState, br *bufio.Reader, bw *bufio.Writer, 
 		if s.Metrics != nil {
 			s.Metrics(route, code, time.Since(t0))
 		}
-		if br.Buffered() == 0 {
-			if err := bw.Flush(); err != nil {
+		pending++
+		if br.Buffered() == 0 || pending >= s.maxPipeline() {
+			if err := flush(); err != nil {
 				return err
 			}
+			pending = 0
 		}
 	}
 }

@@ -1,0 +1,306 @@
+package workload
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"filecule/internal/synth"
+	"filecule/internal/trace"
+)
+
+// Built-in adapters. Each registers at init so the registry is complete
+// before any flag parsing happens.
+
+// Formats lists the trace codecs the file adapter (and tools' -format
+// flags) accept.
+var Formats = []string{"text", "bin"}
+
+// CheckFormat validates a codec name against Formats.
+func CheckFormat(format string) error {
+	for _, f := range Formats {
+		if format == f {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown format %q (have %v)", format, Formats)
+}
+
+// shapeOptions are the RPS-shaping knobs shared by the synthetic adapters.
+var shapeOptions = []Option{
+	{Key: "shape", Default: "none", Help: "<none|ramp|sweep|burst> RPS profile re-timing arrivals"},
+	{Key: "rps-start", Default: "10", Help: "<rps> first-slot (and burst-baseline) arrival rate"},
+	{Key: "rps-target", Default: "100", Help: "<rps> rate ramped toward / bounced against / burst to"},
+	{Key: "rps-step", Default: "10", Help: "<rps> per-slot rate change (ramp, sweep)"},
+	{Key: "slot", Default: "1m", Help: "<duration> width of each rate slot"},
+}
+
+// ShapeFromOpts parses the shared shaping options into a synth.Shape.
+// Absent options mean ShapeNone.
+func ShapeFromOpts(opts map[string]string) (synth.Shape, error) {
+	mode, err := synth.ParseShapeMode(optString(opts, "shape", ""))
+	if err != nil {
+		return synth.Shape{}, err
+	}
+	if mode == synth.ShapeNone {
+		return synth.Shape{}, nil
+	}
+	sh := synth.Shape{Mode: mode}
+	if sh.StartRPS, err = optFloat(opts, "rps-start", 10); err != nil {
+		return synth.Shape{}, err
+	}
+	if sh.TargetRPS, err = optFloat(opts, "rps-target", 100); err != nil {
+		return synth.Shape{}, err
+	}
+	if sh.StepRPS, err = optFloat(opts, "rps-step", 10); err != nil {
+		return synth.Shape{}, err
+	}
+	if sh.Slot, err = optDuration(opts, "slot", time.Minute); err != nil {
+		return synth.Shape{}, err
+	}
+	return sh, sh.Validate()
+}
+
+func init() {
+	Register(Adapter{
+		Name:    "dzero",
+		Summary: "calibrated DZero synthetic (the paper's workload)",
+		Options: append([]Option{
+			{Key: "seed", Default: "1", Help: "<int> generator seed"},
+			{Key: "scale", Default: "1", Help: "<float> workload scale (1 = paper size)"},
+			{Key: "user-scale", Default: "sqrt(scale)", Help: "<float> user-population scale"},
+		}, shapeOptions...),
+		Open:        openDZero,
+		Load:        loadDZero,
+		OpenOrdered: openOrderedDZero,
+	})
+
+	Register(Adapter{
+		Name:    "file",
+		Summary: "replay a recorded trace file (v1 text, filecule-bin/v1, or gzip of either)",
+		Options: []Option{
+			{Key: "path", Help: "<file> trace to replay (required)"},
+			{Key: "format", Help: "<text|bin> assert the file's codec instead of auto-detecting"},
+		},
+		Open: openFile,
+		Load: loadFile,
+		// Files replay in stored order, like they always have.
+		OrderedStream: true,
+	})
+
+	Register(Adapter{
+		Name:    "kv-csv",
+		Summary: "Meta KV-cache CSV trace (op/key/key_size/size columns; keys→files, request windows→jobs)",
+		Options: []Option{
+			{Key: "path", Help: "<file> kvcache CSV, .gz accepted (required)"},
+			{Key: "window", Default: "64", Help: "<int> GET/SET requests per synthesized job"},
+		},
+		Open:          openKVAdapter,
+		OrderedStream: true,
+	})
+
+	Register(Adapter{
+		Name:    "xrootd",
+		Summary: "XRootD-style scientific-cache synthetic (Bellavita et al.: one-touch heavy, age-decayed reuse)",
+		Options: append([]Option{
+			{Key: "seed", Default: "1", Help: "<int> generator seed"},
+			{Key: "scale", Default: "1", Help: "<float> workload scale"},
+			{Key: "days", Default: "180", Help: "<int> trace span in days"},
+			{Key: "one-touch", Default: "0.35", Help: "<frac> probability a request draws from the cold pool"},
+			{Key: "decay-days", Default: "7", Help: "<days> mean age of re-read files"},
+			{Key: "group-prob", Default: "0.3", Help: "<frac> probability a job reads a contiguous birth group"},
+			{Key: "group-size", Default: "8", Help: "<float> mean birth-group length"},
+			{Key: "mean-files", Default: "2.6", Help: "<float> mean input files per job"},
+		}, shapeOptions...),
+		Open:          openXRootD,
+		OrderedStream: true,
+	})
+}
+
+// --- dzero ---
+
+func dzeroConfig(opts map[string]string) (synth.Config, synth.Shape, error) {
+	seed, err := optInt64(opts, "seed", 1)
+	if err != nil {
+		return synth.Config{}, synth.Shape{}, err
+	}
+	scale, err := optFloat(opts, "scale", 1)
+	if err != nil {
+		return synth.Config{}, synth.Shape{}, err
+	}
+	us, err := optFloat(opts, "user-scale", 0)
+	if err != nil {
+		return synth.Config{}, synth.Shape{}, err
+	}
+	cfg := synth.DZero(seed, scale)
+	cfg.UserScale = us
+	sh, err := ShapeFromOpts(opts)
+	if err != nil {
+		return synth.Config{}, synth.Shape{}, err
+	}
+	return cfg, sh, nil
+}
+
+func openDZero(opts map[string]string) (trace.Source, error) {
+	cfg, sh, err := dzeroConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	if sh.Mode == synth.ShapeNone {
+		return synth.NewSource(cfg)
+	}
+	// Shaping re-times the workload's time-ordered request sequence, not
+	// the generator's emission order: materialize start-sorted first, so a
+	// shaped replay differs from the unshaped one only in arrival times
+	// (cache miss rates are invariant under shaping — the sequence is the
+	// same).
+	t, err := synth.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return synth.Reshape(trace.NewTraceSource(t), sh, cfg.Start)
+}
+
+// loadDZero keeps the unshaped path on synth.Generate so materialized DZero
+// workloads stay bit-identical to what cli.Workload.Load always produced.
+func loadDZero(opts map[string]string) (*trace.Trace, error) {
+	cfg, sh, err := dzeroConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	if sh.Mode == synth.ShapeNone {
+		return synth.Generate(cfg)
+	}
+	t, err := synth.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return synth.GenerateShaped(trace.NewTraceSource(t), sh, cfg.Start)
+}
+
+// openOrderedDZero serves the sweep engine: unshaped streams must replay in
+// start-time order (materialize via Generate, exactly the pre-registry
+// cachesim behavior, pinning baseline miss rates); shaped streams are
+// ordered by construction.
+func openOrderedDZero(opts map[string]string) (trace.Source, error) {
+	_, sh, err := dzeroConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	if sh.Mode != synth.ShapeNone {
+		return openDZero(opts)
+	}
+	t, err := loadDZero(opts)
+	if err != nil {
+		return nil, err
+	}
+	return trace.NewTraceSource(t), nil
+}
+
+// --- file ---
+
+func filePath(opts map[string]string) (string, error) {
+	path := optString(opts, "path", "")
+	if path == "" {
+		return "", fmt.Errorf("workload: file: the path option is required (file,path=<trace>)")
+	}
+	if err := checkFileFormat(path, optString(opts, "format", "")); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// checkFileFormat enforces a format assertion against the file's detected
+// codec: a mismatch is an error rather than silently auto-detected.
+func checkFileFormat(path, format string) error {
+	if format == "" {
+		return nil
+	}
+	if err := CheckFormat(format); err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	got, err := trace.DetectFormat(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if got != format {
+		return fmt.Errorf("%s: trace is %s, not %s as the format option asserts", path, got, format)
+	}
+	return nil
+}
+
+func openFile(opts map[string]string) (trace.Source, error) {
+	path, err := filePath(opts)
+	if err != nil {
+		return nil, err
+	}
+	return trace.Open(path)
+}
+
+func loadFile(opts map[string]string) (*trace.Trace, error) {
+	path, err := filePath(opts)
+	if err != nil {
+		return nil, err
+	}
+	return trace.ReadFile(path)
+}
+
+// --- kv-csv ---
+
+func openKVAdapter(opts map[string]string) (trace.Source, error) {
+	path := optString(opts, "path", "")
+	if path == "" {
+		return nil, fmt.Errorf("workload: kv-csv: the path option is required (kv-csv,path=<csv>)")
+	}
+	window, err := optInt(opts, "window", 64)
+	if err != nil {
+		return nil, err
+	}
+	return OpenKVCSV(path, window)
+}
+
+// --- xrootd ---
+
+func openXRootD(opts map[string]string) (trace.Source, error) {
+	seed, err := optInt64(opts, "seed", 1)
+	if err != nil {
+		return nil, err
+	}
+	scale, err := optFloat(opts, "scale", 1)
+	if err != nil {
+		return nil, err
+	}
+	cfg := synth.XRootDConfig{Seed: seed, Scale: scale}
+	if cfg.Days, err = optInt(opts, "days", 0); err != nil {
+		return nil, err
+	}
+	if cfg.OneTouchFrac, err = optFloat(opts, "one-touch", 0); err != nil {
+		return nil, err
+	}
+	if cfg.DecayDays, err = optFloat(opts, "decay-days", 0); err != nil {
+		return nil, err
+	}
+	if cfg.GroupProb, err = optFloat(opts, "group-prob", 0); err != nil {
+		return nil, err
+	}
+	if cfg.GroupSize, err = optFloat(opts, "group-size", 0); err != nil {
+		return nil, err
+	}
+	if cfg.MeanFilesPerJob, err = optFloat(opts, "mean-files", 0); err != nil {
+		return nil, err
+	}
+	sh, err := ShapeFromOpts(opts)
+	if err != nil {
+		return nil, err
+	}
+	src, err := synth.NewXRootDSource(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return synth.Reshape(src, sh, synth.XRootDEpoch)
+}

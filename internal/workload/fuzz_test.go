@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"io"
+	"testing"
+
+	"filecule/internal/trace"
+)
+
+// FuzzKVTrace feeds arbitrary bytes through the KV CSV adapter: parsing
+// must never panic, and when it succeeds the stream must materialize into a
+// trace that passes full referential validation, with the window contract
+// (no job larger than the window) held.
+func FuzzKVTrace(f *testing.F) {
+	f.Add([]byte("key,op,size,op_count,key_size\nalpha,GET,100,1,8\nbeta,SET,200,1,4\nalpha,GET,100,1,8\n"), 2)
+	f.Add([]byte("GET,k1,4,64\nSET,k2,4,32\nDELETE,k1,4,0\n"), 1)
+	f.Add([]byte("key,op,size,op_count,key_size\n"), 8)
+	f.Add([]byte("op,key\nGET,a\nget_lease,b\nSET,a\n"), 3)
+	f.Add([]byte("\n\n,,,\nGET,,,\n"), 4)
+	f.Add([]byte("key,op,size,op_count,key_size\nx,GET,99999999999999999999,1,1\n"), 2)
+	f.Fuzz(func(t *testing.T, data []byte, window int) {
+		if window < 1 || window > 1<<12 {
+			// Fold arbitrary fuzz ints into a sane window; &0x3ff of any
+			// int is non-negative.
+			window = 1 + window&0x3ff
+		}
+		src, err := openKVBytes(data, window)
+		if err != nil {
+			return
+		}
+		defer src.Close()
+		nfiles := len(src.Files())
+		var jobs int
+		for {
+			j, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return // malformed row mid-stream: fine, as long as no panic
+			}
+			if len(j.Files) == 0 || len(j.Files) > window {
+				t.Fatalf("job %d has %d files, window %d", j.ID, len(j.Files), window)
+			}
+			for _, id := range j.Files {
+				if int(id) < 0 || int(id) >= nfiles {
+					t.Fatalf("job %d references file %d outside catalog of %d", j.ID, id, nfiles)
+				}
+			}
+			if int(j.ID) != jobs {
+				t.Fatalf("job IDs not dense: got %d want %d", j.ID, jobs)
+			}
+			jobs++
+		}
+		// A cleanly-consumed stream must materialize into a valid trace.
+		src2, err := openKVBytes(data, window)
+		if err != nil {
+			t.Fatalf("second open failed after first succeeded: %v", err)
+		}
+		defer src2.Close()
+		tr, err := trace.Materialize(src2)
+		if err != nil {
+			return
+		}
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("materialized trace invalid: %v", verr)
+		}
+	})
+}

@@ -1,0 +1,266 @@
+package workload
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"filecule/internal/trace"
+)
+
+func TestKVReaderHeadered(t *testing.T) {
+	in := "key,op,size,op_count,key_size\n" +
+		"alpha,GET,100,1,8\n" +
+		"beta,SET,200,1,4\n" +
+		"alpha,DELETE,0,1,8\n"
+	kr, err := NewKVReader(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []KVRow
+	var row KVRow
+	for {
+		err := kr.Next(&row)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, KVRow{Op: row.Op, Key: append([]byte(nil), row.Key...), KeySize: row.KeySize, Size: row.Size})
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	if rows[0].Op != KVGet || string(rows[0].Key) != "alpha" || rows[0].Size != 100 || rows[0].KeySize != 8 {
+		t.Fatalf("row 0: %+v", rows[0])
+	}
+	if rows[1].Op != KVSet || string(rows[1].Key) != "beta" || rows[1].Size != 200 {
+		t.Fatalf("row 1: %+v", rows[1])
+	}
+	if rows[2].Op != KVDelete {
+		t.Fatalf("row 2: %+v", rows[2])
+	}
+}
+
+func TestKVReaderHeaderless(t *testing.T) {
+	// Fixed order: op,key,key_size,size. First line is data.
+	in := "GET,k1,4,64\nSET,k2,4,\n\nget_lease,k1,4,32\nPUT,k3,4,1\n"
+	kr, err := NewKVReader(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []KVOp
+	var row KVRow
+	for {
+		err := kr.Next(&row)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops = append(ops, row.Op)
+	}
+	want := []KVOp{KVGet, KVSet, KVGet, KVOther}
+	if len(ops) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(ops), len(want))
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("row %d op = %v, want %v", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestKVReaderLineNumberedErrors(t *testing.T) {
+	in := "key,op,size,op_count,key_size\nok,GET,1,1,1\nbad,GET,12x,1,1\n"
+	kr, err := NewKVReader(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var row KVRow
+	if err := kr.Next(&row); err != nil {
+		t.Fatal(err)
+	}
+	err = kr.Next(&row)
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want line-3 error, got %v", err)
+	}
+	// Too few fields is also line-numbered.
+	kr2, err := NewKVReader(strings.NewReader("key,op,size,op_count,key_size\njustakey\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = kr2.Next(&row)
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line-2 error, got %v", err)
+	}
+}
+
+func TestKVReaderLongLines(t *testing.T) {
+	// A key longer than the bufio window must survive the spill path.
+	long := strings.Repeat("k", 600<<10)
+	in := "op,key,key_size,size\nGET," + long + ",1,1\n"
+	kr, err := NewKVReader(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var row KVRow
+	if err := kr.Next(&row); err != nil {
+		t.Fatal(err)
+	}
+	if len(row.Key) != len(long) {
+		t.Fatalf("key length %d, want %d", len(row.Key), len(long))
+	}
+}
+
+func TestKVSourceInterningAndWindows(t *testing.T) {
+	in := "key,op,size,op_count,key_size\n" +
+		"a,GET,10,1,2\n" +
+		"b,GET,20,1,2\n" +
+		"a,SET,50,1,2\n" + // grows a's size to 52
+		"c,DELETE,99,1,2\n" + // skipped
+		"b,GET,5,1,2\n" +
+		"d,GET,7,1,3\n"
+	src, err := openKVBytes([]byte(in), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	files := src.Files()
+	if len(files) != 3 {
+		t.Fatalf("got %d files, want 3 (c is DELETE-only)", len(files))
+	}
+	// First-appearance interning order: a, b, d.
+	if files[0].Name != "a" || files[1].Name != "b" || files[2].Name != "d" {
+		t.Fatalf("intern order: %q %q %q", files[0].Name, files[1].Name, files[2].Name)
+	}
+	if files[0].Size != 52 {
+		t.Fatalf("a's size %d, want max(10+2, 50+2) = 52", files[0].Size)
+	}
+	if files[2].Size != 10 {
+		t.Fatalf("d's size %d, want 7+3", files[2].Size)
+	}
+	var jobs [][]trace.FileID
+	for {
+		j, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, append([]trace.FileID(nil), j.Files...))
+		if int(j.ID) != len(jobs)-1 {
+			t.Fatalf("job IDs not dense: %d", j.ID)
+		}
+	}
+	// 5 usable rows, window 2 → jobs of 2,2,1.
+	if len(jobs) != 3 || len(jobs[0]) != 2 || len(jobs[1]) != 2 || len(jobs[2]) != 1 {
+		t.Fatalf("window split wrong: %v", jobs)
+	}
+	want := [][]trace.FileID{{0, 1}, {0, 1}, {2}}
+	for i := range want {
+		for k := range want[i] {
+			if jobs[i][k] != want[i][k] {
+				t.Fatalf("job %d files %v, want %v", i, jobs[i], want[i])
+			}
+		}
+	}
+}
+
+func TestKVSourceMaterializeValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := GenKVCSV(&buf, 11, 50, 1000); err != nil {
+		t.Fatal(err)
+	}
+	src, err := openKVBytes(buf.Bytes(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	tr, err := trace.Materialize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) == 0 || len(tr.Files) == 0 {
+		t.Fatalf("empty: %d jobs, %d files", len(tr.Jobs), len(tr.Files))
+	}
+	if tr.NumRequests() > 1000 {
+		t.Fatalf("more requests than rows: %d", tr.NumRequests())
+	}
+}
+
+func TestKVSourceEmptyAndDeleteOnly(t *testing.T) {
+	for _, in := range []string{"", "key,op,size,op_count,key_size\n", "key,op,size,op_count,key_size\nx,DELETE,1,1,1\n"} {
+		src, err := openKVBytes([]byte(in), 8)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if _, err := src.Next(); err != io.EOF {
+			t.Fatalf("%q: want EOF, got %v", in, err)
+		}
+		src.Close()
+	}
+}
+
+func TestOpenKVCSVGzip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/kv.csv.gz"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := gzip.NewWriter(f)
+	if err := GenKVCSV(zw, 5, 30, 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	src, err := OpenKVCSV(path, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	tr, err := trace.Materialize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) == 0 {
+		t.Fatal("no jobs from gzip csv")
+	}
+}
+
+func TestGenKVCSVDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := GenKVCSV(&a, 9, 100, 2000); err != nil {
+		t.Fatal(err)
+	}
+	if err := GenKVCSV(&b, 9, 100, 2000); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("GenKVCSV not deterministic")
+	}
+	var c bytes.Buffer
+	if err := GenKVCSV(&c, 10, 100, 2000); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("different seeds gave identical CSVs")
+	}
+	if err := GenKVCSV(io.Discard, 1, 0, 5); err == nil {
+		t.Fatal("keys=0 accepted")
+	}
+}

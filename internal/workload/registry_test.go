@@ -1,0 +1,290 @@
+// External test package: these tests exercise the registry the way cmds do,
+// through internal/cli — which itself imports workload, so an internal test
+// package would cycle.
+package workload_test
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"filecule/internal/cli"
+	"filecule/internal/trace"
+	workload "filecule/internal/workload"
+)
+
+func TestParseSpec(t *testing.T) {
+	a, opts, err := workload.ParseSpec("dzero,seed=7,scale=0.02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != "dzero" || opts["seed"] != "7" || opts["scale"] != "0.02" {
+		t.Fatalf("parsed %q %v", a.Name, opts)
+	}
+	// Bare name, stray commas and spaces are fine.
+	if _, opts, err = workload.ParseSpec("dzero"); err != nil || len(opts) != 0 {
+		t.Fatalf("bare name: %v %v", opts, err)
+	}
+	if _, _, err = workload.ParseSpec(" dzero , seed=1 ,"); err != nil {
+		t.Fatalf("spaced spec: %v", err)
+	}
+	// Values may contain '=' (only the first splits).
+	_, opts, err = workload.ParseSpec("file,path=a=b")
+	if err != nil || opts["path"] != "a=b" {
+		t.Fatalf("value with '=': %v %v", opts, err)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, tc := range []struct{ spec, wantSub string }{
+		{"", "empty spec"},
+		{"   ", "empty spec"},
+		{"klingon,seed=1", "unknown adapter"},
+		{"dzero,warp=9", "unknown option"},
+		{"dzero,seed", "not key=value"},
+		{"dzero,seed=1,seed=2", "given twice"},
+	} {
+		_, _, err := workload.ParseSpec(tc.spec)
+		if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("workload.ParseSpec(%q) err = %v, want substring %q", tc.spec, err, tc.wantSub)
+		}
+	}
+	// Bad option values surface from Open, typed.
+	for _, spec := range []string{
+		"dzero,seed=banana",
+		"dzero,scale=wide",
+		"dzero,shape=spike",
+		"dzero,shape=ramp,slot=huge",
+		"dzero,shape=ramp,rps-start=-3",
+		"xrootd,one-touch=2",
+		"kv-csv,window=0,path=/dev/null",
+		"kv-csv", // missing path
+		"file",   // missing path
+	} {
+		if _, err := workload.Open(spec); err == nil {
+			t.Errorf("workload.Open(%q) accepted", spec)
+		}
+	}
+}
+
+func TestSpecHelpMentionsEveryAdapter(t *testing.T) {
+	help := workload.SpecHelp()
+	for _, name := range []string{"dzero", "file", "kv-csv", "xrootd"} {
+		if !strings.Contains(help, name) {
+			t.Errorf("SpecHelp misses %q:\n%s", name, help)
+		}
+	}
+	if !strings.Contains(help, "key=value") {
+		t.Error("SpecHelp misses the grammar line")
+	}
+}
+
+func TestOpenNamedValidatesKeys(t *testing.T) {
+	if _, err := workload.OpenNamed("dzero", map[string]string{"warp": "9"}); err == nil {
+		t.Error("unknown key accepted by OpenNamed")
+	}
+	if _, err := workload.OpenNamed("klingon", nil); err == nil {
+		t.Error("unknown adapter accepted by OpenNamed")
+	}
+	src, err := workload.OpenNamed("dzero", map[string]string{"seed": "1", "scale": "0.01"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Close()
+}
+
+// TestDZeroLoadBitIdentity: the registry's dzero Load must produce the
+// byte-identical trace the legacy synth path produced — the sweep
+// acceptance criterion.
+func TestDZeroLoadBitIdentity(t *testing.T) {
+	got, err := workload.Load("dzero,seed=1,scale=0.02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cli.Workload{Seed: 1, Scale: 0.02}.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gb, wb bytes.Buffer
+	if err := cli.WriteTrace(&gb, got, "bin", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.WriteTrace(&wb, want, "bin", false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gb.Bytes(), wb.Bytes()) {
+		t.Fatal("registry dzero Load is not byte-identical to the legacy synth path")
+	}
+}
+
+// encodeStream drains a source into canonical bin bytes.
+func encodeStream(t *testing.T, src trace.Source) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc, err := cli.NewEncoder(&buf, "bin", false, src.Files(), src.Users(), src.Sites())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.CopySource(enc, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCrossAdapterDeterminism: the same spec opened twice yields a
+// byte-identical job stream, for every adapter and for shaped variants.
+func TestCrossAdapterDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	csv := dir + "/kv.csv"
+	f, err := os.Create(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.GenKVCSV(f, 3, 200, 4000); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A recorded file for the file adapter.
+	binPath := dir + "/trace.bin"
+	tr, err := workload.Load("dzero,seed=2,scale=0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := os.Create(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.WriteTrace(bf, tr, "bin", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := bf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	specs := []string{
+		"dzero,seed=1,scale=0.01",
+		"dzero,seed=1,scale=0.01,shape=burst,rps-start=5,rps-target=50,slot=30s",
+		"xrootd,seed=1,scale=0.01",
+		"xrootd,seed=1,scale=0.01,shape=ramp,rps-start=5,rps-target=50,rps-step=5,slot=30s",
+		"kv-csv,path=" + csv + ",window=16",
+		"file,path=" + binPath,
+	}
+	for _, spec := range specs {
+		open := func() []byte {
+			src, err := workload.Open(spec)
+			if err != nil {
+				t.Fatalf("%s: %v", spec, err)
+			}
+			return encodeStream(t, src)
+		}
+		a, b := open(), open()
+		if len(a) == 0 {
+			t.Errorf("%s: empty stream", spec)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: stream not deterministic across opens", spec)
+		}
+		// OpenOrdered must also be deterministic and hold its ordering
+		// contract.
+		osrc, err := workload.OpenOrdered(spec)
+		if err != nil {
+			t.Fatalf("%s ordered: %v", spec, err)
+		}
+		var prev int64
+		for first := true; ; first = false {
+			j, err := osrc.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("%s ordered: %v", spec, err)
+			}
+			if s := j.Start.UnixNano(); !first && s < prev {
+				t.Fatalf("%s: ordered stream went backwards", spec)
+			} else {
+				prev = s
+			}
+		}
+		osrc.Close()
+	}
+}
+
+// TestShapedDZeroSequenceInvariant: shaping re-times arrivals but must not
+// reorder the workload — the shaped ordered stream carries the identical
+// job ID and file-list sequence as the unshaped one. The cross-workload
+// Figure-10 analysis in EXPERIMENTS.md leans on this invariant.
+func TestShapedDZeroSequenceInvariant(t *testing.T) {
+	drain := func(spec string) (ids []trace.JobID, files [][]trace.FileID) {
+		src, err := workload.OpenOrdered(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer src.Close()
+		for {
+			j, err := src.Next()
+			if err == io.EOF {
+				return ids, files
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, j.ID)
+			files = append(files, append([]trace.FileID(nil), j.Files...))
+		}
+	}
+	aIDs, aFiles := drain("dzero,seed=1,scale=0.01")
+	bIDs, bFiles := drain("dzero,seed=1,scale=0.01,shape=burst,rps-start=10,rps-target=200,slot=1m")
+	if len(aIDs) == 0 || len(aIDs) != len(bIDs) {
+		t.Fatalf("job counts differ: %d vs %d", len(aIDs), len(bIDs))
+	}
+	for i := range aIDs {
+		if aIDs[i] != bIDs[i] {
+			t.Fatalf("job %d: ID %d (unshaped) vs %d (shaped)", i, aIDs[i], bIDs[i])
+		}
+		if len(aFiles[i]) != len(bFiles[i]) {
+			t.Fatalf("job %d: %d files vs %d", i, len(aFiles[i]), len(bFiles[i]))
+		}
+		for k := range aFiles[i] {
+			if aFiles[i][k] != bFiles[i][k] {
+				t.Fatalf("job %d file %d: %d vs %d", i, k, aFiles[i][k], bFiles[i][k])
+			}
+		}
+	}
+}
+
+// TestLoadMatchesOpenMaterialized: for adapters without a dedicated Load,
+// Load must equal materialize(Open)+sort.
+func TestLoadMatchesOpenMaterialized(t *testing.T) {
+	spec := "xrootd,seed=4,scale=0.01"
+	lt, err := workload.Load(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := workload.Open(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := trace.Materialize(src)
+	src.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt.SortJobsByStart()
+	var lb, mb bytes.Buffer
+	if err := cli.WriteTrace(&lb, lt, "bin", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.WriteTrace(&mb, mt, "bin", false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lb.Bytes(), mb.Bytes()) {
+		t.Fatal("Load differs from materialized Open")
+	}
+}
